@@ -1,0 +1,100 @@
+"""Design-choice ablations for the distributed scheduler.
+
+DESIGN.md calls out three protocol mechanisms beyond the paper's
+minimum sketch; each exists for a measurable reason.  This bench turns
+them off one at a time and records what breaks or degrades:
+
+* **promise chaining** off -> optimistic grants; broken promises
+  appear on workloads whose eventuality chains dead-end;
+* **lazy triggering** off -> compensating/fallback events fire on
+  success paths;
+* **certificates** off -> ``!f`` guards lose their concurrency: the
+  guarded event waits for the base to settle instead of running ahead.
+"""
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.scheduler import DistributedScheduler
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.scheduler.events import EventAttributes, SchedulerPolicy
+from repro.workloads.generators import chain_workflow, scripts_for
+
+E, F = Event("e"), Event("f")
+
+
+def _run(deps_or_workflow, scripts, policy=None, attributes=None):
+    if hasattr(deps_or_workflow, "dependencies"):
+        w = deps_or_workflow
+        sched = DistributedScheduler(
+            w.dependencies, sites=w.sites, attributes=w.attributes,
+            policy=policy,
+        )
+    else:
+        sched = DistributedScheduler(
+            deps_or_workflow, attributes=attributes or {}, policy=policy
+        )
+    return sched.run([AgentScript(s.site, list(s.attempts)) for s in scripts])
+
+
+def test_bench_ablation_promise_chaining(benchmark):
+    """Chaining ON: dropped-head chains settle clean.  OFF: an
+    optimistic grant lets the head fire on a promise later broken."""
+    w = chain_workflow(4)
+    scripts = scripts_for(w, seed=3, participation=0.5)
+
+    def sweep():
+        on = _run(w, scripts)
+        off = _run(w, scripts, policy=SchedulerPolicy(promise_chaining=False))
+        return on, off
+
+    on, off = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert on.ok and not on.unsettled
+    assert any(v.kind == "promise" for v in off.violations)
+
+
+def test_bench_ablation_lazy_triggering(benchmark):
+    """Lazy ON: the fallback never runs when the real event shows up.
+    OFF: the fallback fires eagerly and needlessly."""
+    a_comp, z_real = Event("a_comp"), Event("z_real")
+    deps = [parse("~e + a_comp + z_real")]
+    attributes = {a_comp: EventAttributes(triggerable=True)}
+    scripts = [
+        AgentScript("s", [ScriptedAttempt(0.0, E), ScriptedAttempt(2.0, z_real)])
+    ]
+
+    def sweep():
+        lazy = _run(deps, scripts, attributes=attributes)
+        eager = _run(
+            deps, scripts,
+            policy=SchedulerPolicy(lazy_triggering=False),
+            attributes=attributes,
+        )
+        return lazy, eager
+
+    lazy, eager = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    lazy_events = {en.event for en in lazy.entries}
+    eager_events = {en.event for en in eager.entries}
+    assert a_comp not in lazy_events
+    assert a_comp in eager_events
+
+
+def test_bench_ablation_certificates(benchmark):
+    """Certificates ON: e (guard ``!f``) fires while f is merely
+    parked -- the concurrency the paper's Example 10 narrative
+    highlights.  OFF: no certificate rounds run at all."""
+    d = parse("~e + ~f + e . f")
+    scripts = [
+        AgentScript("s", [ScriptedAttempt(0.0, E), ScriptedAttempt(1.0, F)])
+    ]
+
+    def sweep():
+        on = _run([d], scripts)
+        off = _run([d], scripts, policy=SchedulerPolicy(certificates=False))
+        return on, off
+
+    on, off = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert [en.event for en in on.entries] == [E, F]
+    assert on.not_yet_rounds >= 1
+    assert off.not_yet_rounds == 0
+    # both orderings remain valid traces
+    assert on.ok and off.ok

@@ -1,0 +1,51 @@
+"""Experiment X10: Example 10's execution by guard evaluation.
+
+"If f is attempted first, its guard is not T, so it is parked.  Event
+~e can occur right away when attempted.  When f is informed of this,
+its guard reduces to T, and it is allowed to occur."
+"""
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.scheduler import DistributedScheduler
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+
+E, F = Event("e"), Event("f")
+D_PREC = parse("~e + ~f + e . f")
+
+
+def _run():
+    sched = DistributedScheduler([D_PREC])
+    script = AgentScript(
+        "site", [ScriptedAttempt(0.0, F), ScriptedAttempt(5.0, ~E)]
+    )
+    return sched.run([script])
+
+
+def test_bench_example10_run(benchmark):
+    result = benchmark(_run)
+    assert result.ok
+    assert [en.event for en in result.entries] == [~E, F]
+    # f was parked awaiting ~e's announcement
+    assert result.parked_total >= 1
+    f_entry = result.entries[-1]
+    assert f_entry.attempted_at == 0.0
+    assert f_entry.time >= 5.0  # enabled only after ~e occurred
+    # the enabling flowed through an announce message
+    assert result.messages_by_kind.get("announce", 0) >= 1
+
+
+def test_bench_example10_immediate_path(benchmark):
+    """The contrasting schedule: e first needs only a certificate."""
+
+    def run():
+        sched = DistributedScheduler([D_PREC])
+        script = AgentScript(
+            "site", [ScriptedAttempt(0.0, E), ScriptedAttempt(1.0, F)]
+        )
+        return sched.run([script])
+
+    result = benchmark(run)
+    assert result.ok
+    assert [en.event for en in result.entries] == [E, F]
+    assert result.not_yet_rounds >= 1

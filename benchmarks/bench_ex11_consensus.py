@@ -1,0 +1,71 @@
+"""Experiment X11: Example 11's mutual-eventuality consensus.
+
+``D_->`` and its transpose give ``e`` the guard ``<>f`` and ``f`` the
+guard ``<>e``: neither can fire on announcements alone.  The promise
+protocol lets one side issue a conditional promise the other uses to
+proceed, discharging the first (Section 4.3).
+"""
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.scheduler import DistributedScheduler
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+
+E, F = Event("e"), Event("f")
+DEPS = [parse("~e + f"), parse("~f + e")]
+
+
+def _run_mutual():
+    sched = DistributedScheduler(DEPS)
+    return sched.run(
+        [
+            AgentScript("site_e", [ScriptedAttempt(0.0, E)]),
+            AgentScript("site_f", [ScriptedAttempt(0.0, F)]),
+        ]
+    )
+
+
+def test_bench_mutual_promises(benchmark):
+    result = benchmark(_run_mutual)
+    assert result.ok
+    occurred = {en.event for en in result.entries}
+    assert occurred == {E, F}
+    assert result.promises_granted >= 1
+    assert result.messages_by_kind.get("promise_request", 0) >= 1
+    assert result.messages_by_kind.get("promise_grant", 0) >= 1
+
+
+def test_bench_one_sided_consensus(benchmark):
+    """Only e is ever attempted: no promise can be secured, so both
+    events settle negatively (coupled all-or-nothing semantics)."""
+
+    def run():
+        sched = DistributedScheduler(DEPS)
+        return sched.run([AgentScript("site_e", [ScriptedAttempt(0.0, E)])])
+
+    result = benchmark(run)
+    assert result.ok
+    occurred = {en.event for en in result.entries}
+    assert occurred == {~E, ~F}
+
+
+def test_bench_promise_chain(benchmark):
+    """A three-cycle of arrows: e -> f -> g -> e; attempting all three
+    closes the consensus cycle through chained promise requests."""
+    G = Event("g")
+    deps = [parse("~e + f"), parse("~f + g"), parse("~g + e")]
+
+    def run():
+        sched = DistributedScheduler(deps)
+        return sched.run(
+            [
+                AgentScript("se", [ScriptedAttempt(0.0, E)]),
+                AgentScript("sf", [ScriptedAttempt(0.0, F)]),
+                AgentScript("sg", [ScriptedAttempt(0.0, G)]),
+            ]
+        )
+
+    result = benchmark(run)
+    assert result.ok, result.violations
+    occurred = {en.event for en in result.entries}
+    assert occurred == {E, F, G}

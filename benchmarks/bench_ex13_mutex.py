@@ -1,0 +1,96 @@
+"""Experiment X13: parametrized mutual exclusion across looping tasks.
+
+Example 13 formalizes mutual exclusion over event *types* with
+universally quantified instance parameters; no assumption is made
+about how often (or when) the tasks enter their critical sections.
+The bench drives several loop iterations through the parametrized
+admission engine and also runs the propositional instance end to end
+on the distributed scheduler.
+"""
+
+from repro.algebra.symbols import Event
+from repro.params.scheduler import ParamScheduler
+from repro.scheduler import DistributedScheduler
+from repro.workloads.scenarios import make_mutex_scenario
+
+from benchmarks.helpers import run_scenario
+
+PARAM_DEPS = [
+    "b2[y] . b1[x] + ~e1[x] + ~b2[y] + e1[x] . b2[y]",
+    "b1[x] . b2[y] + ~e2[y] + ~b1[x] + e2[y] . b1[x]",
+    "~b1[x] + e1[x]",
+    "~b2[y] + e2[y]",
+    "~e1[x] + b1[x]",
+    "~e2[y] + b2[y]",
+    "~b1[x] + ~e1[x] + b1[x] . e1[x]",
+    "~b2[y] + ~e2[y] + b2[y] . e2[y]",
+]
+
+
+def tok(name, i):
+    return Event(name, params=(i,))
+
+
+def test_bench_param_mutex_three_iterations(benchmark):
+    def run():
+        sched = ParamScheduler(PARAM_DEPS)
+        decisions = []
+        for i in range(3):
+            decisions.append(sched.attempt(tok("b1", i)))   # enter t1
+            decisions.append(sched.attempt(tok("b2", i)))   # refused
+            decisions.append(sched.attempt(tok("e1", i)))   # exit t1
+            decisions.append(sched.attempt(tok("b2", i)))   # now admitted
+            decisions.append(sched.attempt(tok("e2", i)))   # exit t2
+        return sched, decisions
+
+    sched, decisions = benchmark(run)
+    expected = [True, False, True, True, True] * 3
+    assert decisions == expected
+    assert len(sched.trace) == 12  # 4 admitted events x 3 iterations
+
+
+def test_bench_param_mutex_admission_check(benchmark):
+    """Time a single admission decision mid-run (the hot operation)."""
+    sched = ParamScheduler(PARAM_DEPS)
+    sched.attempt(tok("b1", 0))
+
+    allowed = benchmark(lambda: sched.allowed(tok("b2", 0)))
+    assert not allowed  # task 1 holds the critical section
+
+
+def test_bench_propositional_mutex_distributed(benchmark):
+    def run():
+        return run_scenario(make_mutex_scenario("t1"), DistributedScheduler)
+
+    result = benchmark(run)
+    assert result.ok
+    order = [en.event.name for en in result.entries]
+    b1, e1 = order.index("b1"), order.index("e1")
+    b2, e2 = order.index("b2"), order.index("e2")
+    assert e1 < b2 or e2 < b1  # critical sections never overlap
+
+
+def test_bench_distributed_param_mutex(benchmark):
+    """Section 5.2 end to end: parametrized mutual exclusion on the
+    *distributed* runtime, instances materializing per token."""
+    from repro.params.distributed import DistributedParamRunner
+    from repro.scheduler.events import EventAttributes
+
+    attrs = {
+        "e1": EventAttributes(guaranteed=True),
+        "e2": EventAttributes(guaranteed=True),
+    }
+
+    def run():
+        runner = DistributedParamRunner(PARAM_DEPS, attributes=attrs)
+        for i in range(2):
+            runner.attempt(tok("b1", i))
+            runner.attempt(tok("e1", i))
+            runner.attempt(tok("b2", i))
+            runner.attempt(tok("e2", i))
+        return runner.finish()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ok, result.violations
+    positive = [e for e in result.trace.events if not e.negated]
+    assert len(positive) == 8

@@ -1,0 +1,74 @@
+"""Experiment X14: guard growth, shrinkage, and resurrection.
+
+Example 14: the guard on ``e[x]`` is ``!f[y] + []g[y]`` with ``y``
+unbound.  ``f[y1]`` blocks ``e[x]`` (the instance map grows);
+``[]g[y1]`` arriving restores the guard (the instance shrinks away)
+and ``e[x]`` is "once again enabled" -- the mechanism that handles
+tasks that are not loop-free.
+"""
+
+from repro.algebra.symbols import Event, Variable
+from repro.params.guards import ParametrizedGuard
+from repro.temporal.cubes import literal
+
+Y = Variable("y")
+F_Y = Event("f", params=(Y,))
+G_Y = Event("g", params=(Y,))
+
+
+def _template():
+    return literal("notyet", F_Y) | literal("box", G_Y)
+
+
+def tok(name, value):
+    return Event(name, params=(value,))
+
+
+def test_bench_example14_cycle(benchmark):
+    def cycle():
+        pg = ParametrizedGuard(_template())
+        states = [pg.holds_now()]               # enabled
+        pg.observe(tok("f", "y1"))
+        states.append(pg.holds_now())           # blocked
+        pg.observe(tok("g", "y1"))
+        states.append(pg.holds_now())           # resurrected
+        return pg, states
+
+    pg, states = benchmark(cycle)
+    assert states == [True, False, True]
+    assert [kind for kind, _ in pg.history] == ["grow", "shrink"]
+    assert pg.live_instances() == {}
+
+
+def test_bench_example14_blocked_residual(benchmark):
+    """Mid-cycle, the instance map holds exactly the paper's residual:
+    ``[]g[y-hat] | (!f[y] + []g[y])`` -- rendered here as the ground
+    residual ``[]g['y1']`` alongside the untouched template."""
+    pg = ParametrizedGuard(_template())
+    pg.observe(tok("f", "y1"))
+
+    def inspect():
+        return dict(pg.live_instances())
+
+    instances = benchmark(inspect)
+    assert len(instances) == 1
+    (residual,) = instances.values()
+    assert residual == literal("box", tok("g", "y1"))
+
+
+def test_bench_example14_many_bindings(benchmark):
+    """Scale the instance map: 50 bindings grow, then all shrink."""
+
+    def churn():
+        pg = ParametrizedGuard(_template())
+        for i in range(50):
+            pg.observe(tok("f", f"y{i}"))
+        grown = len(pg.live_instances())
+        for i in range(50):
+            pg.observe(tok("g", f"y{i}"))
+        return grown, len(pg.live_instances()), pg.holds_now()
+
+    grown, remaining, enabled = benchmark(churn)
+    assert grown == 50
+    assert remaining == 0
+    assert enabled

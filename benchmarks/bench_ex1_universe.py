@@ -1,0 +1,41 @@
+"""Experiment X1: regenerate Example 1's universe and denotations."""
+
+from repro.algebra.denotation import denotation
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace, universe, universe_size
+
+E, F = Event("e"), Event("f")
+
+
+def test_bench_example1_universe(benchmark):
+    traces = benchmark(lambda: frozenset(universe([E, F])))
+    # 1 empty + 4 singletons + 4 sign-pairs x 2 orders
+    assert len(traces) == 13 == universe_size(2)
+    assert Trace([]) in traces
+    for expected in ("<e>", "<f>", "<~e>", "<~f>", "<e f>", "<f e>",
+                     "<e ~f>", "<~f e>", "<~e f>", "<f ~e>", "<~e ~f>",
+                     "<~f ~e>"):
+        assert any(repr(t) == expected for t in traces), expected
+
+
+def test_bench_example1_denotations(benchmark):
+    def compute():
+        return (
+            denotation(parse("0"), [E, F]),
+            denotation(parse("T"), [E, F]),
+            denotation(parse("e"), [E, F]),
+            denotation(parse("e . f"), [E, F]),
+            denotation(parse("e + ~e"), [E, F]),
+            denotation(parse("e | ~e"), [E, F]),
+        )
+
+    zero, top, e_atoms, seq, choice, conj = benchmark(compute)
+    assert zero == frozenset()
+    assert len(top) == 13
+    assert {repr(t) for t in e_atoms} == {
+        "<e>", "<e f>", "<f e>", "<e ~f>", "<~f e>"
+    }
+    assert seq == frozenset({Trace([E, F])})
+    assert choice != top       # [[e + ~e]] != U_E
+    assert conj == frozenset() # [[e | ~e]] = 0

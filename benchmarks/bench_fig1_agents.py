@@ -1,0 +1,67 @@
+"""Experiment F1: Figure 1's task agents, built and conformance-checked.
+
+Figure 1 shows the coarse significant-event skeletons a task agent
+exposes: a "Typical Application" (start/finish) and an "RDA
+Transaction" (start, then commit or abort).  The bench builds both,
+checks the travel scenario's realized traces against the RDA skeletons
+task by task, and times the conformance run.
+"""
+
+from repro.algebra.symbols import Event
+from repro.scheduler import DistributedScheduler
+from repro.scheduler.agents import TaskSkeleton
+from repro.workloads.scenarios import make_travel_booking
+
+from benchmarks.helpers import run_scenario
+
+
+def test_bench_skeleton_construction(benchmark):
+    def build():
+        return (
+            TaskSkeleton.typical_application("app"),
+            TaskSkeleton.rda_transaction("txn"),
+        )
+
+    app, txn = benchmark(build)
+    assert app.events() == frozenset({Event("s_app"), Event("f_app")})
+    assert txn.events() == frozenset(
+        {Event("s_txn"), Event("c_txn"), Event("a_txn")}
+    )
+
+
+def test_bench_trace_conformance(benchmark):
+    """The scheduler's realized traces respect each task's skeleton."""
+    buy_skel = TaskSkeleton.rda_transaction("buy")
+    result = run_scenario(make_travel_booking("success"), DistributedScheduler)
+    # project the global trace onto the buy task's significant events,
+    # mapping the complement of commit to the task's abort transition
+    projected = []
+    for entry in result.entries:
+        ev = entry.event
+        if ev == Event("s_buy"):
+            projected.append(Event("s_buy"))
+        elif ev == Event("c_buy"):
+            projected.append(Event("c_buy"))
+        elif ev == ~Event("c_buy"):
+            projected.append(Event("a_buy"))
+
+    checked = benchmark(lambda: buy_skel.run_to_terminal(projected))
+    assert checked
+
+
+def test_bench_failure_trace_is_abort_run(benchmark):
+    buy_skel = TaskSkeleton.rda_transaction("buy")
+    result = run_scenario(make_travel_booking("failure"), DistributedScheduler)
+    projected = []
+    for entry in result.entries:
+        ev = entry.event
+        if ev == Event("s_buy"):
+            projected.append(Event("s_buy"))
+        elif ev == Event("c_buy"):
+            projected.append(Event("c_buy"))
+        elif ev == ~Event("c_buy"):
+            projected.append(Event("a_buy"))
+
+    checked = benchmark(lambda: buy_skel.run_to_terminal(projected))
+    assert checked
+    assert Event("a_buy") in projected

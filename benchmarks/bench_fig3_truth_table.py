@@ -1,0 +1,65 @@
+"""Experiment F3: regenerate Figure 3's temporal-operator truth table.
+
+The table relates ``!e, []e, <>e, !~e, []~e, <>~e`` to the four points
+``(<e>, 0), (<e>, 1), (<~e>, 0), (<~e>, 1)``, and motivates the six
+identities (a)-(f) of Example 8.  The bench recomputes the full table
+from the exact semantics and re-proves the identities.
+"""
+
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace
+from repro.temporal.formulas import (
+    Always,
+    Eventually,
+    NotYet,
+    TAtom,
+    TChoice,
+    TConj,
+    T_TOP,
+    T_ZERO,
+)
+from repro.temporal.semantics import holds, t_equivalent
+
+E = Event("e")
+
+ROWS = [
+    ("!e", NotYet(TAtom(E)), [True, False, True, True]),
+    ("[]e", Always(TAtom(E)), [False, True, False, False]),
+    ("<>e", Eventually(TAtom(E)), [True, True, False, False]),
+    ("!~e", NotYet(TAtom(~E)), [True, True, True, False]),
+    ("[]~e", Always(TAtom(~E)), [False, False, False, True]),
+    ("<>~e", Eventually(TAtom(~E)), [False, False, True, True]),
+]
+
+POINTS = [(Trace([E]), 0), (Trace([E]), 1), (Trace([~E]), 0), (Trace([~E]), 1)]
+
+
+def test_bench_figure3_table(benchmark):
+    def build():
+        return {
+            name: [holds(u, i, formula) for u, i in POINTS]
+            for name, formula, _ in ROWS
+        }
+
+    table = benchmark(build)
+    for name, _formula, expected in ROWS:
+        assert table[name] == expected, name
+
+
+def test_bench_example8_identities(benchmark):
+    box_e, box_ce = Always(TAtom(E)), Always(TAtom(~E))
+    dia_e, dia_ce = Eventually(TAtom(E)), Eventually(TAtom(~E))
+    not_e = NotYet(TAtom(E))
+
+    def verify():
+        return (
+            not t_equivalent(TChoice.of([box_e, box_ce]), T_TOP),     # (a)
+            t_equivalent(TChoice.of([dia_e, dia_ce]), T_TOP),         # (b)
+            t_equivalent(TConj.of([dia_e, dia_ce]), T_ZERO),          # (c)
+            not t_equivalent(TChoice.of([dia_e, box_ce]), T_TOP),     # (d)
+            t_equivalent(TChoice.of([not_e, box_e]), T_TOP),          # (e)
+            t_equivalent(TChoice.of([not_e, box_ce]), not_e),         # (f)
+        )
+
+    results = benchmark(verify)
+    assert all(results)

@@ -1,0 +1,71 @@
+"""Experiment F4: regenerate Figure 4 / Example 9's guard computations.
+
+All eight guards of Example 9 are synthesized from Definition 2 and
+asserted verbatim against the paper's reductions, including the final
+simplified forms ``G(D_<, e) = !f`` and ``G(D_<, f) = []e + <>~e``.
+"""
+
+from repro.algebra.expressions import TOP, ZERO
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.temporal.cubes import FALSE_GUARD, TRUE_GUARD, literal
+from repro.temporal.guards import guard, workflow_guards
+
+from benchmarks.helpers import clear_symbolic_caches
+
+E, F = Event("e"), Event("f")
+D_PREC = parse("~e + ~f + e . f")
+D_ARROW = parse("~e + f")
+
+
+def test_bench_example9_guards(benchmark):
+    def synthesize():
+        clear_symbolic_caches()
+        return {
+            "G(T,e)": guard(TOP, E),
+            "G(0,e)": guard(ZERO, E),
+            "G(e,e)": guard(parse("e"), E),
+            "G(~e,e)": guard(parse("~e"), E),
+            "G(D<,~e)": guard(D_PREC, ~E),
+            "G(D<,e)": guard(D_PREC, E),
+            "G(D<,~f)": guard(D_PREC, ~F),
+            "G(D<,f)": guard(D_PREC, F),
+        }
+
+    guards = benchmark(synthesize)
+    assert guards["G(T,e)"] == TRUE_GUARD          # Example 9.1
+    assert guards["G(0,e)"] == FALSE_GUARD         # Example 9.2
+    assert guards["G(e,e)"] == TRUE_GUARD          # Example 9.3
+    assert guards["G(~e,e)"] == FALSE_GUARD        # Example 9.4
+    assert guards["G(D<,~e)"] == TRUE_GUARD        # Example 9.5
+    assert guards["G(D<,e)"] == literal("notyet", F)  # Example 9.6
+    assert guards["G(D<,~f)"] == TRUE_GUARD        # Example 9.7
+    assert guards["G(D<,f)"] == (                  # Example 9.8
+        literal("dia", ~E) | literal("box", E)
+    )
+    # the printed forms the paper derives
+    assert repr(guards["G(D<,e)"]) == "!f"
+    assert repr(guards["G(D<,f)"]) == "([]e + <>~e)"
+
+
+def test_bench_example11_mutual_guards(benchmark):
+    def synthesize():
+        clear_symbolic_caches()
+        return guard(D_ARROW, E), guard(parse("~f + e"), F)
+
+    g_e, g_f = benchmark(synthesize)
+    assert g_e == literal("dia", F)
+    assert g_f == literal("dia", E)
+
+
+def test_bench_workflow_guard_table(benchmark):
+    """The per-event table for a workflow combining D_< and D_->."""
+
+    def synthesize():
+        clear_symbolic_caches()
+        return workflow_guards([D_PREC, D_ARROW])
+
+    table = benchmark(synthesize)
+    # e needs f not-yet (from D_<) and f guaranteed (from D_->)
+    assert table[E] == literal("notyet", F) & literal("dia", F)
+    assert table[~F] == literal("dia", ~E)

@@ -1,0 +1,147 @@
+"""Experiments T1/T2/T4/L3/L5/T6: the Section 3-4 formal results,
+checked exhaustively over small alphabets and timed.
+"""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.residuation import residual_matches_semantics, residuate
+from repro.algebra.symbols import Event
+from repro.algebra.traces import maximal_universe, satisfies
+from repro.temporal.cubes import literal
+from repro.temporal.guards import (
+    generates,
+    guard,
+    lemma5_guard,
+    workflow_guards,
+)
+
+from benchmarks.helpers import clear_symbolic_caches
+
+E, F, G = Event("e"), Event("f"), Event("g")
+
+DEPENDENCIES = [
+    "~e + f",
+    "~e + ~f + e . f",
+    "e . f",
+    "e | f",
+    "e + f",
+    "(e + f) . g",
+    "e . f . g",
+    "(~e + f) | (~f + g)",
+]
+
+
+def test_bench_theorem1_soundness(benchmark):
+    """Rules 1-8 agree with Semantics 6 on feasible continuations."""
+
+    def verify():
+        clear_symbolic_caches()
+        checked = 0
+        for text in DEPENDENCIES:
+            dep = parse(text)
+            for ev in sorted(dep.alphabet()):
+                assert residual_matches_semantics(dep, ev), (text, ev)
+                checked += 1
+        return checked
+
+    checked = benchmark.pedantic(verify, rounds=3, iterations=1)
+    assert checked >= 30
+
+
+def test_bench_theorem2_choice_decomposition(benchmark):
+    """G(D+E, e) = G(D,e) + G(E,e) for alphabet-disjoint D, E."""
+    pairs = [("~e + f", "~g + h"), ("e . f", "g . h")]
+
+    def verify():
+        clear_symbolic_caches()
+        for left, right in pairs:
+            d, x = parse(left), parse(right)
+            for ev in sorted(d.alphabet()):
+                combined = guard(d + x, ev)
+                split = guard(d, ev) | guard(x, ev)
+                assert combined.equivalent(split), (left, right, ev)
+        return True
+
+    assert benchmark.pedantic(verify, rounds=3, iterations=1)
+
+
+def test_bench_theorem4_conj_decomposition(benchmark):
+    """G(D|E, e) = G(D,e) | G(E,e) for alphabet-disjoint D, E."""
+    pairs = [("~e + f", "~g + h"), ("~e + ~f + e . f", "g + h")]
+
+    def verify():
+        clear_symbolic_caches()
+        for left, right in pairs:
+            d, x = parse(left), parse(right)
+            for ev in sorted(d.alphabet()):
+                combined = guard(d & x, ev)
+                split = guard(d, ev) & guard(x, ev)
+                assert combined.equivalent(split), (left, right, ev)
+        return True
+
+    assert benchmark.pedantic(verify, rounds=3, iterations=1)
+
+
+def test_bench_lemma3_case_split(benchmark):
+    """G(D,e) = !g|G(D,e) + []g|G(D/g,e) for foreign g."""
+
+    def verify():
+        clear_symbolic_caches()
+        for text in ("~e + f", "~e + ~f + e . f", "e . f"):
+            dep = parse(text)
+            for ev in sorted(dep.alphabet()):
+                base_guard = guard(dep, ev)
+                for g_ev in sorted(dep.alphabet()):
+                    if g_ev.base == ev.base:
+                        continue
+                    split = (literal("notyet", g_ev) & base_guard) | (
+                        literal("box", g_ev) & guard(residuate(dep, g_ev), ev)
+                    )
+                    assert base_guard.equivalent(split)
+        return True
+
+    assert benchmark.pedantic(verify, rounds=3, iterations=1)
+
+
+def test_bench_lemma5_path_sum(benchmark):
+    """G(D,e) equals the sum over accepting paths Pi(D)."""
+
+    def verify():
+        clear_symbolic_caches()
+        for text in ("~e + f", "~e + ~f + e . f", "e . f", "e | f"):
+            dep = parse(text)
+            for ev in sorted(dep.alphabet()):
+                assert guard(dep, ev).equivalent(lemma5_guard(dep, ev))
+        return True
+
+    assert benchmark.pedantic(verify, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize(
+    "texts",
+    [
+        ["~e + f"],
+        ["~e + ~f + e . f", "~e + f"],
+        ["~e + ~f + e . f", "~f + ~g + f . g"],
+        ["~e + f . g"],
+    ],
+    ids=["arrow", "prec+arrow", "chained-prec", "seq-insight"],
+)
+def test_bench_theorem6_generation(benchmark, texts):
+    """W generates u iff u satisfies every D in W, exhaustively."""
+    deps = [parse(t) for t in texts]
+    bases = set()
+    for d in deps:
+        bases |= d.bases()
+
+    def verify():
+        table = workflow_guards(deps, mentioned_only=False)
+        count = 0
+        for u in maximal_universe(bases):
+            assert generates(table, u) == all(satisfies(u, d) for d in deps)
+            count += 1
+        return count
+
+    count = benchmark.pedantic(verify, rounds=3, iterations=1)
+    assert count == len(list(maximal_universe(bases)))

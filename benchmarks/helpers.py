@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one of the paper's artifacts
+(figure, example, theorem, or scalability claim; see the experiment
+index in DESIGN.md), asserts the reproduced *shape*, and times the
+computation with pytest-benchmark.  Recorded outputs live in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra.normal_form import to_normal_form
+from repro.algebra.residuation import residuate
+from repro.temporal.guards import guard, guard_formula
+
+
+def clear_symbolic_caches() -> None:
+    """Clear memoization so benchmarks time the real computation."""
+    residuate.cache_clear()
+    to_normal_form.cache_clear()
+    guard.cache_clear()
+    guard_formula.cache_clear()
+
+
+def run_scenario(scenario, scheduler_cls, **kwargs):
+    workflow = scenario.workflow
+    sched = scheduler_cls(
+        workflow.dependencies,
+        sites=workflow.sites,
+        attributes=workflow.attributes,
+        **kwargs,
+    )
+    return sched.run(scenario.scripts)
+
+
+def merged_travel_instances(count: int, rng_seed: int = 0):
+    """``count`` independent travel-booking instances in one system."""
+    from repro.workloads.scenarios import make_travel_booking
+
+    rng = random.Random(rng_seed)
+    scenarios = [
+        make_travel_booking(
+            "success" if rng.random() < 0.7 else "failure", suffix=f"_i{i}"
+        )
+        for i in range(count)
+    ]
+    workflow = scenarios[0].workflow
+    scripts = list(scenarios[0].scripts)
+    for scn in scenarios[1:]:
+        workflow = workflow.merged(scn.workflow)
+        scripts.extend(scn.scripts)
+    return workflow, scripts

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on older toolchains (setuptools
+without ``wheel``) via the legacy develop path.
+"""
+
+from setuptools import setup
+
+setup()

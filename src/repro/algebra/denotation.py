@@ -1,0 +1,66 @@
+"""Denotations ``[[E]]`` over finite universes (paper Section 3.2).
+
+The paper defines the *intension* of an expression as the set of
+traces satisfying it.  Over a finite base alphabet the universe is
+finite, so denotations are concrete sets; this is the semantic ground
+truth that the symbolic machinery (residuation, guard synthesis) is
+validated against in the test suite, mirroring the role of Theorem 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.expressions import Expr
+from repro.algebra.symbols import Event, bases_of
+from repro.algebra.traces import Trace, satisfies, universe
+
+
+def denotation(
+    expr: Expr,
+    bases: Iterable[Event] | None = None,
+    include_partial: bool = True,
+) -> frozenset[Trace]:
+    """``[[E]]`` restricted to the finite universe over ``bases``.
+
+    When ``bases`` is omitted the expression's own base alphabet is
+    used (sufficient for equivalence checks that do not need foreign
+    events).
+    """
+    base_set = bases_of(bases) if bases is not None else expr.bases()
+    return frozenset(
+        u for u in universe(base_set, include_partial) if satisfies(u, expr)
+    )
+
+
+def equivalent(
+    left: Expr,
+    right: Expr,
+    bases: Iterable[Event] | None = None,
+) -> bool:
+    """Semantic equivalence over the finite universe covering both sides.
+
+    >>> from repro.algebra.parser import parse
+    >>> equivalent(parse("e + f"), parse("f + e"))
+    True
+    """
+    base_set = set(bases_of(bases)) if bases is not None else set()
+    base_set |= left.bases() | right.bases()
+    for u in universe(base_set):
+        if satisfies(u, left) != satisfies(u, right):
+            return False
+    return True
+
+
+def entails(
+    left: Expr,
+    right: Expr,
+    bases: Iterable[Event] | None = None,
+) -> bool:
+    """``[[left]] subset-of [[right]]`` over the covering finite universe."""
+    base_set = set(bases_of(bases)) if bases is not None else set()
+    base_set |= left.bases() | right.bases()
+    for u in universe(base_set):
+        if satisfies(u, left) and not satisfies(u, right):
+            return False
+    return True

@@ -1,0 +1,398 @@
+"""The dependency-expression AST (paper Syntax 1-4).
+
+A *dependency* ``D`` is an expression of the language ``E``:
+
+* atoms -- event symbols and their complements (Syntax 1-2);
+* ``E1 + E2`` -- choice (disjunction over traces, Semantics 2);
+* ``E1 . E2`` -- sequence (trace concatenation, Semantics 3);
+* ``E1 | E2`` -- conjunction (trace-set intersection, Semantics 4);
+* ``0`` -- the unsatisfiable expression (empty denotation);
+* ``T`` -- the trivially true expression (all of ``U_E``).
+
+Python operator mapping: ``+`` is choice, ``&`` is conjunction, and
+``>>`` is sequencing (``a >> b`` reads "a then b").
+
+Constructors canonicalize lightly, using only identities validated by
+the paper's semantics (associativity of all three operators,
+commutativity and idempotence of ``+`` and ``|``, identity/absorbing
+constants, and emptiness of sequences that repeat an event or contain
+an event together with its complement).  Heavier rewriting lives in
+:mod:`repro.algebra.normal_form`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.algebra.symbols import Event, alphabet_of
+
+
+class Expr:
+    """Base class for event expressions.  Instances are immutable."""
+
+    __slots__ = ()
+
+    # -- operator sugar ----------------------------------------------
+
+    def __add__(self, other: "Expr") -> "Expr":
+        return Choice.of([self, _as_expr(other)])
+
+    def __radd__(self, other: "Expr") -> "Expr":
+        return Choice.of([_as_expr(other), self])
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return Conj.of([self, _as_expr(other)])
+
+    def __rand__(self, other: "Expr") -> "Expr":
+        return Conj.of([_as_expr(other), self])
+
+    def __rshift__(self, other: "Expr") -> "Expr":
+        return Seq.of([self, _as_expr(other)])
+
+    def __rrshift__(self, other: "Expr") -> "Expr":
+        return Seq.of([_as_expr(other), self])
+
+    # -- inspection --------------------------------------------------
+
+    def events(self) -> frozenset[Event]:
+        """All event symbols literally mentioned in the expression."""
+        out: set[Event] = set()
+        self._collect_events(out)
+        return frozenset(out)
+
+    def alphabet(self) -> frozenset[Event]:
+        """The paper's ``Gamma_E``: mentioned events and their complements."""
+        return alphabet_of(self.events())
+
+    def bases(self) -> frozenset[Event]:
+        """Positive base events mentioned (directly or via complements)."""
+        return frozenset(e.base for e in self.events())
+
+    def _collect_events(self, out: set[Event]) -> None:
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+
+    def substitute(self, binding: dict) -> "Expr":
+        """Apply a variable binding to every parametrized atom."""
+        return self
+
+    # Subclasses override __eq__/__hash__/__repr__.
+
+
+def _as_expr(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, Event):
+        return Atom(value)
+    raise TypeError(f"not an event expression: {value!r}")
+
+
+class Zero(Expr):
+    """The expression ``0`` with empty denotation (Example 1)."""
+
+    __slots__ = ()
+
+    def _collect_events(self, out: set[Event]) -> None:
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Zero)
+
+    def __hash__(self) -> int:
+        return hash("Zero")
+
+    def __repr__(self) -> str:
+        return "0"
+
+
+class Top(Expr):
+    """The expression ``T`` denoting all of ``U_E`` (Semantics 5)."""
+
+    __slots__ = ()
+
+    def _collect_events(self, out: set[Event]) -> None:
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Top)
+
+    def __hash__(self) -> int:
+        return hash("Top")
+
+    def __repr__(self) -> str:
+        return "T"
+
+
+ZERO = Zero()
+TOP = Top()
+
+
+class Atom(Expr):
+    """An atomic expression: a single event symbol (Semantics 1)."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        if not isinstance(event, Event):
+            raise TypeError(f"Atom requires an Event, got {event!r}")
+        object.__setattr__(self, "event", event)
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("Atom is immutable")
+
+    def _collect_events(self, out: set[Event]) -> None:
+        out.add(self.event)
+
+    def substitute(self, binding: dict) -> "Expr":
+        new_event = self.event.substitute(binding)
+        return self if new_event is self.event else Atom(new_event)
+
+    def __invert__(self) -> "Atom":
+        return Atom(self.event.complement)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Atom) and other.event == self.event
+
+    def __hash__(self) -> int:
+        return hash(("Atom", self.event))
+
+    def __repr__(self) -> str:
+        return repr(self.event)
+
+
+class Seq(Expr):
+    """Sequence ``E1 . E2 ... En`` (Semantics 3), flattened n-ary.
+
+    ``Seq.of`` applies sound unit/annihilator laws: ``T`` parts are
+    dropped (``T`` is a two-sided unit because satisfaction in this
+    trace semantics is closed under extending a trace on either side),
+    any ``0`` part collapses the whole sequence to ``0``, and a
+    sequence of atoms that repeats an event or mentions both an event
+    and its complement denotes no trace at all and collapses to ``0``
+    (no trace in ``U_E`` may contain either combination, Definition 1).
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: tuple[Expr, ...]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("Seq is immutable")
+
+    @staticmethod
+    def of(items: Iterable[Expr]) -> Expr:
+        flat: list[Expr] = []
+        for item in items:
+            item = _as_expr(item)
+            if isinstance(item, Top):
+                continue
+            if isinstance(item, Zero):
+                return ZERO
+            if isinstance(item, Seq):
+                flat.extend(item.parts)
+            else:
+                flat.append(item)
+        if not flat:
+            return TOP
+        if len(flat) == 1:
+            return flat[0]
+        # A ground all-atom sequence that repeats an event or contains
+        # an event with its complement is unsatisfiable.
+        atoms = [p.event for p in flat if isinstance(p, Atom)]
+        ground = [e for e in atoms if e.is_ground]
+        seen: set[Event] = set()
+        for e in ground:
+            if e in seen or e.complement in seen:
+                return ZERO
+            seen.add(e)
+        return Seq(tuple(flat))
+
+    def _collect_events(self, out: set[Event]) -> None:
+        for p in self.parts:
+            p._collect_events(out)
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        for p in self.parts:
+            yield from p.walk()
+
+    def substitute(self, binding: dict) -> Expr:
+        return Seq.of([p.substitute(binding) for p in self.parts])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Seq) and other.parts == self.parts
+
+    def __hash__(self) -> int:
+        return hash(("Seq", self.parts))
+
+    def __repr__(self) -> str:
+        return " . ".join(_wrap(p, for_seq=True) for p in self.parts)
+
+
+class Choice(Expr):
+    """Choice ``E1 + E2 ... + En`` (Semantics 2), flattened n-ary.
+
+    Canonicalization: flattening, deduplication, sorting (both ``+``
+    and ``|`` are associative, commutative, and idempotent in the trace
+    semantics), dropping ``0`` summands, and collapsing to ``T`` when
+    any summand is ``T``.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: tuple[Expr, ...]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("Choice is immutable")
+
+    @staticmethod
+    def of(items: Iterable[Expr]) -> Expr:
+        flat: list[Expr] = []
+        for item in items:
+            item = _as_expr(item)
+            if isinstance(item, Zero):
+                continue
+            if isinstance(item, Top):
+                return TOP
+            if isinstance(item, Choice):
+                flat.extend(item.parts)
+            else:
+                flat.append(item)
+        unique = _sorted_unique(flat)
+        if not unique:
+            return ZERO
+        if len(unique) == 1:
+            return unique[0]
+        return Choice(tuple(unique))
+
+    def _collect_events(self, out: set[Event]) -> None:
+        for p in self.parts:
+            p._collect_events(out)
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        for p in self.parts:
+            yield from p.walk()
+
+    def substitute(self, binding: dict) -> Expr:
+        return Choice.of([p.substitute(binding) for p in self.parts])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Choice) and other.parts == self.parts
+
+    def __hash__(self) -> int:
+        return hash(("Choice", self.parts))
+
+    def __repr__(self) -> str:
+        return " + ".join(_wrap(p, for_seq=False) for p in self.parts)
+
+
+class Conj(Expr):
+    """Conjunction ``E1 | E2 ... | En`` (Semantics 4), flattened n-ary.
+
+    Canonicalization mirrors :class:`Choice` with the dual constants:
+    ``T`` parts are dropped and any ``0`` part collapses to ``0``.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: tuple[Expr, ...]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("Conj is immutable")
+
+    @staticmethod
+    def of(items: Iterable[Expr]) -> Expr:
+        flat: list[Expr] = []
+        for item in items:
+            item = _as_expr(item)
+            if isinstance(item, Top):
+                continue
+            if isinstance(item, Zero):
+                return ZERO
+            if isinstance(item, Conj):
+                flat.extend(item.parts)
+            else:
+                flat.append(item)
+        unique = _sorted_unique(flat)
+        if not unique:
+            return TOP
+        if len(unique) == 1:
+            return unique[0]
+        # An atom conjoined with its complement is unsatisfiable
+        # (Example 1: [[ e | ~e ]] = 0).
+        atoms = {p.event for p in unique if isinstance(p, Atom)}
+        if any(e.complement in atoms for e in atoms if e.is_ground):
+            return ZERO
+        return Conj(tuple(unique))
+
+    def _collect_events(self, out: set[Event]) -> None:
+        for p in self.parts:
+            p._collect_events(out)
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        for p in self.parts:
+            yield from p.walk()
+
+    def substitute(self, binding: dict) -> Expr:
+        return Conj.of([p.substitute(binding) for p in self.parts])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Conj) and other.parts == self.parts
+
+    def __hash__(self) -> int:
+        return hash(("Conj", self.parts))
+
+    def __repr__(self) -> str:
+        return " | ".join(_wrap(p, for_seq=False, for_conj=True) for p in self.parts)
+
+
+def _sorted_unique(parts: list[Expr]) -> list[Expr]:
+    """Sort by a stable structural key and drop duplicates."""
+    seen: set[Expr] = set()
+    unique: list[Expr] = []
+    for p in parts:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    unique.sort(key=_struct_key)
+    return unique
+
+
+def _struct_key(expr: Expr) -> tuple:
+    """A total structural order on expressions for canonical layout."""
+    if isinstance(expr, Zero):
+        return (0,)
+    if isinstance(expr, Top):
+        return (1,)
+    if isinstance(expr, Atom):
+        return (2, expr.event.sort_key())
+    if isinstance(expr, Seq):
+        return (3, tuple(_struct_key(p) for p in expr.parts))
+    if isinstance(expr, Conj):
+        return (4, tuple(_struct_key(p) for p in expr.parts))
+    if isinstance(expr, Choice):
+        return (5, tuple(_struct_key(p) for p in expr.parts))
+    raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover
+
+
+def _wrap(expr: Expr, for_seq: bool, for_conj: bool = False) -> str:
+    """Parenthesize for printing: ``.`` binds tighter than ``|`` than ``+``."""
+    text = repr(expr)
+    if for_seq and isinstance(expr, (Choice, Conj)):
+        return f"({text})"
+    if for_conj and isinstance(expr, Choice):
+        return f"({text})"
+    return text
+
+
+def atom(name: str, *params) -> Atom:
+    """Shorthand for ``Atom(Event(name, params=params))``."""
+    return Atom(Event(name, params=tuple(params)))

@@ -1,0 +1,86 @@
+"""Normal form for residuation (paper Section 3.4).
+
+The residuation rewrite rules "assume that the given expression is in
+a form where there is no ``|`` or ``+`` in the scope of ``.``".  This
+module rewrites any expression into that form using the distribution
+laws the trace semantics validates:
+
+* ``(A + B) . C  =  A . C + B . C``     (and symmetrically on the right)
+* ``(A | B) . C  =  (A . C) | (B . C)`` (and symmetrically)
+
+Distribution of ``.`` over ``|`` is sound here because satisfaction is
+closed under extending a trace on either side: if a short prefix
+satisfies ``A`` and a longer one satisfies ``B``, the longer prefix
+satisfies both, so a single split point always exists.  (The property
+tests in ``tests/algebra/test_normal_form.py`` check this against the
+model-theoretic semantics.)
+
+The resulting expressions combine *sequences of atoms* with ``+`` and
+``|`` only, which is the domain on which Rules 1-8 of
+:mod:`repro.algebra.residuation` operate.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import product
+
+from repro.algebra.expressions import (
+    Atom,
+    Choice,
+    Conj,
+    Expr,
+    Seq,
+    Top,
+    Zero,
+)
+
+
+def is_normal_form(expr: Expr) -> bool:
+    """True when no ``+`` or ``|`` occurs under a ``.``."""
+    if isinstance(expr, (Atom, Top, Zero)):
+        return True
+    if isinstance(expr, Seq):
+        return all(isinstance(p, Atom) for p in expr.parts)
+    if isinstance(expr, (Choice, Conj)):
+        return all(is_normal_form(p) for p in expr.parts)
+    raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover
+
+
+@lru_cache(maxsize=4096)
+def to_normal_form(expr: Expr) -> Expr:
+    """Distribute ``.`` over ``+`` and ``|`` until none remain under ``.``.
+
+    >>> from repro.algebra.parser import parse
+    >>> to_normal_form(parse("(e + f) . g"))
+    e . g + f . g
+    """
+    if isinstance(expr, (Atom, Top, Zero)):
+        return expr
+    if isinstance(expr, (Choice, Conj)):
+        cls = Choice if isinstance(expr, Choice) else Conj
+        return cls.of([to_normal_form(p) for p in expr.parts])
+    if isinstance(expr, Seq):
+        return _normalize_seq([to_normal_form(p) for p in expr.parts])
+    raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover
+
+
+def _normalize_seq(parts: list[Expr]) -> Expr:
+    """Combine already-normalized parts under ``.`` by distribution."""
+    # First distribute choices: pick one summand from every Choice part.
+    if any(isinstance(p, Choice) for p in parts):
+        option_lists = [
+            list(p.parts) if isinstance(p, Choice) else [p] for p in parts
+        ]
+        return Choice.of(
+            [_normalize_seq(list(pick)) for pick in product(*option_lists)]
+        )
+    # Then distribute conjunctions the same way.
+    if any(isinstance(p, Conj) for p in parts):
+        option_lists = [
+            list(p.parts) if isinstance(p, Conj) else [p] for p in parts
+        ]
+        return Conj.of(
+            [_normalize_seq(list(pick)) for pick in product(*option_lists)]
+        )
+    return Seq.of(parts)

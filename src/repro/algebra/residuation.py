@@ -1,0 +1,174 @@
+"""Residuation ``D/e`` (paper Section 3.4, Semantics 6, Rules 1-8).
+
+Residuation is the symbolic state transformer of the scheduler: after
+accepting event ``e`` while enforcing ``D``, the remaining obligation
+is ``D/e`` (Figure 2).  Semantics 6 defines it model-theoretically:
+
+    ``v |= E1/E2``  iff  for every ``u |= E2`` with ``uv`` in ``U_E``,
+    ``uv |= E1``.
+
+Rules 1-8 characterize the operator symbolically on normal forms (no
+``+``/``|`` under ``.``):
+
+=========  =====================================================
+Rule 1     ``0/E = 0``
+Rule 2     ``T/E = T``
+Rule 3     ``(e . E)/e = E``
+Rule 4     ``(E1 + E2)/e = E1/e + E2/e``
+Rule 5     ``(E1 | E2)/E = (E1/E) | (E2/E)``
+Rule 6     ``E/e = E`` when neither ``e`` nor ``~e`` occurs in ``E``
+Rule 7/8   ``(e' . E)/e = 0`` when ``e`` occurs later in the sequence
+           or ``~e`` occurs anywhere in it (the occurrence of ``e``
+           either breaks the required order or makes a required
+           complement impossible)
+=========  =====================================================
+
+Theorem 1 states the rules are sound; ``tests/algebra`` verifies this
+exhaustively against :func:`semantic_residual` on small alphabets.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable
+
+from repro.algebra.expressions import (
+    Atom,
+    Choice,
+    Conj,
+    Expr,
+    Seq,
+    TOP,
+    Top,
+    ZERO,
+    Zero,
+)
+from repro.algebra.normal_form import to_normal_form
+from repro.algebra.symbols import Event, bases_of
+from repro.algebra.traces import Trace, satisfies, universe
+
+
+@lru_cache(maxsize=65536)
+def residuate(expr: Expr, event: Event) -> Expr:
+    """Compute ``expr / event`` symbolically (Rules 1-8).
+
+    The expression is brought into normal form first, so callers may
+    pass arbitrary expressions.  The result is again in normal form,
+    which makes iterated residuation (Figure 2's state machine) a
+    closed computation.
+
+    >>> from repro.algebra.parser import parse
+    >>> from repro.algebra.symbols import Event
+    >>> residuate(parse("~e + ~f + e . f"), Event("e"))
+    f + ~f
+    >>> residuate(parse("~e + f"), Event("f").complement)
+    ~e
+    """
+    return _residuate_nf(to_normal_form(expr), event)
+
+
+def _residuate_nf(expr: Expr, event: Event) -> Expr:
+    if isinstance(expr, Zero):  # Rule 1
+        return ZERO
+    if isinstance(expr, Top):  # Rule 2
+        return TOP
+    if isinstance(expr, Choice):  # Rule 4
+        return Choice.of([_residuate_nf(p, event) for p in expr.parts])
+    if isinstance(expr, Conj):  # Rule 5
+        return Conj.of([_residuate_nf(p, event) for p in expr.parts])
+    if isinstance(expr, Atom):
+        return _residuate_sequence((expr.event,), event)
+    if isinstance(expr, Seq):
+        atoms = tuple(p.event for p in expr.parts)
+        return _residuate_sequence(atoms, event)
+    raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover
+
+
+def _residuate_sequence(atoms: tuple[Event, ...], event: Event) -> Expr:
+    """Rules 3, 6, 7, 8 on a sequence of atoms (an atom is a unit sequence)."""
+    if event.complement in atoms:
+        # Rule 8: the complement of the occurring event is required by
+        # the sequence but can never occur now.
+        return ZERO
+    if atoms[0] == event:
+        # Rule 3: the head obligation is discharged.
+        return Seq.of([Atom(a) for a in atoms[1:]]) if len(atoms) > 1 else TOP
+    if event in atoms:
+        # Rule 7: the event was required strictly later in the order.
+        return ZERO
+    # Rule 6: the event is foreign to this sequence.
+    return Seq.of([Atom(a) for a in atoms])
+
+
+def residuate_trace(expr: Expr, trace: Trace | Iterable[Event]) -> Expr:
+    """Iterated residuation ``((D/e1)/...)/en`` along a trace.
+
+    This is exactly how the dependency-centric scheduler's state
+    evolves as events occur (Example 5 / Figure 2), and is the basis of
+    Definition 3's accepting paths ``Pi(D)``.
+    """
+    events = trace.events if isinstance(trace, Trace) else tuple(trace)
+    current = to_normal_form(expr)
+    for event in events:
+        current = _residuate_nf(current, event)
+    return current
+
+
+def semantic_residual(
+    expr: Expr,
+    event: Event,
+    bases: Iterable[Event] | None = None,
+) -> frozenset[Trace]:
+    """The model-theoretic residual of Semantics 6, as a trace set.
+
+    ``v`` belongs to the residual iff for every ``u`` satisfying the
+    divisor (here: every ``u`` on which ``event`` occurs) such that
+    ``uv`` stays in ``U_E``, the concatenation satisfies ``expr``.
+    Quantification ranges over the finite universe covering the
+    expression, the event, and any extra ``bases`` supplied.
+
+    Used as ground truth in the Theorem 1 soundness tests; quadratic in
+    the universe size, so only suitable for small alphabets.
+    """
+    base_set = set(bases_of(bases)) if bases is not None else set()
+    base_set |= expr.bases() | {event.base}
+    all_traces = list(universe(base_set))
+    divisors = [u for u in all_traces if event in u]
+    result = []
+    for v in all_traces:
+        ok = True
+        for u in divisors:
+            if not u.can_concat(v):
+                continue
+            if not satisfies(u.concat(v), expr):
+                ok = False
+                break
+        if ok:
+            result.append(v)
+    return frozenset(result)
+
+
+def residual_matches_semantics(
+    expr: Expr,
+    event: Event,
+    bases: Iterable[Event] | None = None,
+) -> bool:
+    """Check Theorem 1 for one instance: symbolic == model-theoretic.
+
+    The comparison is made on *feasible continuations*: traces that can
+    actually follow an occurrence of ``event`` (i.e. that mention
+    neither ``event`` nor its complement).  Infeasible continuations
+    satisfy Semantics 6 vacuously -- ``uv`` never lands in ``U_E`` --
+    so the model-theoretic residual contains them trivially, while as
+    scheduler states they are unreachable and carry no content.
+    """
+    base_set = set(bases_of(bases)) if bases is not None else set()
+    base_set |= expr.bases() | {event.base}
+    symbolic = residuate(expr, event)
+    expected = semantic_residual(expr, event, base_set)
+    for v in universe(base_set):
+        if event in v or event.complement in v:
+            continue  # infeasible after ``event``; vacuous in Semantics 6
+        if satisfies(v, symbolic) != (v in expected):
+            return False
+    return True

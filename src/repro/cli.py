@@ -1,0 +1,203 @@
+"""Command-line interface: compile, analyze, render, and run workflows.
+
+Usage (also via ``python -m repro``):
+
+.. code-block:: text
+
+    repro compile  SPEC.wf            # per-event guard table
+    repro analyze  SPEC.wf            # compile-time analysis report
+    repro automaton "~e + ~f + e.f"   # Figure-2 DOT for one dependency
+    repro graph    SPEC.wf            # workflow structure as DOT
+    repro run      SPEC.wf [options]  # simulate a run, print timeline
+    repro guard    "DEP" EVENT        # one guard (Example-9 style)
+
+``run`` options: ``--scheduler {distributed,centralized,automata}``,
+``--attempt EVENT=TIME`` (repeatable), ``--latency L``, ``--seed N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.algebra.parser import parse
+from repro.scheduler import (
+    AutomataScheduler,
+    CentralizedScheduler,
+    DistributedScheduler,
+)
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.sim.network import ConstantLatency
+from repro.temporal.guards import guard as synthesize_guard
+from repro.viz import (
+    automaton_to_dot,
+    dependency_to_dot,
+    guards_to_text,
+    result_to_text,
+    workflow_to_dot,
+)
+from repro.workflows.analysis import analyze
+from repro.workflows.compiler import compile_workflow
+from repro.workflows.loader import load
+
+SCHEDULERS = {
+    "distributed": DistributedScheduler,
+    "centralized": CentralizedScheduler,
+    "automata": AutomataScheduler,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Workflow dependency compiler and scheduler "
+        "(Singh, ICDE 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="print the guard table")
+    p_compile.add_argument("spec", help="workflow spec file (.wf)")
+    p_compile.add_argument(
+        "--minimize",
+        action="store_true",
+        help="apply prime-cube minimization to the printed guards",
+    )
+
+    p_analyze = sub.add_parser("analyze", help="compile-time analysis")
+    p_analyze.add_argument("spec")
+
+    p_auto = sub.add_parser(
+        "automaton", help="residuation automaton of a dependency, as DOT"
+    )
+    p_auto.add_argument("dependency", help='e.g. "~e + ~f + e . f"')
+
+    p_graph = sub.add_parser("graph", help="workflow structure as DOT")
+    p_graph.add_argument("spec")
+
+    p_guard = sub.add_parser("guard", help="synthesize one guard")
+    p_guard.add_argument("dependency")
+    p_guard.add_argument("event", help='e.g. "e" or "~e"')
+
+    p_run = sub.add_parser("run", help="simulate a run")
+    p_run.add_argument("spec")
+    p_run.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default="distributed",
+    )
+    p_run.add_argument(
+        "--attempt",
+        action="append",
+        default=[],
+        metavar="EVENT=TIME",
+        help="scripted attempt, e.g. --attempt s_buy=0 --attempt c_buy=5",
+    )
+    p_run.add_argument("--latency", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_compile(args) -> int:
+    workflow = load(args.spec)
+    compiled = compile_workflow(workflow)
+    print(f"workflow {workflow.name}: {len(workflow.dependencies)} dependencies")
+    guards = compiled.guards
+    if args.minimize:
+        from repro.temporal.simplify import minimize
+
+        guards = {event: minimize(g) for event, g in guards.items()}
+    print(guards_to_text(guards))
+    if compiled.promise_pairs:
+        for pair in sorted(compiled.promise_pairs, key=repr):
+            a, b = sorted(pair)
+            print(f"consensus pair: {a!r} <-> {b!r}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    workflow = load(args.spec)
+    report = analyze(workflow)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_automaton(args) -> int:
+    dependency = parse(args.dependency)
+    print(dependency_to_dot(dependency))
+    return 0
+
+
+def _cmd_graph(args) -> int:
+    workflow = load(args.spec)
+    print(workflow_to_dot(workflow))
+    return 0
+
+
+def _cmd_guard(args) -> int:
+    dependency = parse(args.dependency)
+    event_expr = parse(args.event)
+    from repro.algebra.expressions import Atom
+
+    if not isinstance(event_expr, Atom):
+        print(f"not a single event: {args.event!r}", file=sys.stderr)
+        return 2
+    result = synthesize_guard(dependency, event_expr.event)
+    print(f"G({dependency!r}, {event_expr.event!r}) = {result!r}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workflow = load(args.spec)
+    attempts = []
+    for spec in args.attempt:
+        name, _, time_text = spec.partition("=")
+        if not time_text:
+            print(f"bad --attempt (want EVENT=TIME): {spec!r}", file=sys.stderr)
+            return 2
+        event_expr = parse(name.strip())
+        from repro.algebra.expressions import Atom
+
+        if not isinstance(event_expr, Atom):
+            print(f"bad --attempt event: {name!r}", file=sys.stderr)
+            return 2
+        attempts.append(
+            ScriptedAttempt(float(time_text), event_expr.event)
+        )
+    scheduler_cls = SCHEDULERS[args.scheduler]
+    sched = scheduler_cls(
+        workflow.dependencies,
+        sites=workflow.sites,
+        attributes=workflow.attributes,
+        latency=ConstantLatency(args.latency),
+        rng=random.Random(args.seed),
+    )
+    scripts = []
+    if attempts:
+        scripts.append(AgentScript("cli", attempts))
+    result = sched.run(scripts)
+    print(result_to_text(result))
+    if result.violations:
+        for violation in result.violations:
+            print(f"violation[{violation.kind}]: {violation.detail}")
+    return 0 if result.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "compile": _cmd_compile,
+        "analyze": _cmd_analyze,
+        "automaton": _cmd_automaton,
+        "graph": _cmd_graph,
+        "guard": _cmd_guard,
+        "run": _cmd_run,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:  # piped into head & co.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Parametrized events and guards (paper Section 5).
+
+Event atoms carry a tuple of parameters (task ids, database keys,
+customer ids); a parameter may be a :class:`~repro.algebra.symbols.Variable`,
+in which case the atom is an event *type* and its ground occurrences
+are *tokens*.  Unbound parameters in a guard are universally
+quantified (Section 5.2), which is what lets dependencies constrain
+tasks of arbitrary structure -- including loops -- without the
+scheduler knowing the tasks' internal structure.
+
+* :mod:`repro.params.workflows` -- intra-workflow parametrization
+  (Example 12): a workflow template instantiated per key binding.
+* :mod:`repro.params.guards` -- parametrized guards whose instance
+  maps grow, shrink, and resurrect as tokens occur (Example 14).
+* :mod:`repro.params.scheduler` -- a synchronous admission engine over
+  parametrized dependencies (Example 13's inter-workflow mutual
+  exclusion across looping tasks).
+"""
+
+from repro.params.distributed import DistributedParamRunner
+from repro.params.guards import FreshValue, ParametrizedGuard
+from repro.params.scheduler import ParamScheduler
+from repro.params.workflows import ParametrizedWorkflow
+
+__all__ = [
+    "DistributedParamRunner",
+    "FreshValue",
+    "ParamScheduler",
+    "ParametrizedGuard",
+    "ParametrizedWorkflow",
+]

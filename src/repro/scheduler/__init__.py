@@ -1,0 +1,45 @@
+"""Execution: task agents, event actors, and the three schedulers.
+
+* :mod:`repro.scheduler.events` -- event attributes (triggerable,
+  rejectable, ...) and shared result types.
+* :mod:`repro.scheduler.messages` -- the message vocabulary flowing
+  between actors (announcements, promises, not-yet certificates).
+* :mod:`repro.scheduler.monitors` -- the requirement monitor that
+  decides when a triggerable event *must* be caused (Section 3.3's
+  "triggers that event ... on its own accord").
+* :mod:`repro.scheduler.agents` -- task agents with significant-event
+  skeletons (Figure 1) and scripted attempt behaviour.
+* :mod:`repro.scheduler.actors` -- one actor per signed event type,
+  holding its guard and assimilating messages (Sections 2, 4.3).
+* :mod:`repro.scheduler.guard_scheduler` -- the paper's contribution:
+  the distributed event-centric scheduler.
+* :mod:`repro.scheduler.residuation_scheduler` -- the centralized
+  dependency-centric baseline (Figure 2 executed at one site).
+* :mod:`repro.scheduler.automata` -- the automaton-per-dependency
+  baseline in the style of Attie et al. [2] (Section 6).
+"""
+
+from repro.scheduler.events import (
+    AttemptOutcome,
+    EventAttributes,
+    ExecutionResult,
+    Violation,
+)
+from repro.scheduler.agents import AgentScript, ScriptedAttempt, TaskSkeleton
+from repro.scheduler.guard_scheduler import DistributedScheduler
+from repro.scheduler.residuation_scheduler import CentralizedScheduler
+from repro.scheduler.automata import AutomataScheduler, DependencyAutomaton
+
+__all__ = [
+    "AgentScript",
+    "AttemptOutcome",
+    "AutomataScheduler",
+    "CentralizedScheduler",
+    "DependencyAutomaton",
+    "DistributedScheduler",
+    "EventAttributes",
+    "ExecutionResult",
+    "ScriptedAttempt",
+    "TaskSkeleton",
+    "Violation",
+]

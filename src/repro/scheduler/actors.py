@@ -1,0 +1,603 @@
+"""Event actors: the distributed unit of scheduling (Sections 2, 4.3).
+
+One actor is instantiated per signed event type.  It keeps the event's
+guard (as a cube region, :mod:`repro.temporal.cubes`), its *knowledge*
+about other base events (a world mask per base, tightened
+monotonically as messages arrive), and runs the two consensus
+subprotocols the paper calls out:
+
+* **promises** -- a guard needing ``<>f`` can be discharged by a
+  conditional promise from ``f``'s actor before ``f`` actually occurs
+  (Example 11's mutual-``<>`` consensus);
+* **not-yet certificates** -- a guard containing ``!f`` requires the
+  two events to agree that ``f`` has not happened yet; the certifying
+  actor freezes its own event until the requester decides, so the
+  agreement cannot be invalidated in flight.
+
+Deadlock freedom of the not-yet protocol comes from a priority rule:
+an actor with an outstanding round of its own defers certificate
+requests from *larger*-keyed bases until its round completes, so the
+wait-for relation among active rounds is acyclic.
+
+Decision rule on an attempt (Section 4.3's "evaluation"):
+
+* knowledge region inside the guard region -> **fire**;
+* guard unreachable under knowledge closure -> **reject permanently**
+  (the agent then settles the complement);
+* otherwise -> **park**, and solicit exactly the facts (promises /
+  certificates) that could complete some cube of the guard.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.algebra.symbols import Event
+from repro.scheduler.messages import (
+    Announce,
+    NotYetReply,
+    NotYetRequest,
+    PromiseGrant,
+    PromiseRefuse,
+    PromiseRequest,
+    Release,
+)
+from repro.temporal.cubes import (
+    C_OCC,
+    DIA_COMP_MASK,
+    DIA_MASK,
+    E_OCC,
+    FULL,
+    GuardExpr,
+    P_C,
+    P_E,
+    closure,
+    flip,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scheduler.guard_scheduler import DistributedScheduler
+
+#: The transient fact a not-yet certificate establishes: neither the
+#: base nor its complement has occurred (worlds P_E or P_C).
+NOT_YET_MASK = P_E | P_C
+
+
+class ActorStatus(enum.Enum):
+    IDLE = "idle"          # never attempted
+    PENDING = "pending"    # attempted, decision outstanding (parked)
+    OCCURRED = "occurred"  # the event happened
+    DEAD = "dead"          # the complement happened; can never occur
+    REJECTED = "rejected"  # permanently refused; complement may follow
+
+
+class EventActor:
+    """The actor of one signed event type."""
+
+    def __init__(
+        self,
+        event: Event,
+        guard: GuardExpr,
+        site: str,
+        scheduler: "DistributedScheduler",
+    ):
+        self.event = event
+        self.guard = guard
+        self.site = site
+        self.sched = scheduler
+        self.status = ActorStatus.IDLE
+        self.attempted_at: float | None = None
+        self.knowledge: dict[Event, int] = {}
+        # -- own not-yet round --
+        self.round_active = False
+        self.round_awaiting: set[Event] = set()
+        self.round_certified: set[Event] = set()
+        self.round_holds: set[Event] = set()  # bases we froze
+        self._knowledge_dirty = True  # new facts since last round?
+        # -- promise bookkeeping --
+        # (target, chain) -> demand level already sent; a request with
+        # a new chain carries new assumption context and must go out
+        # even if the bare target was asked before
+        self.promise_requested: dict[tuple, int] = {}
+        self.granted_to: set[Event] = set()      # we promised <>self to these
+        self.deferred_promise_reqs: list[PromiseRequest] = []
+        self.pending_grant_reqs: list[PromiseRequest] = []
+        # -- not-yet service side --
+        self.deferred_notyet_reqs: list[NotYetRequest] = []
+        # -- escalation bookkeeping --
+        self._escalated_cubes: set = set()
+
+    # ------------------------------------------------------------------
+    # knowledge
+
+    def learn(self, base: Event, mask: int) -> None:
+        current = self.knowledge.get(base, FULL)
+        updated = current & mask
+        if updated != current:
+            self.knowledge[base] = updated
+            self._knowledge_dirty = True
+
+    def observe_occurrence(self, event: Event) -> None:
+        """Assimilate a ``[]`` announcement (the Section 4.3 proof rules)."""
+        self.learn(event.base, C_OCC if event.negated else E_OCC)
+        self.guard = self.guard.simplify_under(self.knowledge)
+        self.try_fire()
+        self._process_pending_grants()
+
+    def strengthen_guard(self, extra: GuardExpr) -> None:
+        """Conjoin a contribution from a dependency added at run time.
+
+        The new constraint is assimilated against everything already
+        known; a pending attempt is re-examined (it may now be
+        impossible) and the escalation bookkeeping reset, since the
+        cube structure changed.
+        """
+        self.guard = (self.guard & extra).simplify_under(self.knowledge)
+        self._escalated_cubes = set()
+        self._knowledge_dirty = True
+        self.try_fire()
+
+    def replace_guard(self, new_guard: GuardExpr) -> None:
+        """Install a recomputed guard (dependency removed at run time).
+
+        The guard can only have weakened, so a parked attempt may now
+        fire; a previously rejected attempt may be retried by its
+        agent (rejection is not retracted here -- the complement may
+        already be in flight).
+        """
+        self.guard = new_guard.simplify_under(self.knowledge)
+        self._escalated_cubes = set()
+        self._knowledge_dirty = True
+        self.try_fire()
+
+    # ------------------------------------------------------------------
+    # attempts and decisions
+
+    def attempt(self, attempted_at: float) -> None:
+        if self.status in (ActorStatus.OCCURRED, ActorStatus.DEAD):
+            return
+        if self.status is ActorStatus.IDLE or self.status is ActorStatus.REJECTED:
+            self.status = ActorStatus.PENDING
+            self.attempted_at = attempted_at
+        # answer promise requests that waited for us to become pending
+        deferred, self.deferred_promise_reqs = self.deferred_promise_reqs, []
+        for req in deferred:
+            self.on_promise_request(req)
+        self.try_fire()
+
+    def try_fire(self) -> None:
+        if self.status is not ActorStatus.PENDING:
+            return
+        if self.sched.is_frozen(self.event.base, exclude=self.event):
+            return  # some requester holds a certificate on our base
+        if self.guard.region_subsumes(self.knowledge):
+            self._fire()
+            return
+        if not self.guard.possible_under(self.knowledge):
+            self._reject()
+            return
+        if not self.sched.attributes(self.event.base).delayable:
+            # non-delayable (Section 2): an undetermined guard at
+            # attempt time means rejection, not parking
+            self._reject()
+            return
+        self.sched.note_parked(self.event)
+        self._solicit()
+
+    def _fire(self) -> None:
+        self._finish_round(fired=False)  # abandon any round; we are done
+        self.status = ActorStatus.OCCURRED
+        self._process_pending_grants()
+        self.sched.record_occurrence(self)
+
+    def _reject(self) -> None:
+        if not self.sched.attributes(self.event.base).rejectable:
+            # Nonrejectable events happen no matter what (Section 3.3);
+            # record the forced acceptance as a violation source.
+            self.sched.note_forced(self.event)
+            self._fire()
+            return
+        self._finish_round(fired=False)
+        self.status = ActorStatus.REJECTED
+        self.sched.notify_rejected(self.event)
+
+    # ------------------------------------------------------------------
+    # solicitation: figure out which facts could complete a cube
+
+    def _solicit(self) -> None:
+        possible = [c for c in sorted(self.guard.cubes) if self._cube_possible(c)]
+        # With a single live alternative the requests are mandatory:
+        # carry demand so idle triggerable targets are caused at once
+        # ("information flows as soon as it is available", Section 6).
+        # With alternatives, stay lazy; quiescence escalation demands
+        # cube-by-cube later if nothing else resolves first.
+        mandatory = len(possible) == 1
+        for cube in possible:
+            plan = self._cube_plan(cube)
+            if plan is None:
+                continue
+            promises, certificates = plan
+            for target in promises:
+                self._request_promise(target, demand=mandatory)
+            if certificates and not self.round_active and self._knowledge_dirty:
+                self._start_round(certificates)
+            return  # one requestable cube at a time keeps traffic low
+
+    def _cube_possible(self, cube) -> bool:
+        return all(
+            closure(self.knowledge.get(base, FULL)) & mask for base, mask in cube
+        )
+
+    def _cube_plan(self, cube):
+        """Which promises/certificates would certify this cube?
+
+        Returns ``(promise_targets, certificate_bases)`` or ``None``
+        when some base can only be resolved by an actual occurrence.
+        """
+        promises: list[Event] = []
+        certificates: list[Event] = []
+        for base, mask in cube:
+            known = self.knowledge.get(base, FULL)
+            if known & ~mask & FULL == 0:
+                continue  # already certain
+            resolved = False
+            # Prefer a (transient, cheap) not-yet certificate over a
+            # promise: promises oblige the grantee to occur.
+            candidates = (
+                ((NOT_YET_MASK,), None, True),
+                ((DIA_MASK,), base, False),
+                ((DIA_COMP_MASK,), base.complement, False),
+                ((DIA_MASK, NOT_YET_MASK), base, True),
+                ((DIA_COMP_MASK, NOT_YET_MASK), base.complement, True),
+            )
+            if not self.sched.policy.certificates:
+                candidates = tuple(
+                    c for c in candidates if not c[2]
+                )
+            for facts, needs_promise, needs_cert in candidates:
+                combined = known
+                for fact in facts:
+                    combined &= fact
+                if combined and combined & ~mask & FULL == 0:
+                    if needs_promise is not None:
+                        promises.append(needs_promise)
+                    if needs_cert:
+                        certificates.append(base)
+                    resolved = True
+                    break
+            if not resolved:
+                return None
+        return promises, certificates
+
+    # ------------------------------------------------------------------
+    # promise protocol
+
+    def _request_promise(
+        self, target: Event, demand: bool = False, chain: tuple = ()
+    ) -> bool:
+        if target.base == self.event.base or target in chain:
+            return False
+        chain = chain or (self.event,)
+        level = 1 if demand else 0
+        key = (target, chain)
+        if self.promise_requested.get(key, -1) >= level:
+            return False
+        self.promise_requested[key] = level
+        self.sched.send_to_actor(
+            self.event,
+            target,
+            PromiseRequest(
+                target=target,
+                requester=self.event,
+                demand=demand,
+                chain=chain,
+            ),
+        )
+        return True
+
+    def escalate(self) -> bool:
+        """Quiescence escalation: demand the facts for ONE further cube.
+
+        Called by the scheduler when the simulation has drained and
+        this actor is still parked -- nothing else will arrive on its
+        own.  Demanding cube-by-cube keeps triggering lazy: an
+        alternative that resolves cheaply (a pending event promising)
+        is tried before one that would cause a triggerable event.
+        Returns True when a new demand was issued."""
+        if self.status is not ActorStatus.PENDING:
+            return False
+        for cube in sorted(self.guard.cubes):
+            if cube in self._escalated_cubes:
+                continue
+            if not self._cube_possible(cube):
+                continue
+            plan = self._cube_plan(cube)
+            if plan is None:
+                continue
+            self._escalated_cubes.add(cube)
+            promises, certificates = plan
+            issued = False
+            for target in promises:
+                if self._request_promise(target, demand=True):
+                    issued = True
+            if certificates and not self.round_active:
+                self._knowledge_dirty = True
+                self._start_round(certificates)
+                issued = True
+            if issued:
+                return True
+            # nothing new went out for this cube; try the next one
+        return False
+
+    def on_promise_request(self, req: PromiseRequest) -> None:
+        requester = req.requester
+        if self.status is ActorStatus.OCCURRED:
+            self.sched.send_to_actor(
+                self.event, requester,
+                PromiseGrant(target=self.event, requester=requester),
+            )
+            return
+        if self.status is ActorStatus.DEAD:
+            self.sched.send_to_actor(
+                self.event, requester,
+                PromiseRefuse(target=self.event, requester=requester),
+            )
+            return
+        guaranteed_idle = (
+            self.status is ActorStatus.IDLE
+            and not self.event.negated
+            and self.sched.attributes(self.event.base).guaranteed
+        )
+        if self.status is ActorStatus.IDLE and not guaranteed_idle:
+            attrs = self.sched.attributes(self.event.base)
+            eager = req.demand or not self.sched.policy.lazy_triggering
+            if eager and attrs.triggerable and not self.event.negated:
+                # Escalated request at quiescence (or eager-triggering
+                # ablation): cause the event now.
+                self.deferred_promise_reqs.append(req)
+                self.sched.request_trigger(self.event)
+                return
+            # Remember it: re-processed when we get attempted.
+            self.deferred_promise_reqs.append(req)
+            return
+        # PENDING (or IDLE but guaranteed by its agent): the grant is a
+        # commitment to occur, so it is issued only once this actor's
+        # own eventuality needs are *secured* -- already known, assumed
+        # via the request chain (a chain looping back is Example 11's
+        # consensus cycle: all members occur together), or acquired by
+        # chaining a further promise request.  Requests that cannot be
+        # decided yet are parked in ``pending_grant_reqs`` and
+        # re-evaluated as knowledge arrives.
+        grantable = self.status is ActorStatus.PENDING or guaranteed_idle
+        if not grantable:
+            self.deferred_promise_reqs.append(req)
+            return
+        self._decide_grant(req)
+
+    def _grant_assumption(self, req: PromiseRequest) -> dict[Event, int]:
+        assumed = dict(self.knowledge)
+        for member in (req.requester,) + tuple(req.chain):
+            mask = DIA_COMP_MASK if member.negated else DIA_MASK
+            assumed[member.base] = assumed.get(member.base, FULL) & mask
+        return assumed
+
+    def _decide_grant(self, req: PromiseRequest) -> None:
+        requester = req.requester
+        assumed = self._grant_assumption(req)
+        if not self.guard.possible_under(assumed):
+            self.sched.send_to_actor(
+                self.event, requester,
+                PromiseRefuse(target=self.event, requester=requester),
+            )
+            return
+        if (
+            not self.sched.policy.promise_chaining
+            or self._secured_cube(assumed) is not None
+        ):
+            self.granted_to.add(requester)
+            self.sched.note_promise()
+            self.sched.send_to_actor(
+                self.event, requester,
+                PromiseGrant(target=self.event, requester=requester),
+            )
+            return
+        # Not yet securable: chain further promise requests for the
+        # unsecured directional needs and hold the decision.  A
+        # demanded request keeps its urgency down the chain, so
+        # quiescence escalation pushes whole chains through.
+        chain = tuple(req.chain) + (self.event,)
+        for target in self._chain_targets(assumed):
+            self._request_promise(target, demand=req.demand, chain=chain)
+        self.pending_grant_reqs.append(req)
+
+    def _secured_cube(self, assumed: dict[Event, int]):
+        """A cube whose directional (eventuality) needs are all met.
+
+        A mask confined to one direction (``{E,P_E}``-side or
+        ``{C,P_C}``-side) demands that the base eventually settles that
+        way; it is secured when knowledge rules out the other
+        direction.  Direction-ambivalent masks (the ``!``-style
+        literals) resolve at fire time via certificates, so they are
+        not gating here.
+        """
+        for cube in self.guard.cubes:
+            good = True
+            for base, mask in cube:
+                known = assumed.get(base, FULL)
+                if known & mask == 0:
+                    good = False
+                    break
+                e_side = mask & (C_OCC | P_C) == 0
+                c_side = mask & (E_OCC | P_E) == 0
+                if e_side and known & (C_OCC | P_C):
+                    good = False
+                    break
+                if c_side and known & (E_OCC | P_E):
+                    good = False
+                    break
+            if good:
+                return cube
+        return None
+
+    def _chain_targets(self, assumed: dict[Event, int]) -> list[Event]:
+        """Signed events whose promises would secure some possible cube."""
+        targets: list[Event] = []
+        for cube in self.guard.cubes:
+            if not all(assumed.get(b, FULL) & m for b, m in cube):
+                continue
+            for base, mask in cube:
+                known = assumed.get(base, FULL)
+                e_side = mask & (C_OCC | P_C) == 0
+                c_side = mask & (E_OCC | P_E) == 0
+                if e_side and known & (C_OCC | P_C):
+                    targets.append(base)
+                elif c_side and known & (E_OCC | P_E):
+                    targets.append(base.complement)
+        return targets
+
+    def _process_pending_grants(self) -> None:
+        pending, self.pending_grant_reqs = self.pending_grant_reqs, []
+        for req in pending:
+            if self.status in (ActorStatus.OCCURRED, ActorStatus.DEAD):
+                # occurrence/death answered via announcements; close out
+                message = (
+                    PromiseGrant(target=self.event, requester=req.requester)
+                    if self.status is ActorStatus.OCCURRED
+                    else PromiseRefuse(target=self.event, requester=req.requester)
+                )
+                self.sched.send_to_actor(self.event, req.requester, message)
+                continue
+            self._decide_grant(req)
+
+    def on_promise_grant(self, grant: PromiseGrant) -> None:
+        mask = DIA_COMP_MASK if grant.target.negated else DIA_MASK
+        self.learn(grant.target.base, mask)
+        self.try_fire()
+        if self.status is ActorStatus.PENDING:
+            self._solicit()
+        self._process_pending_grants()
+
+    def on_promise_refuse(self, refuse: PromiseRefuse) -> None:
+        # Allow a later retry if circumstances change.
+        for key in [k for k in self.promise_requested if k[0] == refuse.target]:
+            del self.promise_requested[key]
+
+    # ------------------------------------------------------------------
+    # not-yet certificate protocol (requester side)
+
+    def _start_round(self, bases: list[Event]) -> None:
+        targets = [b for b in bases if b.base != self.event.base]
+        if not targets:
+            return
+        self.round_active = True
+        self._knowledge_dirty = False
+        self.round_awaiting = {b.base for b in targets}
+        self.round_certified = set()
+        self.round_holds = set()
+        self.sched.note_round()
+        for base in sorted(self.round_awaiting, key=Event.sort_key):
+            self.sched.send_to_base(
+                self.event, base, NotYetRequest(target=base, requester=self.event)
+            )
+
+    def on_not_yet_reply(self, reply: NotYetReply) -> None:
+        if not self.round_active or reply.target not in self.round_awaiting:
+            if reply.status == "not_yet":
+                # stale certificate: release immediately
+                self.sched.send_to_base(
+                    self.event, reply.target,
+                    Release(target=reply.target, requester=self.event),
+                )
+            return
+        self.round_awaiting.discard(reply.target)
+        if reply.status == "not_yet":
+            self.round_certified.add(reply.target)
+            self.round_holds.add(reply.target)
+        elif reply.status == "occurred":
+            self.learn(reply.target, E_OCC)
+        elif reply.status == "comp_occurred":
+            self.learn(reply.target, C_OCC)
+        if not self.round_awaiting:
+            self._conclude_round()
+
+    def _conclude_round(self) -> None:
+        transient = dict(self.knowledge)
+        for base in self.round_certified:
+            transient[base] = transient.get(base, FULL) & NOT_YET_MASK
+        if (
+            self.status is ActorStatus.PENDING
+            and not self.sched.is_frozen(self.event.base, exclude=self.event)
+            and self.guard.region_subsumes(transient)
+        ):
+            self._finish_round(fired=True)
+            self._fire()
+            return
+        self._finish_round(fired=False)
+        self.try_fire()
+
+    def _finish_round(self, fired: bool) -> None:
+        if not self.round_active and not self.round_holds:
+            return
+        holds, self.round_holds = self.round_holds, set()
+        self.round_active = False
+        self.round_awaiting = set()
+        self.round_certified = set()
+        for base in holds:
+            self.sched.send_to_base(
+                self.event, base, Release(target=base, requester=self.event)
+            )
+        # Requests deferred while this base had an active round may sit
+        # at either polarity actor; the scheduler re-serves both.
+        self.sched.base_round_finished(self.event.base)
+
+    def serve_deferred_notyet(self) -> None:
+        """Re-dispatch certificate requests deferred by the priority rule."""
+        deferred, self.deferred_notyet_reqs = self.deferred_notyet_reqs, []
+        for req in deferred:
+            self.on_not_yet_request(req)
+
+    def cancel_protocols(self) -> None:
+        """Abandon any outstanding round and its holds, and refuse any
+        held grant requests (called when the complement occurs and
+        this actor dies; the caller sets DEAD before invoking)."""
+        self._finish_round(fired=False)
+        self._process_pending_grants()
+
+    # ------------------------------------------------------------------
+    # not-yet certificate protocol (coordinator side; positive actor)
+
+    def on_not_yet_request(self, req: NotYetRequest) -> None:
+        requester = req.requester
+        base = self.event.base
+        settled = self.sched.base_settled(base)
+        if settled == "occurred":
+            self.sched.send_to_actor(
+                self.event, requester,
+                NotYetReply(target=base, requester=requester, status="occurred"),
+            )
+            return
+        if settled == "comp_occurred":
+            self.sched.send_to_actor(
+                self.event, requester,
+                NotYetReply(target=base, requester=requester, status="comp_occurred"),
+            )
+            return
+        if self._defer_notyet(requester):
+            self.deferred_notyet_reqs.append(req)
+            return
+        self.sched.freeze(base, requester)
+        self.sched.send_to_actor(
+            self.event, requester,
+            NotYetReply(target=base, requester=requester, status="not_yet"),
+        )
+
+    def _defer_notyet(self, requester: Event) -> bool:
+        """Priority rule: defer larger-keyed requesters while we have an
+        outstanding round of our own (keeps the wait-for graph acyclic)."""
+        if not self.sched.base_has_active_round(self.event.base):
+            return False
+        return self.event.base.sort_key() < requester.base.sort_key()
+
+    def on_release(self, release: Release) -> None:
+        self.sched.unfreeze(self.event.base, release.requester)

@@ -1,0 +1,170 @@
+"""Event attributes and execution results.
+
+Section 3.3 distinguishes how the scheduler may act on an event: it
+*accepts* events requested by task agents, *triggers* events marked
+triggerable, and must swallow *nonrejectable* events (like ``abort``)
+no matter what.  :class:`EventAttributes` records those properties per
+base event; :class:`ExecutionResult` is the common outcome type all
+three schedulers produce, so the benchmarks can compare them on equal
+terms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import Expr
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace, satisfies
+
+
+class AttemptOutcome(enum.Enum):
+    """What happened to one attempt when it reached its decision point."""
+
+    ACCEPTED = "accepted"
+    PARKED = "parked"
+    REJECTED = "rejected"
+    FORCED = "forced"  # nonrejectable event accepted regardless of guard
+
+
+@dataclass(frozen=True)
+class EventAttributes:
+    """Scheduling-relevant properties of a base event (Section 3.3).
+
+    Attributes
+    ----------
+    triggerable:
+        The scheduler may cause the event on its own accord (e.g. the
+        ``start`` of a compensating task).
+    rejectable:
+        The scheduler may refuse the event.  ``abort`` events are
+        typically nonrejectable: the component system will do them
+        whether permitted or not.
+    auto_complement:
+        When the positive event is rejected permanently or the run
+        quiesces without it, its complement is attempted automatically
+        (the task abandons the transition), keeping traces maximal.
+    guaranteed:
+        The task agent vouches that the event will eventually be
+        attempted (e.g. a task in its critical section will exit).
+        Its actor may then grant ``<>`` promises before the attempt
+        arrives -- Section 4's condition "(c) what should be
+        guaranteed to happen eventually".
+    delayable:
+        The event may be parked awaiting other occurrences (the
+        default).  Non-delayable events (Section 2's "events that ...
+        cannot be delayed", e.g. a timeout firing) get an immediate
+        verdict: if the guard is not certainly true at attempt time,
+        the attempt is rejected outright.
+    """
+
+    triggerable: bool = False
+    rejectable: bool = True
+    auto_complement: bool = True
+    guaranteed: bool = False
+    delayable: bool = True
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Toggles for the distributed scheduler's protocol machinery.
+
+    The defaults are the full protocol; the ablation benches turn
+    pieces off to measure what each one buys (DESIGN.md's design-
+    choice index).
+
+    Attributes
+    ----------
+    promise_chaining:
+        A promise grantee secures its own eventuality needs first
+        (chained requests, cycle detection).  Off = grant optimistically
+        whenever the guard is still possible -- cheaper, but promises
+        can be broken (audited by the promise-violation counter).
+    lazy_triggering:
+        Idle triggerable events are caused only by requirement
+        monitors or demand escalation at quiescence.  Off = any
+        promise request to an idle triggerable event triggers it
+        immediately -- faster, but alternatives get exercised
+        needlessly (compensations may run on success paths).
+    certificates:
+        The not-yet agreement protocol for ``!f`` guards.  Off =
+        such guards wait until the base settles -- always safe, but
+        serializes events the paper lets run concurrently.
+    escalation:
+        Demand rounds at quiescence.  Off = parked events with only
+        lazy alternatives stay parked until settlement.
+    """
+
+    promise_chaining: bool = True
+    lazy_triggering: bool = True
+    certificates: bool = True
+    escalation: bool = True
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A correctness violation detected during or after a run."""
+
+    kind: str
+    detail: str
+
+
+@dataclass
+class TraceEntry:
+    """One settled event in a run, with its decision telemetry."""
+
+    event: Event
+    time: float
+    attempted_at: float
+    outcome: AttemptOutcome
+
+    @property
+    def decision_latency(self) -> float:
+        return self.time - self.attempted_at
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of one scheduled run, common to all schedulers."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+    makespan: float = 0.0
+    messages: int = 0
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
+    max_site_load: int = 0
+    central_queue_wait: float = 0.0
+    parked_total: int = 0
+    promises_granted: int = 0
+    not_yet_rounds: int = 0
+    triggered: int = 0
+    unsettled: list[Event] = field(default_factory=list)
+
+    @property
+    def trace(self) -> Trace:
+        return Trace([entry.event for entry in self.entries])
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.unsettled
+
+    def mean_decision_latency(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(e.decision_latency for e in self.entries) / len(self.entries)
+
+    def verify(self, dependencies: list[Expr]) -> list[Violation]:
+        """Check the realized trace against every stated dependency.
+
+        Appends (and returns) violations for dependencies the trace
+        fails -- the post-hoc form of Theorem 6's guarantee.
+        """
+        found = []
+        for dep in dependencies:
+            if not satisfies(self.trace, dep):
+                found.append(
+                    Violation("dependency", f"trace {self.trace!r} violates {dep!r}")
+                )
+        self.violations.extend(found)
+        return found

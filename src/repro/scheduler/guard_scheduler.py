@@ -1,0 +1,597 @@
+"""The distributed event-centric scheduler (the paper's contribution).
+
+Guards are synthesized per event at compile time (Section 4.2) and
+localized on one actor per signed event, placed at the site of the
+task agent the event belongs to (Section 2).  At run time only
+messages flow: occurrence announcements, promises, and not-yet
+certificates.  There is no central node; the requirement monitors that
+trigger triggerable events run at the sites of those events, fed by
+the same announcements.
+
+The runner drives scripted task agents, lets the simulator drain, and
+then performs *settlement*: unsettled base events have their
+complements attempted (the task abandons the transition), one base per
+quiescent round so cascades are ordered, until the trace is maximal or
+no further progress is possible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping
+
+from repro.algebra.expressions import Expr
+from repro.algebra.symbols import Event
+from repro.scheduler.actors import ActorStatus, EventActor
+from repro.scheduler.agents import AgentScript
+from repro.scheduler.events import (
+    AttemptOutcome,
+    EventAttributes,
+    ExecutionResult,
+    SchedulerPolicy,
+    TraceEntry,
+    Violation,
+)
+from repro.scheduler.messages import (
+    Announce,
+    NotYetReply,
+    NotYetRequest,
+    PromiseGrant,
+    PromiseRefuse,
+    PromiseRequest,
+    Release,
+    TriggerMsg,
+)
+from repro.scheduler.monitors import RequirementMonitor
+from repro.sim.clock import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.temporal.cubes import GuardExpr
+from repro.temporal.guards import workflow_guards
+
+_DEFAULT_ATTRS = EventAttributes()
+
+
+class DistributedScheduler:
+    """Compile a workflow into actors and run it on the simulated network.
+
+    Parameters
+    ----------
+    dependencies:
+        The workflow's dependencies (event-algebra expressions).
+    sites:
+        Mapping from base event to site name; events sharing a task
+        agent share a site.  Unmapped bases live on ``site_of`` their
+        name (one site per base) -- fully distributed by default.
+    attributes:
+        Per-base :class:`EventAttributes`.
+    latency / rng:
+        Network behaviour; defaults to unit latency, seed 0.
+    """
+
+    def __init__(
+        self,
+        dependencies: Iterable[Expr],
+        sites: Mapping[Event, str] | None = None,
+        attributes: Mapping[Event, EventAttributes] | None = None,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+        guards: Mapping[Event, GuardExpr] | None = None,
+        policy: SchedulerPolicy | None = None,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+        minimize_guards: bool = False,
+    ):
+        self.dependencies = list(dependencies)
+        self.policy = policy or SchedulerPolicy()
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            latency=latency,
+            rng=rng,
+            drop_probability=drop_probability,
+            duplicate_probability=duplicate_probability,
+        )
+        self._sites = {e.base: s for e, s in (sites or {}).items()}
+        self._attributes = {e.base: a for e, a in (attributes or {}).items()}
+        self.result = ExecutionResult()
+
+        table = dict(guards) if guards is not None else workflow_guards(
+            self.dependencies
+        )
+        if minimize_guards:
+            from repro.temporal.simplify import minimize
+
+            table = {event: minimize(g) for event, g in table.items()}
+        self.actors: dict[Event, EventActor] = {}
+        for event, g in table.items():
+            self.actors[event] = EventActor(
+                event, g, self.site_of(event.base), self
+            )
+        # subscriptions: actors whose guard mentions a base hear about it
+        self._subscribers: dict[Event, list[Event]] = {}
+        for event, actor in self.actors.items():
+            for base in actor.guard.bases():
+                self._subscribers.setdefault(base, []).append(event)
+        # per-site requirement monitors for triggerable events
+        self._monitors: list[tuple[str, RequirementMonitor]] = []
+        self._monitor_subs: dict[Event, list[int]] = {}
+        self._build_monitors()
+        self._frozen: dict[Event, set[Event]] = {}
+        self._settled: dict[Event, Event] = {}  # base -> signed occurrence
+        self._waiters: dict[Event, list] = {}  # base -> callbacks on settle
+        self._no_progress_bases: set[Event] = set()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+
+    def site_of(self, base: Event) -> str:
+        return self._sites.get(base.base, f"site_{base.base.name}")
+
+    def attributes(self, base: Event) -> EventAttributes:
+        return self._attributes.get(base.base, _DEFAULT_ATTRS)
+
+    def _build_monitors(self) -> None:
+        triggerable = {
+            b for b in self._all_bases() if self.attributes(b).triggerable
+        }
+        by_site: dict[str, set[Event]] = {}
+        for b in triggerable:
+            by_site.setdefault(self.site_of(b), set()).add(b)
+        for site, bases in sorted(by_site.items()):
+            deps = [
+                d for d in self.dependencies
+                if any(b in d.bases() for b in bases)
+            ]
+            if not deps:
+                continue
+            monitor = RequirementMonitor(
+                deps,
+                frozenset(bases),
+                trigger=self._make_trigger(site),
+                doomed=self._note_doomed,
+            )
+            index = len(self._monitors)
+            self._monitors.append((site, monitor))
+            for dep in deps:
+                for base in dep.bases():
+                    self._monitor_subs.setdefault(base, []).append(index)
+
+    def _make_trigger(self, site: str):
+        def do_trigger(event: Event) -> None:
+            self.result.triggered += 1
+            self.network.send(
+                site,
+                self.site_of(event.base),
+                TriggerMsg.kind,
+                TriggerMsg(event=event),
+                lambda msg: self.attempt(msg.event),
+            )
+
+        return do_trigger
+
+    def _note_doomed(self, dep: Expr, residual: Expr) -> None:
+        self.result.violations.append(
+            Violation("doomed", f"{dep!r} has no accepting completion ({residual!r})")
+        )
+
+    def _all_bases(self) -> frozenset[Event]:
+        bases: set[Event] = set()
+        for d in self.dependencies:
+            bases |= d.bases()
+        return frozenset(bases)
+
+    # ------------------------------------------------------------------
+    # actor-facing services
+
+    def send_to_actor(self, src_event: Event, dst_event: Event, message) -> None:
+        actor = self.actors.get(dst_event)
+        if actor is None:
+            return
+        self.network.send(
+            self.site_of(src_event.base),
+            actor.site,
+            message.kind,
+            message,
+            lambda msg: self._dispatch(actor, msg),
+        )
+
+    def send_to_base(self, src_event: Event, base: Event, message) -> None:
+        """Route to the base's coordinator (its positive actor)."""
+        coordinator = self.actors.get(base.base)
+        if coordinator is None:
+            coordinator = self.actors.get(base.base.complement)
+        if coordinator is None:
+            return
+        self.network.send(
+            self.site_of(src_event.base),
+            coordinator.site,
+            message.kind,
+            message,
+            lambda msg: self._dispatch(coordinator, msg),
+        )
+
+    @staticmethod
+    def _dispatch(actor: EventActor, message) -> None:
+        if isinstance(message, Announce):
+            actor.observe_occurrence(message.event)
+        elif isinstance(message, PromiseRequest):
+            actor.on_promise_request(message)
+        elif isinstance(message, PromiseGrant):
+            actor.on_promise_grant(message)
+        elif isinstance(message, PromiseRefuse):
+            actor.on_promise_refuse(message)
+        elif isinstance(message, NotYetRequest):
+            actor.on_not_yet_request(message)
+        elif isinstance(message, NotYetReply):
+            actor.on_not_yet_reply(message)
+        elif isinstance(message, Release):
+            actor.on_release(message)
+        else:  # pragma: no cover
+            raise TypeError(f"unroutable message: {message!r}")
+
+    def base_settled(self, base: Event) -> str | None:
+        signed = self._settled.get(base.base)
+        if signed is None:
+            return None
+        return "comp_occurred" if signed.negated else "occurred"
+
+    def base_has_active_round(self, base: Event) -> bool:
+        for event in (base.base, base.base.complement):
+            actor = self.actors.get(event)
+            if actor is not None and actor.round_active:
+                return True
+        return False
+
+    def base_round_finished(self, base: Event) -> None:
+        """A round on this base ended: serve deferred certificate
+        requests held by either polarity actor."""
+        if self.base_has_active_round(base):
+            return
+        for event in (base.base, base.base.complement):
+            actor = self.actors.get(event)
+            if actor is not None:
+                actor.serve_deferred_notyet()
+
+    def freeze(self, base: Event, requester: Event) -> None:
+        self._frozen.setdefault(base.base, set()).add(requester)
+
+    def unfreeze(self, base: Event, requester: Event) -> None:
+        holders = self._frozen.get(base.base)
+        if holders is None:
+            return
+        holders.discard(requester)
+        if not holders:
+            del self._frozen[base.base]
+            for event in (base.base, base.base.complement):
+                actor = self.actors.get(event)
+                if actor is not None:
+                    actor.try_fire()
+
+    def is_frozen(self, base: Event, exclude: Event | None = None) -> bool:
+        holders = self._frozen.get(base.base, set())
+        if exclude is not None:
+            holders = holders - {exclude}
+        return bool(holders)
+
+    def note_parked(self, event: Event) -> None:
+        self.result.parked_total += 1
+
+    def note_promise(self) -> None:
+        self.result.promises_granted += 1
+
+    def note_round(self) -> None:
+        self.result.not_yet_rounds += 1
+
+    def note_forced(self, event: Event) -> None:
+        self.result.violations.append(
+            Violation("forced", f"nonrejectable {event!r} accepted against its guard")
+        )
+
+    def request_trigger(self, event: Event) -> None:
+        """A promise request arrived for an idle triggerable event."""
+        self.result.triggered += 1
+        self.attempt(event)
+
+    def notify_rejected(self, event: Event) -> None:
+        """Permanent rejection: the agent settles the complement."""
+        if self.attributes(event.base).auto_complement:
+            comp = event.complement
+            actor = self.actors.get(comp)
+            if actor is not None and actor.status is ActorStatus.IDLE:
+                self.attempt(comp)
+
+    def record_occurrence(self, actor: EventActor) -> None:
+        event = actor.event
+        self._settled[event.base] = event
+        outcome = AttemptOutcome.ACCEPTED
+        attempted_at = actor.attempted_at if actor.attempted_at is not None else self.sim.now
+        self.result.entries.append(
+            TraceEntry(event, self.sim.now, attempted_at, outcome)
+        )
+        # complement actor is dead now; release anything it held
+        comp = self.actors.get(event.complement)
+        if comp is not None:
+            comp.status = ActorStatus.DEAD
+            comp.cancel_protocols()
+        # announcements to guard subscribers
+        for sub_event in self._subscribers.get(event.base, ()):
+            if sub_event.base == event.base:
+                continue
+            self.send_to_actor(event, sub_event, Announce(event=event))
+        # settlement waiters (agent-script ``after`` gates)
+        for callback in self._waiters.pop(event.base, ()):
+            callback()
+        # requirement monitors
+        for index in self._monitor_subs.get(event.base, ()):
+            site, monitor = self._monitors[index]
+            self.network.send(
+                self.site_of(event.base),
+                site,
+                "announce",
+                event,
+                (lambda m: (lambda ev: m.observe(ev)))(monitor),
+            )
+
+    # ------------------------------------------------------------------
+    # run-time workflow modification (Section 1: "declarative
+    # primitives ... facilitate run-time modifications of workflows,
+    # e.g., in response to exception conditions"; Section 6:
+    # "cross-system dependencies can be removed")
+
+    ADMIN_SITE = "admin"
+
+    def _settled_sequence(self) -> list[Event]:
+        return [entry.event for entry in self.result.entries]
+
+    def add_dependency_runtime(self, dependency: Expr) -> bool:
+        """Add a dependency mid-run.
+
+        The dependency is residuated by the events that already
+        occurred; the residual's guards are conjoined onto the
+        affected actors via costed reconfiguration messages.  Returns
+        False (and records a violation) when history has already
+        violated the dependency -- the past cannot be enforced.
+        """
+        from repro.algebra.expressions import Zero
+        from repro.algebra.residuation import residuate_trace
+        from repro.temporal.guards import guard as synthesize_guard
+
+        residual = residuate_trace(dependency, self._settled_sequence())
+        if isinstance(residual, Zero):
+            self.result.violations.append(
+                Violation(
+                    "retroactive",
+                    f"{dependency!r} is already violated by the history; "
+                    "not added",
+                )
+            )
+            return False
+        from repro.temporal.cubes import TRUE_GUARD
+
+        self.dependencies.append(dependency)
+        for event in sorted(residual.alphabet(), key=Event.sort_key):
+            actor = self.actors.get(event)
+            if actor is None:
+                # the dependency brings new events into the system:
+                # spin up their actors (initially unconstrained)
+                actor = EventActor(
+                    event, TRUE_GUARD, self.site_of(event.base), self
+                )
+                self.actors[event] = actor
+            contribution = synthesize_guard(residual, event)
+            for base in contribution.bases():
+                subs = self._subscribers.setdefault(base, [])
+                if event not in subs:
+                    subs.append(event)
+            # apply synchronously (an administrative operation must
+            # not race in-flight attempts) but cost the message
+            self.network.send(
+                self.ADMIN_SITE, actor.site, "reconfigure",
+                contribution, lambda _payload: None,
+            )
+            actor.strengthen_guard(contribution)
+        self._rebuild_monitors()
+        return True
+
+    def remove_dependency_runtime(self, dependency: Expr) -> bool:
+        """Remove a dependency mid-run.
+
+        Affected actors get recomputed guards (over the remaining
+        dependencies, residuated by history); parked attempts that the
+        removed dependency alone was blocking fire once the
+        reconfiguration messages arrive.
+        """
+        from repro.algebra.expressions import Top, Zero
+        from repro.algebra.residuation import residuate_trace
+        from repro.temporal.cubes import TRUE_GUARD
+        from repro.temporal.guards import guard as synthesize_guard, guard_and
+
+        if dependency not in self.dependencies:
+            return False
+        self.dependencies.remove(dependency)
+        settled = self._settled_sequence()
+        residuals = [
+            residuate_trace(dep, settled) for dep in self.dependencies
+        ]
+        for event in sorted(dependency.alphabet(), key=Event.sort_key):
+            actor = self.actors.get(event)
+            if actor is None:
+                continue
+            relevant = [
+                r
+                for dep, r in zip(self.dependencies, residuals)
+                if event.base in dep.bases() and not isinstance(r, Top)
+            ]
+            new_guard = guard_and(
+                synthesize_guard(r, event) for r in relevant
+            ) if relevant else TRUE_GUARD  # Zero residuals yield G=0
+            self.network.send(
+                self.ADMIN_SITE, actor.site, "reconfigure",
+                new_guard, lambda _payload: None,
+            )
+            actor.replace_guard(new_guard)
+        self._rebuild_monitors()
+        return True
+
+    def _rebuild_monitors(self) -> None:
+        """Recreate requirement monitors after a modification and
+        replay the settled history into them."""
+        self._monitors = []
+        self._monitor_subs = {}
+        self._build_monitors()
+        for _site, monitor in self._monitors:
+            for event in self._settled_sequence():
+                monitor.observe(event)
+
+    # ------------------------------------------------------------------
+    # driving a run
+
+    def attempt(self, event: Event, at: float | None = None) -> None:
+        actor = self.actors.get(event)
+        if actor is None:
+            raise KeyError(f"no actor for {event!r}; is it in the workflow alphabet?")
+        attempted_at = self.sim.now if at is None else at
+        actor.attempt(attempted_at)
+
+    def schedule_script(self, script: AgentScript) -> None:
+        """Schedule an agent's attempts, honouring its ``after`` gates."""
+        for attempt in script.attempts:
+            self._schedule_attempt(script, attempt)
+
+    def _schedule_attempt(self, script: AgentScript, attempt) -> None:
+        def fire() -> None:
+            if attempt.after is not None:
+                gate = self._settled.get(attempt.after.base)
+                if gate is None:
+                    # prerequisite pending: re-run when the base settles
+                    self._waiters.setdefault(attempt.after.base, []).append(fire)
+                    return
+                if gate != attempt.after:
+                    return  # settled against us: the task path is dead
+            self.attempt(attempt.event)
+
+        self.sim.schedule(attempt.time, fire)
+
+    def run(
+        self,
+        scripts: Iterable[AgentScript] = (),
+        settle: bool = True,
+        verify: bool = True,
+        max_rounds: int = 1000,
+    ) -> ExecutionResult:
+        for script in scripts:
+            self.schedule_script(script)
+        for _site, monitor in self._monitors:
+            monitor.evaluate()
+        self.sim.run()
+        if settle:
+            self._drain(max_rounds)
+        self._finalize(verify)
+        return self.result
+
+    def _drain(self, max_rounds: int) -> None:
+        """Alternate escalation and settlement until the trace is
+        maximal or neither makes progress."""
+        for _ in range(max_rounds):
+            self._escalation_rounds(max_rounds)
+            if not self._settle_one():
+                return
+        self.result.violations.append(
+            Violation("settlement", "settlement did not converge")
+        )
+
+    def _escalation_rounds(self, max_rounds: int) -> None:
+        """At quiescence, let parked actors demand promises (which may
+        trigger idle triggerable events) before anything is settled
+        negatively.  One cube of one actor per round, so cheap
+        alternatives resolve before anything gets triggered; any
+        progress restarts the scan."""
+        if not self.policy.escalation:
+            return
+        for _ in range(max_rounds):
+            parked = [
+                a for a in sorted(
+                    self.actors.values(), key=lambda a: a.event.sort_key()
+                )
+                if a.status is ActorStatus.PENDING
+            ]
+            before = len(self.result.entries)
+            # every parked actor demands one further cube; batching
+            # keeps independent workflow instances parallel
+            issued = False
+            for actor in parked:
+                if actor.escalate():
+                    issued = True
+            if not issued:
+                return
+            self.sim.run()
+            if len(self.result.entries) == before and not issued:
+                return
+
+    def _settle_one(self) -> bool:
+        """Attempt complements for a batch of unsettled bases; True if
+        work remains for another round.
+
+        All currently-eligible bases are settled in one batch so that
+        independent workflow instances wind down in parallel; a base
+        whose complement makes no progress is excluded from future
+        batches until something else moves."""
+        batch = []
+        while True:
+            base = self._next_settlement()
+            if base is None or base in batch:
+                break
+            batch.append(base)
+            self._no_progress_bases.add(base)  # provisional; cleared on progress
+        if not batch:
+            return False
+        settled_before = set(self._settled)
+        for base in batch:
+            comp = base.complement
+            if self.actors.get(comp) is not None:
+                self.attempt(comp)
+        self.sim.run()
+        if set(self._settled) - settled_before:
+            # progress may revive earlier stuck bases: only the batch
+            # members that still failed stay excluded
+            self._no_progress_bases = {
+                b for b in batch if b not in self._settled
+            }
+        return True
+
+    def _next_settlement(self) -> Event | None:
+        """The smallest unsettled base eligible for complement settlement.
+
+        A parked positive attempt does not block settlement: at
+        quiescence no further message will arrive to unpark it, so the
+        base must be resolved by its complement (which may itself park,
+        in which case the base is recorded as making no progress)."""
+        for base in sorted(self._all_bases(), key=Event.sort_key):
+            if base in self._settled:
+                continue
+            if base in self._no_progress_bases:
+                continue
+            if not self.attributes(base).auto_complement:
+                continue
+            return base
+        return None
+
+    def _finalize(self, verify: bool) -> None:
+        self.result.makespan = self.sim.now
+        self.result.messages = self.network.stats.messages
+        self.result.messages_by_kind = dict(self.network.stats.by_kind)
+        self.result.max_site_load = self.network.max_site_load()
+        self.result.unsettled = [
+            b for b in sorted(self._all_bases(), key=Event.sort_key)
+            if b not in self._settled
+        ]
+        for actor in self.actors.values():
+            if actor.granted_to and actor.status is not ActorStatus.OCCURRED:
+                self.result.violations.append(
+                    Violation(
+                        "promise",
+                        f"{actor.event!r} promised occurrence but never occurred",
+                    )
+                )
+        if verify:
+            self.result.verify(self.dependencies)

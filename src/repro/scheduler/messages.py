@@ -1,0 +1,134 @@
+"""Message vocabulary of the distributed event-centric scheduler.
+
+Section 4.3: when an event happens, ``[]e`` announcements flow to the
+actors of dependent events; ``<>e`` may be sent as a *promise*; and
+``!f`` subexpressions require a short certificate exchange so that
+the two events agree on whether ``f`` has happened yet.  Each message
+below is one leg of those protocols; the ``kind`` strings are what the
+network statistics aggregate by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.symbols import Event
+
+
+@dataclass(frozen=True)
+class Announce:
+    """``[]e``: the event has occurred (sent to subscribers)."""
+
+    event: Event
+
+    kind = "announce"
+
+
+@dataclass(frozen=True)
+class PromiseRequest:
+    """Ask ``target``'s actor for a ``<>target`` promise.
+
+    Carries the requester so the grantee may evaluate its own guard
+    under the assumption that the requester will occur (the mutual
+    ``<>`` consensus of Example 11).  ``demand`` marks an escalated
+    request issued at quiescence: an idle *triggerable* target is then
+    triggered to satisfy it (lazy triggering -- the scheduler causes
+    events only once nothing else can make progress).
+
+    ``chain`` records the requesters up the request chain: a grantee
+    whose own guard needs further eventualities re-requests with
+    itself appended, and a request whose chain loops back closes the
+    consensus cycle (all chain members occur together).
+    """
+
+    target: Event
+    requester: Event
+    demand: bool = False
+    chain: tuple = ()
+
+    kind = "promise_request"
+
+
+@dataclass(frozen=True)
+class PromiseGrant:
+    """``<>target``: the target event is guaranteed to occur."""
+
+    target: Event
+    requester: Event
+
+    kind = "promise_grant"
+
+
+@dataclass(frozen=True)
+class PromiseRefuse:
+    """The target's actor cannot promise (not pending, or impossible)."""
+
+    target: Event
+    requester: Event
+
+    kind = "promise_refuse"
+
+
+@dataclass(frozen=True)
+class NotYetRequest:
+    """Ask ``target``'s actor to certify ``target`` has not occurred."""
+
+    target: Event
+    requester: Event
+
+    kind = "not_yet_request"
+
+
+@dataclass(frozen=True)
+class NotYetReply:
+    """Reply to a :class:`NotYetRequest`.
+
+    ``status`` is one of ``"not_yet"`` (certified, and the target actor
+    froze itself until released), ``"occurred"``, or
+    ``"comp_occurred"``.
+    """
+
+    target: Event
+    requester: Event
+    status: str
+
+    kind = "not_yet_reply"
+
+
+@dataclass(frozen=True)
+class Release:
+    """Release a freeze taken on behalf of ``requester``."""
+
+    target: Event
+    requester: Event
+
+    kind = "release"
+
+
+@dataclass(frozen=True)
+class AttemptMsg:
+    """A task agent asks permission for an event (any scheduler)."""
+
+    event: Event
+    attempted_at: float
+
+    kind = "attempt"
+
+
+@dataclass(frozen=True)
+class DecisionMsg:
+    """A centralized scheduler's verdict travelling back to the agent."""
+
+    event: Event
+    outcome: str
+
+    kind = "decision"
+
+
+@dataclass(frozen=True)
+class TriggerMsg:
+    """The scheduler causes a triggerable event in its task agent."""
+
+    event: Event
+
+    kind = "trigger"

@@ -1,0 +1,119 @@
+"""Requirement monitoring: when must a triggerable event be caused?
+
+Section 3.3 lists triggering among the scheduler's three ways of
+making an event occur, and Example 4 relies on it (``s_book`` is
+initiated when ``s_buy`` starts; ``s_cancel`` compensates when ``buy``
+fails).  The decision rule used here is derived from the residual
+state of each dependency:
+
+    an event ``g`` is *required* by dependency ``D`` in state ``R``
+    (the residual of ``D`` after the events so far) when every
+    accepting completion of ``R`` over the still-unsettled alphabet
+    contains ``g``.
+
+Required events that are triggerable get triggered; a state with *no*
+accepting completion is doomed and is reported as a violation as soon
+as it arises (the scheduler should have prevented it).
+
+In the centralized schedulers the monitor lives at the scheduler node
+(it already tracks residuals); in the distributed scheduler one
+monitor runs on the site of each triggerable event, fed by the same
+announcements its actors receive, so triggering needs no central
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.algebra.expressions import Expr, Top, Zero
+from repro.algebra.normal_form import to_normal_form
+from repro.algebra.residuation import residuate
+from repro.algebra.symbols import Event
+from repro.temporal.guards import accepting_paths
+
+
+def required_events(residual: Expr, settled_bases: frozenset[Event]) -> frozenset[Event] | None:
+    """Events on *every* accepting completion of ``residual``.
+
+    Completions may use any still-unsettled signed event from the
+    residual's alphabet.  Returns ``None`` when no accepting completion
+    exists (the dependency is doomed).
+    """
+    if isinstance(residual, Top):
+        return frozenset()
+    if isinstance(residual, Zero):
+        return None
+    paths = [
+        p
+        for p in accepting_paths(residual, minimal=True)
+        if all(ev.base not in settled_bases for ev in p)
+    ]
+    if not paths:
+        return None
+    common = set(paths[0])
+    for p in paths[1:]:
+        common &= set(p)
+    return frozenset(common)
+
+
+class RequirementMonitor:
+    """Tracks residuals of a set of dependencies and fires triggers.
+
+    Parameters
+    ----------
+    dependencies:
+        The dependencies to monitor (normal-formed internally).
+    triggerable:
+        Base events the scheduler may cause.
+    trigger:
+        Callback invoked with each event that must be caused.
+    doomed:
+        Callback invoked with (dependency, residual) when a dependency
+        loses all accepting completions.
+    """
+
+    def __init__(
+        self,
+        dependencies: Iterable[Expr],
+        triggerable: frozenset[Event],
+        trigger: Callable[[Event], None],
+        doomed: Callable[[Expr, Expr], None] | None = None,
+    ):
+        self._residuals: dict[Expr, Expr] = {
+            dep: to_normal_form(dep) for dep in dependencies
+        }
+        self._triggerable = frozenset(b.base for b in triggerable)
+        self._trigger = trigger
+        self._doomed = doomed
+        self._settled: set[Event] = set()
+        self._already_triggered: set[Event] = set()
+
+    def observe(self, event: Event) -> None:
+        """Assimilate an occurrence and fire any newly-required triggers."""
+        self._settled.add(event.base)
+        for dep in list(self._residuals):
+            self._residuals[dep] = residuate(self._residuals[dep], event)
+        self.evaluate()
+
+    def evaluate(self) -> None:
+        settled = frozenset(self._settled)
+        for dep, residual in self._residuals.items():
+            required = required_events(residual, settled)
+            if required is None:
+                if self._doomed is not None:
+                    self._doomed(dep, residual)
+                continue
+            for ev in sorted(required, key=Event.sort_key):
+                if ev.negated:
+                    continue  # complements settle via agent policy
+                if ev.base in self._triggerable and ev not in self._already_triggered:
+                    self._already_triggered.add(ev)
+                    self._trigger(ev)
+
+    def residual(self, dependency: Expr) -> Expr:
+        return self._residuals[dependency]
+
+    @property
+    def residuals(self) -> dict[Expr, Expr]:
+        return dict(self._residuals)

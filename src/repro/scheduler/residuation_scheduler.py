@@ -1,0 +1,466 @@
+"""The centralized dependency-centric baseline (Sections 3.3-3.4).
+
+This is the scheduler the paper develops first and then argues away
+from: the dependencies live at a single site whose state is the tuple
+of residual expressions (Figure 2).  Every attempt is a round trip --
+agent site -> center -> agent site -- and the center serializes its
+decisions (a configurable per-decision service time), which is the
+bottleneck the distributed scheduler removes.
+
+Decision rule on an attempt of ``e``:
+
+* accept iff, for every dependency, the residual after ``e`` still has
+  an accepting completion over the unsettled alphabet (Definition 3);
+* otherwise park; parked events are re-examined after each occurrence;
+* parked events whose residual can never recover are rejected, and the
+  agent settles the complement.
+
+Triggerable events are caused by the same requirement rule the
+distributed monitors use (every accepting completion contains them) --
+naturally computed here, since the center holds all residuals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping
+
+from repro.algebra.expressions import Atom, Choice, Conj, Expr, Seq, Top, Zero
+from repro.algebra.normal_form import to_normal_form
+from repro.algebra.residuation import residuate
+from repro.algebra.symbols import Event
+from repro.scheduler.agents import AgentScript
+from repro.scheduler.events import (
+    AttemptOutcome,
+    EventAttributes,
+    ExecutionResult,
+    TraceEntry,
+    Violation,
+)
+from repro.sim.clock import Simulator
+from repro.sim.network import LatencyModel, Network
+from repro.temporal.guards import accepting_paths
+
+_DEFAULT_ATTRS = EventAttributes()
+
+CENTER = "center"
+
+
+def has_accepting_completion(residual: Expr, settled_bases: frozenset[Event]) -> bool:
+    """Does any completion over unsettled events discharge the residual?"""
+    if isinstance(residual, Top):
+        return True
+    if isinstance(residual, Zero):
+        return False
+    return any(
+        all(ev.base not in settled_bases for ev in path)
+        for path in accepting_paths(residual, minimal=True)
+    )
+
+
+def expression_terms(expr: Expr):
+    """The DNF reading of a normal-form expression.
+
+    Yields ``(events, edges)`` per disjunct: the signed events that
+    must occur and the ordered pairs among them (sequence order).
+    Inconsistent disjuncts (an event with its complement) are skipped.
+    Satisfaction of such a term is monotone under inserting foreign
+    events anywhere, so a trace satisfies the expression iff it covers
+    some term's events in some linearization of its edges.
+    """
+    from itertools import product as _product
+
+    if isinstance(expr, Zero):
+        return
+    if isinstance(expr, Top):
+        yield frozenset(), ()
+        return
+    if isinstance(expr, Atom):
+        yield frozenset({expr.event}), ()
+        return
+    if isinstance(expr, Seq):
+        atoms = tuple(p.event for p in expr.parts)
+        yield frozenset(atoms), tuple(zip(atoms, atoms[1:]))
+        return
+    if isinstance(expr, Choice):
+        for part in expr.parts:
+            yield from expression_terms(part)
+        return
+    if isinstance(expr, Conj):
+        option_lists = [list(expression_terms(p)) for p in expr.parts]
+        for combo in _product(*option_lists):
+            events: set[Event] = set()
+            edges: list = []
+            consistent = True
+            for evs, eds in combo:
+                events |= evs
+                edges.extend(eds)
+            for ev in events:
+                if ev.complement in events:
+                    consistent = False
+                    break
+            if consistent:
+                yield frozenset(events), tuple(edges)
+        return
+    raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover
+
+
+def _edges_acyclic(edges: Iterable[tuple[Event, Event]]) -> bool:
+    graph: dict[Event, list[Event]] = {}
+    for src, dst in edges:
+        graph.setdefault(src, []).append(dst)
+    state: dict[Event, int] = {}
+
+    def visit(node: Event) -> bool:
+        mark = state.get(node, 0)
+        if mark == 1:
+            return False  # back edge
+        if mark == 2:
+            return True
+        state[node] = 1
+        for nxt in graph.get(node, ()):
+            if not visit(nxt):
+                return False
+        state[node] = 2
+        return True
+
+    return all(visit(node) for node in list(graph))
+
+
+def joint_completion_exists(
+    residuals: tuple[Expr, ...],
+    require: Event | None = None,
+    allowed_positive: frozenset[Event] | None = None,
+) -> bool:
+    """Can all residuals be discharged by one shared completion?
+
+    Per-dependency satisfiability is not enough: two residuals may
+    individually admit completions that contradict each other on a
+    shared event (mutual exclusion is the canonical case).  A joint
+    completion exists iff each residual can select one DNF term such
+    that the selected sign requirements are consistent across
+    residuals and the union of their sequence constraints is acyclic
+    -- exact for this algebra because term satisfaction is monotone
+    under inserting foreign events.  ``require`` restricts the check
+    to completions containing the given signed event.
+
+    ``allowed_positive`` restricts which *positive* events a
+    completion may rely on: a scheduler can always settle a base
+    negatively (the task abandons the transition) but cannot conjure a
+    positive occurrence unless the event is pending, triggerable, or
+    guaranteed -- passing that set makes acceptance honest about
+    attainability.
+    """
+    live: list[Expr] = []
+    for r in residuals:
+        nf = to_normal_form(r)
+        if isinstance(nf, Zero):
+            return False
+        if not isinstance(nf, Top):
+            live.append(nf)
+
+    def usable(term) -> bool:
+        if allowed_positive is None:
+            return True
+        events, _edges = term
+        return all(ev.negated or ev in allowed_positive for ev in events)
+
+    term_lists = [
+        [t for t in expression_terms(r) if usable(t)] for r in live
+    ]
+    if require is not None:
+        term_lists.append([(frozenset({require}), ())])
+    if any(not terms for terms in term_lists):
+        return False
+    term_lists.sort(key=len)
+
+    def backtrack(index: int, signs: dict[Event, Event], edges: tuple) -> bool:
+        if index == len(term_lists):
+            return _edges_acyclic(edges)
+        for events, term_edges in term_lists[index]:
+            chosen = dict(signs)
+            conflict = False
+            for ev in events:
+                previous = chosen.get(ev.base)
+                if previous is not None and previous != ev:
+                    conflict = True
+                    break
+                chosen[ev.base] = ev
+            if conflict:
+                continue
+            combined = edges + term_edges
+            if term_edges and not _edges_acyclic(combined):
+                continue
+            if backtrack(index + 1, chosen, combined):
+                return True
+        return False
+
+    return backtrack(0, {}, ())
+
+
+class CentralizedScheduler:
+    """Residuation-based scheduling at a single center site."""
+
+    def __init__(
+        self,
+        dependencies: Iterable[Expr],
+        sites: Mapping[Event, str] | None = None,
+        attributes: Mapping[Event, EventAttributes] | None = None,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+        decision_service_time: float = 0.0,
+    ):
+        self.dependencies = list(dependencies)
+        self.sim = Simulator()
+        service = {CENTER: decision_service_time} if decision_service_time else None
+        self.network = Network(
+            self.sim, latency=latency, rng=rng, service_times=service
+        )
+        self._sites = {e.base: s for e, s in (sites or {}).items()}
+        self._attributes = {e.base: a for e, a in (attributes or {}).items()}
+        self.result = ExecutionResult()
+        self.residuals: dict[Expr, Expr] = {
+            d: to_normal_form(d) for d in self.dependencies
+        }
+        self._settled: dict[Event, Event] = {}
+        self._parked: dict[Event, float] = {}  # event -> attempted_at
+        self._waiters: dict[Event, list] = {}
+        self._triggered: set[Event] = set()
+        self._seen_attempts: set[Event] = set()
+        self._no_progress_bases: set[Event] = set()
+
+    # ------------------------------------------------------------------
+
+    def site_of(self, base: Event) -> str:
+        return self._sites.get(base.base, f"site_{base.base.name}")
+
+    def attributes(self, base: Event) -> EventAttributes:
+        return self._attributes.get(base.base, _DEFAULT_ATTRS)
+
+    def _all_bases(self) -> frozenset[Event]:
+        bases: set[Event] = set()
+        for d in self.dependencies:
+            bases |= d.bases()
+        return frozenset(bases)
+
+    # ------------------------------------------------------------------
+    # the center's decision logic
+
+    def _state(self) -> tuple[Expr, ...]:
+        return tuple(self.residuals.values())
+
+    def _allowed_positive(self, extra: Event | None = None) -> frozenset[Event]:
+        """Positive events a completion may rely on: already attempted
+        (pending or parked), triggerable, or vouched-for (guaranteed)."""
+        allowed: set[Event] = set()
+        for base in self._all_bases():
+            attrs = self.attributes(base)
+            if attrs.triggerable or attrs.guaranteed:
+                allowed.add(base)
+        allowed |= {ev for ev in self._seen_attempts if not ev.negated}
+        if extra is not None and not extra.negated:
+            allowed.add(extra)
+        return frozenset(allowed)
+
+    def _acceptable(self, event: Event) -> bool:
+        """Accept iff all residuals jointly admit a completion after it,
+        relying only on attainable positive events."""
+        after = tuple(residuate(r, event) for r in self._state())
+        return joint_completion_exists(
+            after, allowed_positive=self._allowed_positive(event)
+        )
+
+    def _recoverable(self, event: Event) -> bool:
+        """Might a parked event still occur on some joint completion?
+
+        Deliberately optimistic (no attainability restriction): events
+        not yet attempted may be attempted later, so parking must not
+        turn into rejection just because of attempt-arrival order."""
+        return joint_completion_exists(self._state(), require=event)
+
+    def _decide(self, event: Event, attempted_at: float) -> None:
+        if event.base in self._settled:
+            return
+        newly_seen = event not in self._seen_attempts
+        self._seen_attempts.add(event)
+        if self._acceptable(event):
+            self._occur(event, attempted_at, AttemptOutcome.ACCEPTED)
+            return
+        if not self.attributes(event.base).rejectable:
+            self.result.violations.append(
+                Violation("forced", f"nonrejectable {event!r} accepted against state")
+            )
+            self._occur(event, attempted_at, AttemptOutcome.FORCED)
+            return
+        if not self.attributes(event.base).delayable:
+            # non-delayable: no parking; the attempt is refused now
+            self._reject(event)
+            return
+        if self._recoverable(event):
+            if event not in self._parked:
+                self._parked[event] = attempted_at
+                self.result.parked_total += 1
+            if newly_seen:
+                # a new pending event enlarges the attainable set and
+                # may legitimize earlier parked attempts
+                self._after_state_change()
+            return
+        # permanently unacceptable
+        self._parked.pop(event, None)
+        self._reject(event)
+
+    def _reject(self, event: Event) -> None:
+        if self.attributes(event.base).auto_complement and not event.negated:
+            comp = event.complement
+            if comp.base not in self._settled:
+                self._decide(comp, self.sim.now)
+
+    def _occur(self, event: Event, attempted_at: float, outcome) -> None:
+        self._settled[event.base] = event
+        self._parked.pop(event, None)
+        self._parked.pop(event.complement, None)
+        for dep in list(self.residuals):
+            self.residuals[dep] = residuate(self.residuals[dep], event)
+        self.result.entries.append(
+            TraceEntry(event, self.sim.now, attempted_at, outcome)
+        )
+        # tell the owning agent (round trip completes)
+        self.network.send(
+            CENTER,
+            self.site_of(event.base),
+            "decision",
+            event,
+            lambda ev: None,
+        )
+        for callback in self._waiters.pop(event.base, ()):
+            callback()
+        self._after_state_change()
+
+    def _after_state_change(self) -> None:
+        # re-examine parked events
+        for parked_event in sorted(self._parked, key=Event.sort_key):
+            attempted_at = self._parked[parked_event]
+            if self._acceptable(parked_event):
+                self._occur(parked_event, attempted_at, AttemptOutcome.ACCEPTED)
+                return  # _occur re-enters _after_state_change
+            if not self._recoverable(parked_event):
+                self._parked.pop(parked_event, None)
+                self._reject(parked_event)
+                return
+        self._run_triggers()
+
+    def _run_triggers(self) -> None:
+        state = self._state()
+        # doom and requirement are judged without the attainability
+        # restriction: attempts not yet seen may still arrive
+        if not joint_completion_exists(state):
+            self.result.violations.append(
+                Violation("doomed", "residual state lost all joint completions")
+            )
+            return
+        alphabet: set[Event] = set()
+        for r in state:
+            alphabet |= r.alphabet()
+        for ev in sorted(alphabet, key=Event.sort_key):
+            if ev.negated or ev in self._triggered:
+                continue
+            if not self.attributes(ev.base).triggerable:
+                continue
+            # required: no joint completion survives the complement
+            forced_comp = tuple(residuate(r, ev.complement) for r in state)
+            if joint_completion_exists(forced_comp):
+                continue
+            self._triggered.add(ev)
+            self.result.triggered += 1
+            # center -> agent trigger, agent -> center attempt
+            self.network.send(
+                CENTER, self.site_of(ev.base), "trigger", ev,
+                lambda e: self._agent_attempt(e),
+            )
+
+    # ------------------------------------------------------------------
+    # agent-side behaviour
+
+    def _agent_attempt(self, event: Event) -> None:
+        attempted_at = self.sim.now
+        self.network.send(
+            self.site_of(event.base),
+            CENTER,
+            "attempt",
+            (event, attempted_at),
+            lambda pair: self._decide(pair[0], pair[1]),
+        )
+
+    def attempt(self, event: Event, at: float | None = None) -> None:
+        self._agent_attempt(event)
+
+    def schedule_script(self, script: AgentScript) -> None:
+        for attempt in script.attempts:
+            self._schedule_attempt(attempt)
+
+    def _schedule_attempt(self, attempt) -> None:
+        def fire() -> None:
+            if attempt.after is not None:
+                gate = self._settled.get(attempt.after.base)
+                if gate is None:
+                    self._waiters.setdefault(attempt.after.base, []).append(fire)
+                    return
+                if gate != attempt.after:
+                    return
+            self._agent_attempt(attempt.event)
+
+        self.sim.schedule(attempt.time, fire)
+
+    def run(
+        self,
+        scripts: Iterable[AgentScript] = (),
+        settle: bool = True,
+        verify: bool = True,
+        max_rounds: int = 1000,
+    ) -> ExecutionResult:
+        for script in scripts:
+            self.schedule_script(script)
+        self._run_triggers()
+        self.sim.run()
+        if settle:
+            self._settlement_rounds(max_rounds)
+        self._finalize(verify)
+        return self.result
+
+    def _settlement_rounds(self, max_rounds: int) -> None:
+        for _ in range(max_rounds):
+            base = self._next_settlement()
+            if base is None:
+                return
+            before = len(self.result.entries)
+            self._agent_attempt(base.complement)
+            self.sim.run()
+            if len(self.result.entries) > before:
+                self._no_progress_bases.clear()
+            else:
+                self._no_progress_bases.add(base)
+        self.result.violations.append(
+            Violation("settlement", "settlement did not converge")
+        )
+
+    def _next_settlement(self) -> Event | None:
+        for base in sorted(self._all_bases(), key=Event.sort_key):
+            if base in self._settled or base in self._no_progress_bases:
+                continue
+            if not self.attributes(base).auto_complement:
+                continue
+            return base
+        return None
+
+    def _finalize(self, verify: bool) -> None:
+        self.result.makespan = self.sim.now
+        self.result.messages = self.network.stats.messages
+        self.result.messages_by_kind = dict(self.network.stats.by_kind)
+        self.result.max_site_load = self.network.max_site_load()
+        self.result.central_queue_wait = self.network.stats.max_queue_wait
+        self.result.unsettled = [
+            b for b in sorted(self._all_bases(), key=Event.sort_key)
+            if b not in self._settled
+        ]
+        if verify:
+            self.result.verify(self.dependencies)

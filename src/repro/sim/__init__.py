@@ -1,0 +1,32 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's prototype executed on a distributed actor platform [14,
+15]; this reproduction substitutes a deterministic discrete-event
+simulator so that message interleavings, latencies, and counts are
+reproducible (see DESIGN.md, "Substitutions").
+
+* :mod:`repro.sim.clock` -- the event heap and virtual clock.
+* :mod:`repro.sim.network` -- sites, links, latency models, message
+  accounting, and an optional service-time queue per site (used to
+  model the bottleneck at a centralized scheduler node).
+"""
+
+from repro.sim.clock import Simulator
+from repro.sim.network import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    Network,
+    NetworkStats,
+    UniformLatency,
+)
+
+__all__ = [
+    "ConstantLatency",
+    "ExponentialLatency",
+    "LatencyModel",
+    "Network",
+    "NetworkStats",
+    "Simulator",
+    "UniformLatency",
+]

@@ -1,0 +1,188 @@
+"""Simulated network: sites, latency models, and message accounting.
+
+Messages between *sites* incur a latency drawn from a
+:class:`LatencyModel`; intra-site messages are free by default (an
+actor talking to a colocated task agent).  A site may also declare a
+*service time*: messages addressed to it queue and are handled one at
+a time, which is how the centralized schedulers' bottleneck node is
+modeled (the distributed scheduler spreads its actors over many sites,
+so no single queue forms).
+
+All delivery is FIFO per (source, destination) pair -- latencies are
+sampled once per message and a per-pair high-water mark enforces
+ordering, matching TCP-like channels, which the paper's message
+protocols implicitly assume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.clock import Simulator
+
+
+class LatencyModel:
+    """Base class: returns a latency sample for a (src, dst) pair."""
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every inter-site message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float):
+        self.delay = float(delay)
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniform in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if low > high:
+            raise ValueError("low must not exceed high")
+        self.low, self.high = float(low), float(high)
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ExponentialLatency(LatencyModel):
+    """Latency exponentially distributed with the given mean."""
+
+    def __init__(self, mean: float):
+        self.mean = float(mean)
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return rng.expovariate(1.0 / self.mean) if self.mean > 0 else 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Message accounting, exposed to the benchmarks."""
+
+    messages: int = 0
+    intra_site: int = 0
+    inter_site: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    per_site_handled: dict[str, int] = field(default_factory=dict)
+    total_latency: float = 0.0
+    max_queue_wait: float = 0.0
+    dropped: int = 0
+    duplicated: int = 0
+
+    def record(self, kind: str, src: str, dst: str, latency: float) -> None:
+        self.messages += 1
+        if src == dst:
+            self.intra_site += 1
+        else:
+            self.inter_site += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.per_site_handled[dst] = self.per_site_handled.get(dst, 0) + 1
+        self.total_latency += latency
+
+
+class Network:
+    """Message fabric over a :class:`Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    latency:
+        Model for inter-site latency (intra-site is free).
+    rng:
+        Seeded source of randomness; determinism flows from here.
+    service_times:
+        Optional per-site service time: the site processes one message
+        at a time, each occupying the site for the given duration.
+        This is the knob that makes a centralized scheduler node a
+        measurable bottleneck.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+        service_times: dict[str, float] | None = None,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ):
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if not 0.0 <= duplicate_probability < 1.0:
+            raise ValueError("duplicate_probability must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency or ConstantLatency(1.0)
+        self.rng = rng or random.Random(0)
+        self.service_times = dict(service_times or {})
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self.stats = NetworkStats()
+        #: chronological record of every delivered message:
+        #: (send_time, deliver_time, src, dst, kind) -- the raw
+        #: material for message-sequence rendering and debugging
+        self.journal: list[tuple[float, float, str, str, str]] = []
+        self._fifo_high_water: dict[tuple[str, str], float] = {}
+        self._site_busy_until: dict[str, float] = {}
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Any,
+        handler: Callable[[Any], None],
+    ) -> None:
+        """Deliver ``payload`` to ``handler`` after latency + queueing.
+
+        With failure injection enabled, inter-site messages may be
+        silently dropped or duplicated (intra-site calls stay
+        reliable: they model in-process hand-off).  Drops/duplicates
+        are counted in the stats so a run can report how much abuse it
+        absorbed.
+        """
+        if src != dst and self.drop_probability:
+            if self.rng.random() < self.drop_probability:
+                self.stats.dropped += 1
+                return
+        if src != dst and self.duplicate_probability:
+            if self.rng.random() < self.duplicate_probability:
+                self.stats.duplicated += 1
+                self.send(src, dst, kind, payload, handler)
+        if src == dst:
+            raw_latency = 0.0
+        else:
+            raw_latency = self.latency.sample(self.rng, src, dst)
+        arrival = self.sim.now + raw_latency
+        # FIFO per channel.
+        key = (src, dst)
+        arrival = max(arrival, self._fifo_high_water.get(key, 0.0))
+        self._fifo_high_water[key] = arrival
+        # Service queue at the destination site.
+        service = self.service_times.get(dst, 0.0)
+        if service > 0.0:
+            start = max(arrival, self._site_busy_until.get(dst, 0.0))
+            self._site_busy_until[dst] = start + service
+            wait = start - arrival
+            self.stats.max_queue_wait = max(self.stats.max_queue_wait, wait)
+            deliver_at = start + service
+        else:
+            deliver_at = arrival
+        self.stats.record(kind, src, dst, deliver_at - self.sim.now)
+        self.journal.append((self.sim.now, deliver_at, src, dst, kind))
+        self.sim.schedule_at(deliver_at, lambda: handler(payload))
+
+    def site_load(self) -> dict[str, int]:
+        """Messages handled per site -- the bottleneck metric of SC1."""
+        return dict(self.stats.per_site_handled)
+
+    def max_site_load(self) -> int:
+        handled = self.stats.per_site_handled
+        return max(handled.values()) if handled else 0

@@ -1,0 +1,495 @@
+"""Guard normal form: the four-world cube algebra (paper Figure 3).
+
+On a *maximal* trace, each base event ``e`` is, at any index, in
+exactly one of four worlds:
+
+========  =====================================================
+``E_OCC``  ``e`` has occurred (``[]e`` holds)
+``C_OCC``  the complement ``~e`` has occurred (``[]~e`` holds)
+``P_E``    neither yet, and ``e`` will occur (``<>e | !e``)
+``P_C``    neither yet, and ``~e`` will occur (``<>~e | !~e``)
+========  =====================================================
+
+Figure 3's table is precisely the truth of the six guard literals
+``[]e, <>e, !e, []~e, <>~e, !~e`` as subsets of this domain:
+
+* ``[]e  = {E_OCC}``            * ``[]~e = {C_OCC}``
+* ``<>e  = {E_OCC, P_E}``       * ``<>~e = {C_OCC, P_C}``
+* ``!e   = {C_OCC, P_E, P_C}``  * ``!~e  = {E_OCC, P_E, P_C}``
+
+The truth of any conjunction of literals at a point depends only on
+each base event's world, so a conjunction is a *cube* -- a mapping
+from base events to 4-bit world masks -- and a guard is a union of
+cubes (:class:`GuardExpr`).  Conjunction is per-event mask
+intersection; all of Example 8's identities ((a)-(f)) hold by
+construction; and equivalence/entailment of guards is decidable by
+direct region comparison.
+
+Worlds evolve over time only by ``P_E -> E_OCC`` and ``P_C -> C_OCC``;
+``closure`` computes the future-reachable set of a mask, which is what
+distinguishes *parked* (may become true) from *never* (permanently
+false) during execution (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace
+from repro.temporal.formulas import (
+    Always,
+    Eventually,
+    NotYet,
+    TAtom,
+    TChoice,
+    TConj,
+    TFormula,
+    T_TOP,
+    T_ZERO,
+)
+
+E_OCC = 1
+C_OCC = 2
+P_E = 4
+P_C = 8
+FULL = E_OCC | C_OCC | P_E | P_C
+EMPTY = 0
+
+#: Masks of the six guard literals on a *positive* base event.
+BOX_MASK = E_OCC
+BOX_COMP_MASK = C_OCC
+DIA_MASK = E_OCC | P_E
+DIA_COMP_MASK = C_OCC | P_C
+NOTYET_MASK = C_OCC | P_E | P_C
+NOTYET_COMP_MASK = E_OCC | P_E | P_C
+
+
+def flip(mask: int) -> int:
+    """Swap the roles of event and complement in a mask."""
+    out = 0
+    if mask & E_OCC:
+        out |= C_OCC
+    if mask & C_OCC:
+        out |= E_OCC
+    if mask & P_E:
+        out |= P_C
+    if mask & P_C:
+        out |= P_E
+    return out
+
+
+def closure(mask: int) -> int:
+    """Worlds reachable from ``mask`` as the trace extends.
+
+    ``P_E`` may resolve to ``E_OCC`` and ``P_C`` to ``C_OCC``; occurred
+    worlds are absorbing (stability, Semantics 7).
+    """
+    out = mask
+    if mask & P_E:
+        out |= E_OCC
+    if mask & P_C:
+        out |= C_OCC
+    return out
+
+
+def literal(kind: str, event: Event) -> "GuardExpr":
+    """Build a single-literal guard: ``kind`` is ``box``/``dia``/``notyet``.
+
+    The event may be a complement; the literal is stored against the
+    positive base with a flipped mask.
+
+    >>> from repro.algebra.symbols import Event
+    >>> literal("notyet", Event("f"))
+    !f
+    """
+    masks = {"box": BOX_MASK, "dia": DIA_MASK, "notyet": NOTYET_MASK}
+    if kind not in masks:
+        raise ValueError(f"unknown literal kind: {kind!r}")
+    mask = masks[kind]
+    if event.negated:
+        mask = flip(mask)
+    return GuardExpr(frozenset({((event.base, mask),)}))
+
+
+Cube = tuple[tuple[Event, int], ...]
+
+
+def _make_cube(entries: Mapping[Event, int]) -> Cube | None:
+    """Canonicalize a cube; ``None`` means the empty (false) cube."""
+    items = []
+    for base, mask in entries.items():
+        if mask == EMPTY:
+            return None
+        if mask != FULL:
+            items.append((base, mask))
+    items.sort(key=lambda item: item[0].sort_key())
+    return tuple(items)
+
+
+class GuardExpr:
+    """A guard as a union of cubes over the four-world domain.
+
+    The public constructors are :func:`literal`, :data:`TRUE_GUARD`,
+    :data:`FALSE_GUARD`, and the ``&`` / ``|`` operators (conjunction
+    and disjunction as in the paper's ``|`` and ``+``).  Instances are
+    immutable and canonical enough for equality to imply semantic
+    equality (full semantic equality is :meth:`equivalent`).
+    """
+
+    __slots__ = ("cubes",)
+
+    def __init__(self, cubes: frozenset[Cube]):
+        object.__setattr__(self, "cubes", _absorb(cubes))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("GuardExpr is immutable")
+
+    # -- predicates ---------------------------------------------------
+
+    @property
+    def is_true(self) -> bool:
+        return self.cubes == frozenset({()})
+
+    @property
+    def is_false(self) -> bool:
+        return not self.cubes
+
+    def bases(self) -> frozenset[Event]:
+        return frozenset(base for cube in self.cubes for base, _ in cube)
+
+    # -- boolean algebra ----------------------------------------------
+
+    def __and__(self, other: "GuardExpr") -> "GuardExpr":
+        out: set[Cube] = set()
+        for left in self.cubes:
+            left_map = dict(left)
+            for right in other.cubes:
+                merged = dict(left_map)
+                dead = False
+                for base, mask in right:
+                    combined = merged.get(base, FULL) & mask
+                    if combined == EMPTY:
+                        dead = True
+                        break
+                    merged[base] = combined
+                if dead:
+                    continue
+                cube = _make_cube(merged)
+                if cube is not None:
+                    out.add(cube)
+        return GuardExpr(frozenset(out))
+
+    def __or__(self, other: "GuardExpr") -> "GuardExpr":
+        return GuardExpr(self.cubes | other.cubes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GuardExpr) and other.cubes == self.cubes
+
+    def __hash__(self) -> int:
+        return hash(("GuardExpr", self.cubes))
+
+    # -- semantics ----------------------------------------------------
+
+    def holds_at(self, trace: Trace, index: int) -> bool:
+        """Evaluate the guard at a point of a maximal trace.
+
+        Each base of a maximal trace has exactly one world at the
+        point, so a nonzero mask intersection means membership.  Bases
+        the guard mentions but the trace never settles would make the
+        trace non-maximal; they evaluate as outside every literal.
+        """
+        worlds = worlds_at(trace, index)
+        return _point_in(self.cubes, worlds)
+
+    def region_subsumes(self, knowledge: Mapping[Event, int]) -> bool:
+        """Is every world combination allowed by ``knowledge`` inside the guard?
+
+        ``knowledge`` maps base events to the set of worlds they might
+        currently be in (bases absent from the map are unconstrained).
+        This is the "guard is certainly true now" test of Section 4.3.
+        """
+        bases = set(self.bases())
+        constrained = {b: m for b, m in knowledge.items()}
+        return _subset_check(self.cubes, sorted(bases, key=Event.sort_key), constrained)
+
+    def possible_under(self, knowledge: Mapping[Event, int]) -> bool:
+        """Can the guard still become true, given knowledge closures?
+
+        False means the guard is *permanently* false: the event can
+        never occur (its actor should reject attempts outright rather
+        than park them).
+        """
+        for cube in self.cubes:
+            if all(
+                closure(knowledge.get(base, FULL)) & mask for base, mask in cube
+            ):
+                return True
+        return False
+
+    def simplify_under(self, knowledge: Mapping[Event, int]) -> "GuardExpr":
+        """Assimilate knowledge: the paper's proof rules of Section 4.3.
+
+        Receiving ``[]f`` sets knowledge ``{E_OCC}`` for ``f``: any
+        literal whose mask covers the closure becomes ``T`` (dropped
+        from its cube) and any literal whose mask misses the closure
+        kills its cube -- exactly "``[]e`` reduces ``[]e``/``<>e`` to
+        ``T`` and ``!e`` to ``0``; ``[]e``/``<>e`` reduce to ``0`` and
+        ``!e`` to ``T`` when ``[]~e`` or ``<>~e`` is received; ``[]e``
+        and ``!e`` are unaffected by ``<>e``".
+        """
+        out: set[Cube] = set()
+        for cube in self.cubes:
+            entries: dict[Event, int] = {}
+            dead = False
+            for base, mask in cube:
+                known = knowledge.get(base)
+                if known is None:
+                    entries[base] = mask
+                    continue
+                reach = closure(known)
+                if reach & mask == 0:
+                    dead = True
+                    break
+                if reach & mask != reach:
+                    entries[base] = mask
+                # else: the literal is guaranteed from now on -> T.
+            if dead:
+                continue
+            cube2 = _make_cube(entries)
+            if cube2 is not None:
+                out.add(cube2)
+        return GuardExpr(frozenset(out))
+
+    def equivalent(self, other: "GuardExpr") -> bool:
+        """Exact region equality over the union of mentioned bases."""
+        bases = sorted(self.bases() | other.bases(), key=Event.sort_key)
+        return _regions_equal(self.cubes, other.cubes, bases)
+
+    def entails(self, other: "GuardExpr") -> bool:
+        bases = sorted(self.bases() | other.bases(), key=Event.sort_key)
+        for worlds in _world_points(bases):
+            if _point_in(self.cubes, worlds) and not _point_in(other.cubes, worlds):
+                return False
+        return True
+
+    # -- conversion / display ------------------------------------------
+
+    def to_formula(self) -> TFormula:
+        """Render as a ``T`` formula for the exact-semantics checker."""
+        if self.is_false:
+            return T_ZERO
+        if self.is_true:
+            return T_TOP
+        return TChoice.of(
+            [
+                TConj.of([_mask_formula(base, mask) for base, mask in cube])
+                for cube in sorted(self.cubes)
+            ]
+        )
+
+    def __repr__(self) -> str:
+        if self.is_false:
+            return "0"
+        if self.is_true:
+            return "T"
+        rendered = []
+        for cube in sorted(self.cubes):
+            parts = [_mask_text(base, mask) for base, mask in cube]
+            text = " | ".join(parts)
+            rendered.append(f"({text})" if len(parts) > 1 else text)
+        return " + ".join(rendered)
+
+    def cube_count(self) -> int:
+        return len(self.cubes)
+
+    def literal_count(self) -> int:
+        return sum(len(cube) for cube in self.cubes)
+
+
+def guard_or(items: Iterable[GuardExpr]) -> GuardExpr:
+    out = FALSE_GUARD
+    for item in items:
+        out = out | item
+    return out
+
+
+def guard_and(items: Iterable[GuardExpr]) -> GuardExpr:
+    out = TRUE_GUARD
+    for item in items:
+        out = out & item
+    return out
+
+
+# -- internals ---------------------------------------------------------
+
+
+def _absorb(cubes: frozenset[Cube]) -> frozenset[Cube]:
+    """Drop subsumed cubes and merge cubes differing in one event only."""
+    work = set(cubes)
+    if () in work:
+        return frozenset({()})
+    changed = True
+    while changed:
+        changed = False
+        items = sorted(work)
+        # absorption: cube A subsumed by cube B when B's region contains A's
+        for a in items:
+            if a not in work:
+                continue
+            for b in items:
+                if a is b or b not in work:
+                    continue
+                if _cube_subsumes(b, a):
+                    work.discard(a)
+                    changed = True
+                    break
+        # merge: identical support except one base -> union that mask
+        items = sorted(work)
+        for i, a in enumerate(items):
+            if a not in work:
+                continue
+            for b in items[i + 1:]:
+                if b not in work:
+                    continue
+                merged = _cube_merge(a, b)
+                if merged is not None and merged != a and merged != b:
+                    work.discard(a)
+                    work.discard(b)
+                    work.add(merged)
+                    changed = True
+                    break
+            else:
+                continue
+            break
+        if () in work:
+            return frozenset({()})
+    return frozenset(work)
+
+
+def _cube_subsumes(big: Cube, small: Cube) -> bool:
+    """True when ``big``'s region contains ``small``'s region."""
+    big_map = dict(big)
+    small_map = dict(small)
+    for base, mask in big_map.items():
+        if small_map.get(base, FULL) & ~mask & FULL:
+            return False
+    return True
+
+
+def _cube_merge(a: Cube, b: Cube) -> Cube | None:
+    """Union two cubes when they differ in at most one base's mask."""
+    a_map, b_map = dict(a), dict(b)
+    keys = set(a_map) | set(b_map)
+    diff_key = None
+    for key in keys:
+        if a_map.get(key, FULL) != b_map.get(key, FULL):
+            if diff_key is not None:
+                return None
+            diff_key = key
+    if diff_key is None:
+        return a
+    merged = dict(a_map)
+    merged[diff_key] = a_map.get(diff_key, FULL) | b_map.get(diff_key, FULL)
+    return _make_cube(merged)
+
+
+def _point_in(cubes: frozenset[Cube], worlds: Mapping[Event, int]) -> bool:
+    return any(
+        all(worlds.get(base, 0) & mask for base, mask in cube) for cube in cubes
+    )
+
+
+def _world_points(bases: list[Event]) -> Iterator[dict[Event, int]]:
+    if not bases:
+        yield {}
+        return
+    head, rest = bases[0], bases[1:]
+    for sub in _world_points(rest):
+        for world in (E_OCC, C_OCC, P_E, P_C):
+            point = dict(sub)
+            point[head] = world
+            yield point
+
+
+def _regions_equal(left: frozenset[Cube], right: frozenset[Cube], bases) -> bool:
+    for worlds in _world_points(list(bases)):
+        if _point_in(left, worlds) != _point_in(right, worlds):
+            return False
+    return True
+
+
+def _subset_check(cubes: frozenset[Cube], bases: list[Event], knowledge) -> bool:
+    """Every world point consistent with ``knowledge`` is inside the union."""
+    if not cubes:
+        return False
+    if () in cubes:
+        return True
+    for worlds in _world_points(bases):
+        consistent = all(
+            worlds[base] & knowledge.get(base, FULL) for base in bases
+        )
+        if consistent and not _point_in(cubes, worlds):
+            return False
+    return True
+
+
+def worlds_at(trace: Trace, index: int) -> dict[Event, int]:
+    """The world of every base event of a maximal trace at ``index``."""
+    worlds: dict[Event, int] = {}
+    for pos, event in enumerate(trace.events):
+        occurred = pos < index
+        if event.negated:
+            worlds[event.base] = C_OCC if occurred else P_C
+        else:
+            worlds[event.base] = E_OCC if occurred else P_E
+    return worlds
+
+
+_MASK_TEXT = {
+    EMPTY: "0",
+    E_OCC: "[]{e}",
+    C_OCC: "[]~{e}",
+    E_OCC | C_OCC: "([]{e} + []~{e})",
+    P_E: "(<>{e} | !{e})",
+    E_OCC | P_E: "<>{e}",
+    C_OCC | P_E: "([]~{e} + (<>{e} | !{e}))",
+    E_OCC | C_OCC | P_E: "([]~{e} + <>{e})",
+    P_C: "(<>~{e} | !~{e})",
+    E_OCC | P_C: "([]{e} + (<>~{e} | !~{e}))",
+    C_OCC | P_C: "<>~{e}",
+    E_OCC | C_OCC | P_C: "([]{e} + <>~{e})",
+    P_E | P_C: "(!{e} | !~{e})",
+    E_OCC | P_E | P_C: "!~{e}",
+    C_OCC | P_E | P_C: "!{e}",
+    FULL: "T",
+}
+
+
+def _mask_text(base: Event, mask: int) -> str:
+    return _MASK_TEXT[mask].format(e=repr(base))
+
+
+def _mask_formula(base: Event, mask: int) -> TFormula:
+    """The exact ``T`` formula denoting ``world(base) in mask``."""
+    atom = TAtom(base)
+    comp = TAtom(base.complement)
+    pieces = {
+        E_OCC: Always(atom),
+        C_OCC: Always(comp),
+        P_E: TConj.of([Eventually(atom), NotYet(atom)]),
+        P_C: TConj.of([Eventually(comp), NotYet(comp)]),
+    }
+    selected = [piece for bit, piece in pieces.items() if mask & bit]
+    if not selected:
+        return T_ZERO
+    if len(selected) == 4:
+        return T_TOP
+    return TChoice.of(selected)
+
+
+#: The guard ``T`` (one empty cube: every world point is inside).
+TRUE_GUARD = GuardExpr(frozenset({()}))
+
+#: The guard ``0`` (no cube: no world point is inside).
+FALSE_GUARD = GuardExpr(frozenset())

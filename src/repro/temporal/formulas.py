@@ -1,0 +1,321 @@
+"""The temporal language ``T`` (paper Section 4.1, Syntax 5-6).
+
+``T`` extends the event algebra with three unary connectives evaluated
+at a point ``i`` of a maximal trace:
+
+* ``Always(F)``      -- the paper's ``[] F``: ``F`` holds at every
+  ``j >= i``;
+* ``Eventually(F)``  -- the paper's ``<> F``: ``F`` holds at some
+  ``j >= i``;
+* ``NotYet(F)``      -- the paper's ``! F``: ``F`` does not hold *yet*
+  (at ``i``).
+
+Event-algebra expressions are members of ``T`` by Syntax 5; ``embed``
+performs that coercion structurally, so the point semantics of
+Semantics 7-11 applies to their connectives directly.
+
+Because events are *stable* (once occurred, occurred forever,
+Semantics 7), ``Always(e) == e`` at the semantic level for atoms; the
+paper therefore writes guards with ``[] e`` to emphasize "has already
+occurred".  We keep ``Always`` explicit in the AST and let the
+semantics validate the equation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.algebra.expressions import (
+    Atom,
+    Choice,
+    Conj,
+    Expr,
+    Seq,
+    Top,
+    Zero,
+)
+from repro.algebra.symbols import Event, alphabet_of
+
+
+class TFormula:
+    """Base class for temporal formulas.  Instances are immutable."""
+
+    __slots__ = ()
+
+    def __add__(self, other: "TFormula") -> "TFormula":
+        return TChoice.of([self, _as_formula(other)])
+
+    def __and__(self, other: "TFormula") -> "TFormula":
+        return TConj.of([self, _as_formula(other)])
+
+    def __rshift__(self, other: "TFormula") -> "TFormula":
+        return TSeq.of([self, _as_formula(other)])
+
+    def events(self) -> frozenset[Event]:
+        out: set[Event] = set()
+        self._collect_events(out)
+        return frozenset(out)
+
+    def alphabet(self) -> frozenset[Event]:
+        return alphabet_of(self.events())
+
+    def bases(self) -> frozenset[Event]:
+        return frozenset(e.base for e in self.events())
+
+    def _collect_events(self, out: set[Event]) -> None:
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["TFormula"]:
+        yield self
+
+
+def _as_formula(value) -> TFormula:
+    if isinstance(value, TFormula):
+        return value
+    if isinstance(value, Expr):
+        return embed(value)
+    if isinstance(value, Event):
+        return TAtom(value)
+    raise TypeError(f"not a temporal formula: {value!r}")
+
+
+class TZero(TFormula):
+    __slots__ = ()
+
+    def _collect_events(self, out: set[Event]) -> None:
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TZero)
+
+    def __hash__(self) -> int:
+        return hash("TZero")
+
+    def __repr__(self) -> str:
+        return "0"
+
+
+class TTop(TFormula):
+    __slots__ = ()
+
+    def _collect_events(self, out: set[Event]) -> None:
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TTop)
+
+    def __hash__(self) -> int:
+        return hash("TTop")
+
+    def __repr__(self) -> str:
+        return "T"
+
+
+T_ZERO = TZero()
+T_TOP = TTop()
+
+
+class TAtom(TFormula):
+    """An event as a point formula: true once the event has occurred."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        object.__setattr__(self, "event", event)
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("TAtom is immutable")
+
+    def _collect_events(self, out: set[Event]) -> None:
+        out.add(self.event)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TAtom) and other.event == self.event
+
+    def __hash__(self) -> int:
+        return hash(("TAtom", self.event))
+
+    def __repr__(self) -> str:
+        return repr(self.event)
+
+
+class _Unary(TFormula):
+    __slots__ = ("sub",)
+    _tag = ""
+
+    def __init__(self, sub: TFormula):
+        object.__setattr__(self, "sub", _as_formula(sub))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("formula is immutable")
+
+    def _collect_events(self, out: set[Event]) -> None:
+        self.sub._collect_events(out)
+
+    def walk(self) -> Iterator[TFormula]:
+        yield self
+        yield from self.sub.walk()
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.sub == self.sub
+
+    def __hash__(self) -> int:
+        return hash((self._tag, self.sub))
+
+    def __repr__(self) -> str:
+        return f"{self._tag}({self.sub!r})"
+
+
+class Always(_Unary):
+    """``[] F``: F holds at the current point and at all later points."""
+
+    __slots__ = ()
+    _tag = "[]"
+
+
+class Eventually(_Unary):
+    """``<> F``: F holds at the current point or at some later point."""
+
+    __slots__ = ()
+    _tag = "<>"
+
+
+class NotYet(_Unary):
+    """``! F``: F does not hold at the current point (Semantics 14)."""
+
+    __slots__ = ()
+    _tag = "!"
+
+
+class _Nary(TFormula):
+    __slots__ = ("parts",)
+    _tag = ""
+    _sep = ""
+
+    def __init__(self, parts: tuple[TFormula, ...]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __setattr__(self, key, value):  # pragma: no cover
+        raise AttributeError("formula is immutable")
+
+    def _collect_events(self, out: set[Event]) -> None:
+        for p in self.parts:
+            p._collect_events(out)
+
+    def walk(self) -> Iterator[TFormula]:
+        yield self
+        for p in self.parts:
+            yield from p.walk()
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.parts == self.parts
+
+    def __hash__(self) -> int:
+        return hash((self._tag, self.parts))
+
+    def __repr__(self) -> str:
+        return self._sep.join(
+            f"({p!r})" if isinstance(p, (_Nary,)) else repr(p) for p in self.parts
+        )
+
+
+class TChoice(_Nary):
+    """Disjunction at a point (Semantics 8)."""
+
+    __slots__ = ()
+    _tag = "TChoice"
+    _sep = " + "
+
+    @staticmethod
+    def of(items: Iterable) -> TFormula:
+        flat: list[TFormula] = []
+        for item in items:
+            item = _as_formula(item)
+            if isinstance(item, TZero):
+                continue
+            if isinstance(item, TTop):
+                return T_TOP
+            if isinstance(item, TChoice):
+                flat.extend(item.parts)
+            else:
+                flat.append(item)
+        unique = list(dict.fromkeys(flat))
+        if not unique:
+            return T_ZERO
+        if len(unique) == 1:
+            return unique[0]
+        return TChoice(tuple(unique))
+
+
+class TConj(_Nary):
+    """Conjunction at a point (Semantics 10)."""
+
+    __slots__ = ()
+    _tag = "TConj"
+    _sep = " | "
+
+    @staticmethod
+    def of(items: Iterable) -> TFormula:
+        flat: list[TFormula] = []
+        for item in items:
+            item = _as_formula(item)
+            if isinstance(item, TTop):
+                continue
+            if isinstance(item, TZero):
+                return T_ZERO
+            if isinstance(item, TConj):
+                flat.extend(item.parts)
+            else:
+                flat.append(item)
+        unique = list(dict.fromkeys(flat))
+        if not unique:
+            return T_TOP
+        if len(unique) == 1:
+            return unique[0]
+        return TConj(tuple(unique))
+
+
+class TSeq(_Nary):
+    """Sequencing at a point (Semantics 9): a split ``j <= i`` exists."""
+
+    __slots__ = ()
+    _tag = "TSeq"
+    _sep = " . "
+
+    @staticmethod
+    def of(items: Iterable) -> TFormula:
+        flat: list[TFormula] = []
+        for item in items:
+            item = _as_formula(item)
+            if isinstance(item, TZero):
+                return T_ZERO
+            if isinstance(item, TSeq):
+                flat.extend(item.parts)
+            else:
+                flat.append(item)
+        if not flat:
+            return T_TOP
+        if len(flat) == 1:
+            return flat[0]
+        return TSeq(tuple(flat))
+
+
+def embed(expr: Expr) -> TFormula:
+    """Coerce an event-algebra expression into ``T`` (Syntax 5).
+
+    The coercion is structural, so Semantics 7-11 interpret the
+    embedded connectives pointwise.
+    """
+    if isinstance(expr, Zero):
+        return T_ZERO
+    if isinstance(expr, Top):
+        return T_TOP
+    if isinstance(expr, Atom):
+        return TAtom(expr.event)
+    if isinstance(expr, Seq):
+        return TSeq.of([embed(p) for p in expr.parts])
+    if isinstance(expr, Choice):
+        return TChoice.of([embed(p) for p in expr.parts])
+    if isinstance(expr, Conj):
+        return TConj.of([embed(p) for p in expr.parts])
+    raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover

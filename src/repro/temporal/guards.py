@@ -1,0 +1,242 @@
+"""Guard synthesis ``G(D, e)`` (paper Section 4.2, Definition 2).
+
+The guard on an event ``e`` due to dependency ``D`` is the weakest
+condition under which ``e`` may occur without compromising ``D``:
+
+    ``G(D, e) = (<>(D/e) | AND_{f in Gamma_D^e} !f)
+                + SUM_{f in Gamma_D^e} ([]f | G(D/f, e))``
+
+where ``Gamma_D^e`` is the alphabet of ``D`` minus ``e`` and ``~e``.
+The first term covers ``e`` occurring before any other event of the
+dependency (nothing else has happened yet, and the residual must still
+be achievable); the remaining terms case-split on some other event
+``f`` having happened first, recursing on the residual dependency.
+
+Sequential residuals inside ``<>(...)`` are replaced by conjunctions
+of eventualities -- the paper's "small insight": the guards on the
+*other* events enforce the ordering, so this event only needs each
+remaining event to be guaranteed.  Theorem 6 (checked in the test
+suite and the theorem bench) validates the collective correctness.
+
+Also here: ``Pi(D)`` -- the accepting paths of Definition 3 -- the
+path-sum form of Lemma 5, and the per-event guard table of a whole
+workflow (the conjunction over its dependencies, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Mapping, Sequence
+
+from repro.algebra.expressions import (
+    Atom,
+    Choice,
+    Conj,
+    Expr,
+    Seq,
+    Top,
+    Zero,
+)
+from repro.algebra.normal_form import to_normal_form
+from repro.algebra.residuation import residuate
+from repro.algebra.symbols import Event
+from repro.temporal.cubes import (
+    FALSE_GUARD,
+    GuardExpr,
+    TRUE_GUARD,
+    guard_and,
+    guard_or,
+    literal,
+)
+from repro.temporal.formulas import (
+    Always,
+    Eventually,
+    NotYet,
+    TAtom,
+    TChoice,
+    TConj,
+    TFormula,
+    embed,
+)
+
+
+def _alphabet(expr: Expr) -> tuple[Event, ...]:
+    """``Gamma_D``: mentioned events and complements, in canonical order."""
+    return tuple(sorted(expr.alphabet(), key=Event.sort_key))
+
+
+@lru_cache(maxsize=65536)
+def guard(dependency: Expr, event: Event) -> GuardExpr:
+    """Compute ``G(D, e)`` as a cube guard (Definition 2).
+
+    >>> from repro.algebra.parser import parse
+    >>> from repro.algebra.symbols import Event
+    >>> guard(parse("~e + ~f + e . f"), Event("e"))
+    !f
+    >>> guard(parse("~e + ~f + e . f"), Event("f"))
+    ([]e + <>~e)
+    """
+    dep = to_normal_form(dependency)
+    others = tuple(
+        f for f in _alphabet(dep) if f.base != event.base
+    )
+    first = eventually_guard(residuate(dep, event))
+    for f in others:
+        first = first & literal("notyet", f)
+    terms = [first]
+    for f in others:
+        terms.append(literal("box", f) & guard(residuate(dep, f), event))
+    return guard_or(terms)
+
+
+def eventually_guard(expr: Expr) -> GuardExpr:
+    """``<> E`` as a cube guard, for a normal-form event expression.
+
+    ``<>`` distributes through ``+`` and ``|`` because satisfaction of
+    event expressions is stable (monotone in the index) on maximal
+    traces; a sequence of atoms is replaced by the conjunction of the
+    atoms' eventualities per the paper's Section 4.2 insight.
+    """
+    if isinstance(expr, Top):
+        return TRUE_GUARD
+    if isinstance(expr, Zero):
+        return FALSE_GUARD
+    if isinstance(expr, Atom):
+        return literal("dia", expr.event)
+    if isinstance(expr, Choice):
+        return guard_or(eventually_guard(p) for p in expr.parts)
+    if isinstance(expr, Conj):
+        return guard_and(eventually_guard(p) for p in expr.parts)
+    if isinstance(expr, Seq):
+        return guard_and(eventually_guard(p) for p in expr.parts)
+    raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover
+
+
+@lru_cache(maxsize=65536)
+def guard_formula(dependency: Expr, event: Event) -> TFormula:
+    """``G(D, e)`` as a literal ``T`` formula, built verbatim.
+
+    Unlike :func:`guard`, the ``<>(D/e)`` term keeps the residual
+    expression intact (sequences and all).  Used by the test suite to
+    compare Definition 2's exact reading against the cube guard.
+    """
+    dep = to_normal_form(dependency)
+    others = tuple(f for f in _alphabet(dep) if f.base != event.base)
+    first = TConj.of(
+        [Eventually(embed(residuate(dep, event)))]
+        + [NotYet(TAtom(f)) for f in others]
+    )
+    terms: list[TFormula] = [first]
+    for f in others:
+        terms.append(
+            TConj.of([Always(TAtom(f)), guard_formula(residuate(dep, f), event)])
+        )
+    return TChoice.of(terms)
+
+
+def path_guard(path: Sequence[Event], event: Event) -> GuardExpr:
+    """``G(e1 ... ek ... en, ek)`` in the closed form below Theorem 4.
+
+    The guard of an event within one accepting path is: everything
+    before it has occurred, nothing after it has occurred yet, and
+    everything after it is guaranteed.
+    """
+    if event not in path:
+        raise ValueError(f"{event!r} is not on the path {path!r}")
+    index = list(path).index(event)
+    parts = [literal("box", f) for f in path[:index]]
+    parts += [literal("notyet", f) for f in path[index + 1:]]
+    parts += [literal("dia", f) for f in path[index + 1:]]
+    return guard_and(parts)
+
+
+def accepting_paths(
+    dependency: Expr,
+    minimal: bool = True,
+) -> frozenset[tuple[Event, ...]]:
+    """``Pi(D)``: event sequences whose iterated residual is ``T``
+    (Definition 3), drawn from ``Gamma_D``.
+
+    With ``minimal=True`` a path stops at the first ``T`` (the
+    dependency is discharged; further events are unconstrained).  With
+    ``minimal=False`` all extensions within ``Gamma_D`` are also
+    produced, which is the reading Lemma 5's path sum requires.
+
+    >>> from repro.algebra.parser import parse
+    >>> sorted(accepting_paths(parse("~e + f")))
+    [(f,), (~e,)]
+    """
+    dep = to_normal_form(dependency)
+    alphabet = _alphabet(dep)
+    paths: set[tuple[Event, ...]] = set()
+
+    def explore(current: Expr, used: tuple[Event, ...]) -> None:
+        if isinstance(current, Top):
+            paths.add(used)
+            if minimal:
+                return
+        if isinstance(current, Zero):
+            return
+        taken = set(used)
+        for f in alphabet:
+            if f in taken or f.complement in taken:
+                continue
+            explore(residuate(current, f), used + (f,))
+
+    explore(dep, ())
+    return frozenset(paths)
+
+
+def lemma5_guard(dependency: Expr, event: Event) -> GuardExpr:
+    """``G(D, e)`` computed by Lemma 5's sum over accepting paths."""
+    total = FALSE_GUARD
+    for path in accepting_paths(dependency, minimal=False):
+        if event in path:
+            total = total | path_guard(path, event)
+    return total
+
+
+def workflow_guards(
+    dependencies: Iterable[Expr],
+    mentioned_only: bool = True,
+) -> dict[Event, GuardExpr]:
+    """The per-event guard table of a workflow (Section 4.2).
+
+    The guard on event ``e`` is the conjunction of ``G(D, e)`` over the
+    dependencies that mention ``e`` (the default); with
+    ``mentioned_only=False`` every dependency contributes, which is the
+    reading Definition 4 / Theorem 6 use for exact trace generation.
+    """
+    originals = list(dependencies)
+    deps = [to_normal_form(d) for d in originals]
+    # The alphabet comes from the *original* expressions: a dependency
+    # that normalizes to 0 (e.g. ``e . e``) still constrains every
+    # event it mentioned -- nothing may occur at all -- so its events
+    # need (false) guards in the table.
+    alphabet: set[Event] = set()
+    for dep in originals:
+        alphabet |= dep.alphabet()
+    table: dict[Event, GuardExpr] = {}
+    for e in sorted(alphabet, key=Event.sort_key):
+        relevant = [
+            nf
+            for original, nf in zip(originals, deps)
+            if (not mentioned_only) or e.base in original.bases()
+        ]
+        table[e] = guard_and(guard(d, e) for d in relevant)
+    return table
+
+
+def generates(
+    guards: Mapping[Event, GuardExpr],
+    trace,
+) -> bool:
+    """Definition 4: the guard table generates ``u`` iff every event of
+    ``u`` satisfies its guard at the index just before it occurs."""
+    for j, e in enumerate(trace.events):
+        table_guard = guards.get(e)
+        if table_guard is None:
+            continue
+        if not table_guard.holds_at(trace, j):
+            return False
+    return True

@@ -1,0 +1,128 @@
+"""Guard minimization: prime-cube covers over the four-world domain.
+
+The constructors of :mod:`repro.temporal.cubes` already apply
+absorption and single-base merging, which reproduces all of Example
+9's reductions.  For larger synthesized guards (conjoined
+dependencies) the result can still contain overlapping cubes; this
+module computes a minimal-ish sum -- maximal (prime) cubes chosen by
+greedy set cover -- which is what a human would write and what the
+actors' cube scans benefit from.
+
+Exact over the guard's mentioned bases: the region is enumerated
+cell-by-cell (4^k points), so intended for per-event guards (small k),
+not for arbitrary boolean functions.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.algebra.symbols import Event
+from repro.temporal.cubes import (
+    C_OCC,
+    E_OCC,
+    FALSE_GUARD,
+    FULL,
+    GuardExpr,
+    P_C,
+    P_E,
+    TRUE_GUARD,
+)
+
+_WORLDS = (E_OCC, C_OCC, P_E, P_C)
+
+
+def _cells(guard: GuardExpr, bases: tuple[Event, ...]) -> frozenset[tuple[int, ...]]:
+    """The region as explicit world tuples over ``bases``."""
+    out = []
+    for worlds in product(_WORLDS, repeat=len(bases)):
+        point = dict(zip(bases, worlds))
+        for cube in guard.cubes:
+            if all(point.get(base, FULL) & mask for base, mask in cube):
+                out.append(worlds)
+                break
+    return frozenset(out)
+
+
+def _cube_cells(cube_masks: tuple[int, ...]) -> set[tuple[int, ...]]:
+    pools = [
+        [w for w in _WORLDS if mask & w] for mask in cube_masks
+    ]
+    return set(product(*pools))
+
+
+def _expand(cube_masks: tuple[int, ...], region: frozenset) -> tuple[int, ...]:
+    """Greedily widen each base's mask while staying inside the region."""
+    masks = list(cube_masks)
+    changed = True
+    while changed:
+        changed = False
+        for i, mask in enumerate(masks):
+            for bit in _WORLDS:
+                if mask & bit:
+                    continue
+                candidate = masks[:i] + [mask | bit] + masks[i + 1:]
+                if _cube_cells(tuple(candidate)) <= region:
+                    masks[i] = mask | bit
+                    mask = masks[i]
+                    changed = True
+    return tuple(masks)
+
+
+def minimize(guard: GuardExpr) -> GuardExpr:
+    """A minimal-ish equivalent guard: greedy prime-cube cover.
+
+    >>> from repro.temporal.cubes import literal
+    >>> from repro.algebra.symbols import Event
+    >>> e = Event("e")
+    >>> g = (literal("notyet", e) | literal("box", e))
+    >>> minimize(g).is_true
+    True
+    """
+    if guard.is_true or guard.is_false:
+        return guard
+    bases = tuple(sorted(guard.bases(), key=Event.sort_key))
+    region = _cells(guard, bases)
+    total = len(_WORLDS) ** len(bases)
+    if len(region) == total:
+        return TRUE_GUARD
+    if not region:
+        return FALSE_GUARD
+    # prime cubes: expand every original cube maximally
+    primes: set[tuple[int, ...]] = set()
+    for cube in guard.cubes:
+        cube_map = dict(cube)
+        masks = tuple(cube_map.get(base, FULL) for base in bases)
+        primes.add(_expand(masks, region))
+    # also expand single cells not covered by the originals' expansions
+    covered: set[tuple[int, ...]] = set()
+    for prime in primes:
+        covered |= _cube_cells(prime)
+    for cell in region - covered:
+        masks = tuple(cell)
+        primes.add(_expand(masks, region))
+    # greedy cover
+    remaining = set(region)
+    chosen: list[tuple[int, ...]] = []
+    prime_cells = {prime: _cube_cells(prime) & region for prime in primes}
+    while remaining:
+        best = max(prime_cells, key=lambda p: len(prime_cells[p] & remaining))
+        gain = prime_cells[best] & remaining
+        if not gain:  # pragma: no cover - cover always progresses
+            break
+        chosen.append(best)
+        remaining -= gain
+    cubes = set()
+    for masks in chosen:
+        entries = tuple(
+            (base, mask)
+            for base, mask in zip(bases, masks)
+            if mask != FULL
+        )
+        cubes.add(entries)
+    return GuardExpr(frozenset(cubes))
+
+
+def guard_size(guard: GuardExpr) -> tuple[int, int]:
+    """(cube count, literal count) -- the compactness metrics."""
+    return guard.cube_count(), guard.literal_count()

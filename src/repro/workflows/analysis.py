@@ -1,0 +1,251 @@
+"""Static analysis of workflow specifications.
+
+The paper's Section 6 notes that "the compilation phase can detect
+these conditions and add messages to ensure that there are no
+problems".  This module is that compilation-time toolbox:
+
+* :func:`satisfiable` / :func:`vacuous` -- is the workflow's
+  dependency set jointly satisfiable at all, and is it satisfied by
+  the all-negative run (nothing happens)?
+* :func:`mandatory_events` -- events every satisfying run contains
+  (they must be attempted, triggerable, or guaranteed, or the spec
+  wedges).
+* :func:`forbidden_events` -- events no satisfying run contains.
+* :func:`redundant_dependencies` -- dependencies implied by the rest
+  (removable without changing the admitted traces; the paper:
+  "declarative specifications enable modification of the workflows
+  ... so that cross-system dependencies can be removed").
+* :func:`dependency_conflicts` -- minimal-ish pairs of dependencies
+  that are individually satisfiable but jointly not.
+* :func:`analyze` -- one report combining all of the above with the
+  compiler's consensus findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import Expr
+from repro.algebra.symbols import Event
+from repro.scheduler.residuation_scheduler import joint_completion_exists
+from repro.workflows.compiler import compile_workflow
+from repro.workflows.spec import Workflow
+
+
+def satisfiable(dependencies: list[Expr]) -> bool:
+    """Does any trace satisfy every dependency?"""
+    return joint_completion_exists(tuple(dependencies))
+
+
+def vacuous(dependencies: list[Expr]) -> bool:
+    """Is the spec satisfied when nothing positive ever happens?
+
+    A vacuous workflow admits the all-complement run; a non-vacuous
+    one *forces* work (e.g. a bare ``e . f`` obligation).
+    """
+    return joint_completion_exists(
+        tuple(dependencies), allowed_positive=frozenset()
+    )
+
+
+def mandatory_events(dependencies: list[Expr]) -> frozenset[Event]:
+    """Positive events occurring in every satisfying run."""
+    deps = tuple(dependencies)
+    if not joint_completion_exists(deps):
+        return frozenset()
+    alphabet: set[Event] = set()
+    for dep in dependencies:
+        alphabet |= dep.alphabet()
+    out: set[Event] = set()
+    for ev in alphabet:
+        if ev.negated:
+            continue
+        from repro.algebra.residuation import residuate
+
+        without = tuple(residuate(d, ev.complement) for d in deps)
+        if not joint_completion_exists(without):
+            out.add(ev)
+    return frozenset(out)
+
+
+def forbidden_events(dependencies: list[Expr]) -> frozenset[Event]:
+    """Positive events occurring in no satisfying run."""
+    deps = tuple(dependencies)
+    if not joint_completion_exists(deps):
+        return frozenset()
+    alphabet: set[Event] = set()
+    for dep in dependencies:
+        alphabet |= dep.alphabet()
+    out: set[Event] = set()
+    for ev in alphabet:
+        if ev.negated:
+            continue
+        if not joint_completion_exists(deps, require=ev):
+            out.add(ev)
+    return frozenset(out)
+
+
+def implies(dependencies: list[Expr], candidate: Expr) -> bool:
+    """Do the dependencies jointly entail ``candidate``?
+
+    Checked over the finite universe covering all mentioned bases --
+    exact, exponential in the base count, intended for specification-
+    sized inputs.
+    """
+    from repro.algebra.traces import maximal_universe, satisfies
+
+    bases: set[Event] = set()
+    for dep in list(dependencies) + [candidate]:
+        bases |= dep.bases()
+    for u in maximal_universe(bases):
+        if all(satisfies(u, d) for d in dependencies) and not satisfies(
+            u, candidate
+        ):
+            return False
+    return True
+
+
+def redundant_dependencies(dependencies: list[Expr]) -> list[Expr]:
+    """Dependencies already implied by the others."""
+    out = []
+    for i, dep in enumerate(dependencies):
+        rest = dependencies[:i] + dependencies[i + 1:]
+        if rest and implies(rest, dep):
+            out.append(dep)
+    return out
+
+
+def dependency_conflicts(dependencies: list[Expr]) -> list[tuple[Expr, Expr]]:
+    """Pairs that are individually satisfiable but jointly not."""
+    conflicts = []
+    for i, a in enumerate(dependencies):
+        if not satisfiable([a]):
+            continue
+        for b in dependencies[i + 1:]:
+            if not satisfiable([b]):
+                continue
+            if not satisfiable([a, b]):
+                conflicts.append((a, b))
+    return conflicts
+
+
+@dataclass
+class AnalysisReport:
+    """The combined compile-time report for a workflow."""
+
+    workflow_name: str
+    satisfiable: bool
+    vacuous: bool
+    mandatory: frozenset[Event] = frozenset()
+    forbidden: frozenset[Event] = frozenset()
+    unsupported_mandatory: frozenset[Event] = frozenset()
+    redundant: list[Expr] = field(default_factory=list)
+    conflicts: list[tuple[Expr, Expr]] = field(default_factory=list)
+    promise_pairs: frozenset[frozenset[Event]] = frozenset()
+    notyet_needs: dict[Event, frozenset[Event]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """No blocking findings (advisories like redundancy aside)."""
+        return (
+            self.satisfiable
+            and not self.conflicts
+            and not self.unsupported_mandatory
+        )
+
+    def summary(self) -> str:
+        lines = [f"analysis of workflow {self.workflow_name}:"]
+        lines.append(f"  satisfiable: {self.satisfiable}")
+        lines.append(f"  vacuously satisfiable (all-negative run): {self.vacuous}")
+        if self.mandatory:
+            names = ", ".join(repr(e) for e in sorted(self.mandatory))
+            lines.append(f"  mandatory events: {names}")
+        if self.unsupported_mandatory:
+            names = ", ".join(repr(e) for e in sorted(self.unsupported_mandatory))
+            lines.append(
+                f"  WARNING mandatory but neither triggerable nor guaranteed: {names}"
+            )
+        if self.forbidden:
+            names = ", ".join(repr(e) for e in sorted(self.forbidden))
+            lines.append(f"  forbidden events: {names}")
+        for a, b in self.conflicts:
+            lines.append(f"  CONFLICT: {a!r}  vs  {b!r}")
+        for dep in self.redundant:
+            lines.append(f"  redundant (implied by the rest): {dep!r}")
+        if self.promise_pairs:
+            pairs = "; ".join(
+                " <-> ".join(repr(e) for e in sorted(p))
+                for p in sorted(self.promise_pairs, key=repr)
+            )
+            lines.append(f"  consensus (promise) pairs: {pairs}")
+        for event, bases in sorted(self.notyet_needs.items(), key=lambda kv: repr(kv[0])):
+            names = ", ".join(repr(b) for b in sorted(bases))
+            lines.append(f"  {event!r} needs not-yet agreement on: {names}")
+        return "\n".join(lines)
+
+
+def analyze(workflow: Workflow) -> AnalysisReport:
+    """Run the full compile-time analysis on a workflow."""
+    deps = list(workflow.dependencies)
+    compiled = compile_workflow(workflow)
+    mandatory = mandatory_events(deps)
+    unsupported = frozenset(
+        ev
+        for ev in mandatory
+        if not (
+            workflow.attributes.get(ev.base)
+            and (
+                workflow.attributes[ev.base].triggerable
+                or workflow.attributes[ev.base].guaranteed
+            )
+        )
+    )
+    return AnalysisReport(
+        workflow_name=workflow.name,
+        satisfiable=satisfiable(deps),
+        vacuous=vacuous(deps),
+        mandatory=mandatory,
+        forbidden=forbidden_events(deps),
+        unsupported_mandatory=unsupported,
+        redundant=redundant_dependencies(deps),
+        conflicts=dependency_conflicts(deps),
+        promise_pairs=compiled.promise_pairs,
+        notyet_needs=compiled.notyet_needs,
+    )
+
+
+def admissible_traces(dependencies: list[Expr]):
+    """Enumerate every maximal trace satisfying all dependencies.
+
+    Exact and exponential in the base count (it filters the maximal
+    universe), so intended for specification-sized inputs.  Useful as
+    a "how constrained is this workflow" measure: the travel workflow
+    admits a small fraction of the 2^n * n! candidate schedules.
+    """
+    from repro.algebra.traces import maximal_universe, satisfies
+
+    bases: set[Event] = set()
+    for dep in dependencies:
+        bases |= dep.bases()
+    for trace in maximal_universe(bases):
+        if all(satisfies(trace, dep) for dep in dependencies):
+            yield trace
+
+
+def admitted_fraction(dependencies: list[Expr]) -> tuple[int, int]:
+    """(admitted, total) maximal traces -- the spec's selectivity."""
+    from repro.algebra.traces import maximal_universe
+
+    bases: set[Event] = set()
+    for dep in dependencies:
+        bases |= dep.bases()
+    total = 0
+    admitted = 0
+    universe_iter = maximal_universe(bases)
+    from repro.algebra.traces import satisfies
+
+    for trace in universe_iter:
+        total += 1
+        if all(satisfies(trace, dep) for dep in dependencies):
+            admitted += 1
+    return admitted, total

@@ -1,0 +1,94 @@
+"""Dependency templates from the literature (paper Section 3.2).
+
+The two running primitives are Klein's [10], which the paper notes can
+express the primitives of ACTA [3] and Guenthoer [8]:
+
+* ``e -> f`` ("if ``e`` occurs then ``f`` also occurs, before or
+  after"): formalized as ``~e + f`` (Example 2);
+* ``e < f`` ("if both occur, ``e`` precedes ``f``"): formalized as
+  ``~e + ~f + e . f`` (Example 3).
+
+On top of those we provide the named patterns the paper's examples
+use: compensation (Example 4's ``cancel`` undoing ``book``), mutual
+exclusion (Example 13, propositional form), and exclusivity.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import Atom, Choice, Conj, Expr, Seq
+from repro.algebra.symbols import Event
+
+
+def _atom(event: Event) -> Atom:
+    return Atom(event)
+
+
+def klein_arrow(e: Event, f: Event) -> Expr:
+    """Klein's ``e -> f``: if ``e`` occurs then ``f`` occurs (``~e + f``)."""
+    return Choice.of([_atom(e.complement), _atom(f)])
+
+
+def klein_precedes(e: Event, f: Event) -> Expr:
+    """Klein's ``e < f``: if both occur, ``e`` before ``f``
+    (``~e + ~f + e . f``)."""
+    return Choice.of(
+        [
+            _atom(e.complement),
+            _atom(f.complement),
+            Seq.of([_atom(e), _atom(f)]),
+        ]
+    )
+
+
+#: Readable aliases used throughout the examples.
+implies = klein_arrow
+precedes = klein_precedes
+
+
+def requires(e: Event, f: Event) -> Expr:
+    """``e`` may occur only if ``f`` (also) occurs: ``~e + f`` with the
+    roles named from the dependent side (Example 4's strengthening (i):
+    ``s_book`` accepted only if ``s_buy`` also occurs)."""
+    return klein_arrow(e, f)
+
+
+def exclusive(e: Event, f: Event) -> Expr:
+    """At most one of ``e``, ``f`` occurs: ``~e + ~f``."""
+    return Choice.of([_atom(e.complement), _atom(f.complement)])
+
+
+def coupled(e: Event, f: Event) -> Expr:
+    """``e`` and ``f`` occur together or not at all:
+    ``(e | f) + (~e | ~f)``."""
+    both = Conj.of([_atom(e), _atom(f)])
+    neither = Conj.of([_atom(e.complement), _atom(f.complement)])
+    return Choice.of([both, neither])
+
+
+def compensate(action: Event, success: Event, compensation: Event) -> Expr:
+    """Compensation (Example 4's dependency (3)).
+
+    If ``action`` occurred but ``success`` did not, run the
+    ``compensation``: ``~action + success + compensation``.
+    """
+    return Choice.of([_atom(action.complement), _atom(success), _atom(compensation)])
+
+
+def mutex(b1: Event, e1: Event, b2: Event, e2: Event) -> Expr:
+    """Mutual exclusion, propositional core of Example 13.
+
+    If task 1 enters its critical section (``b1``) before task 2
+    (``b2``), then task 1 exits (``e1``) before task 2 enters:
+
+        ``b2 . b1 + ~e1 + ~b2 + e1 . b2``
+
+    The fully parametrized form lives in :mod:`repro.params`.
+    """
+    return Choice.of(
+        [
+            Seq.of([_atom(b2), _atom(b1)]),
+            _atom(e1.complement),
+            _atom(b2.complement),
+            Seq.of([_atom(e1), _atom(b2)]),
+        ]
+    )

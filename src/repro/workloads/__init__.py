@@ -1,0 +1,38 @@
+"""Workloads: canonical scenarios and random workflow generators.
+
+* :mod:`repro.workloads.scenarios` -- the paper's running examples as
+  executable scenarios: the travel-booking workflow of Example 4 (and
+  its parametrized form, Example 12), an order-fulfilment workflow in
+  the same compensation style, and mutual exclusion (Example 13).
+* :mod:`repro.workloads.generators` -- seeded random workflow
+  generators for the scalability benches (chains of precedences,
+  fan-out triggers, mixed primitive soups).
+"""
+
+from repro.workloads.scenarios import (
+    Scenario,
+    make_mutex_scenario,
+    make_order_fulfillment,
+    make_travel_booking,
+)
+from repro.workloads.generators import (
+    chain_workflow,
+    diamond_workflow,
+    fanout_workflow,
+    random_workflow,
+    saga_workflow,
+    scripts_for,
+)
+
+__all__ = [
+    "Scenario",
+    "chain_workflow",
+    "diamond_workflow",
+    "fanout_workflow",
+    "make_mutex_scenario",
+    "make_order_fulfillment",
+    "make_travel_booking",
+    "random_workflow",
+    "saga_workflow",
+    "scripts_for",
+]

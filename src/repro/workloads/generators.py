@@ -1,0 +1,165 @@
+"""Seeded random workflow generators for the scalability benches.
+
+All generators are pure functions of their parameters and a seed, so
+benchmark rows are reproducible.  They produce
+:class:`~repro.workflows.spec.Workflow` objects plus matching agent
+scripts (every base event is either attempted by a script or left to
+trigger/settle), so the same workload can be run on all schedulers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.workflows.primitives import klein_arrow, klein_precedes
+from repro.workflows.spec import Workflow
+
+
+def chain_workflow(length: int, suffix: str = "") -> Workflow:
+    """A pipeline: ``ti < ti+1`` with occurrence coupled both ways.
+
+    ``ti -> ti+1`` makes each stage mandatory once its predecessor
+    runs, and ``ti+1 -> ti`` keeps a stage from running without its
+    predecessor; with the precedence this is sequential task hand-off
+    (the most common workflow spine), robust to attempts arriving out
+    of order.
+    """
+    if length < 2:
+        raise ValueError("chain needs at least two events")
+    events = [Event(f"t{i}{suffix}") for i in range(length)]
+    w = Workflow(f"chain{length}{suffix}")
+    for left, right in zip(events, events[1:]):
+        w.add(klein_precedes(left, right))
+        w.add(klein_arrow(left, right))
+        w.add(klein_arrow(right, left))
+    for event in events:
+        w.place(event, f"site_{event.name}")
+    return w
+
+
+def fanout_workflow(width: int, suffix: str = "") -> Workflow:
+    """A root event triggering ``width`` independent children.
+
+    ``root -> child_i`` with every child triggerable: one occurrence
+    fans out into parallel work (an OR-split/AND-split skeleton).
+    """
+    root = Event(f"root{suffix}")
+    w = Workflow(f"fanout{width}{suffix}")
+    for i in range(width):
+        child = Event(f"child{i}{suffix}")
+        w.add(klein_arrow(root, child))
+        w.add(klein_precedes(root, child))
+        w.set_attributes(child, triggerable=True)
+        w.place(child, f"site_child{i}{suffix}")
+    w.place(root, f"site_root{suffix}")
+    return w
+
+
+def saga_workflow(stages: int, suffix: str = "") -> Workflow:
+    """A saga: a pipeline of compensatable steps.
+
+    Each stage ``i`` has commit ``c_i`` and compensation ``x_i``; a
+    stage commits only after its predecessor, and if the saga's final
+    stage never commits, every committed stage is compensated -- the
+    Example 4 pattern iterated (the "SAGA continues" lineage the paper
+    cites via ACTA [3]).
+    """
+    if stages < 2:
+        raise ValueError("a saga needs at least two stages")
+    commits = [Event(f"c{i}{suffix}") for i in range(stages)]
+    comps = [Event(f"x{i}{suffix}") for i in range(stages)]
+    w = Workflow(f"saga{stages}{suffix}")
+    for left, right in zip(commits, commits[1:]):
+        w.add(klein_precedes(left, right))
+        w.add(klein_arrow(right, left))  # a stage needs its predecessor
+    last = stages - 1
+    for i in range(stages - 1):
+        # a committed stage is compensated unless the whole saga commits
+        w.add(parse(f"~c{i}{suffix} + c{last}{suffix} + x{i}{suffix}"))
+        w.set_attributes(comps[i], triggerable=True)
+    for event in commits + comps:
+        w.place(event, f"site_{event.name}")
+    return w
+
+
+def diamond_workflow(width: int, suffix: str = "") -> Workflow:
+    """Fork-join: ``start`` fans out to ``width`` branches which all
+    precede ``join`` (an AND-split/AND-join skeleton)."""
+    start = Event(f"start{suffix}")
+    join = Event(f"join{suffix}")
+    w = Workflow(f"diamond{width}{suffix}")
+    for i in range(width):
+        branch = Event(f"br{i}{suffix}")
+        w.add(klein_arrow(start, branch))       # start forces branches
+        w.add(klein_precedes(start, branch))
+        w.add(klein_arrow(join, branch))        # join only if branch ran
+        w.add(klein_precedes(branch, join))
+        w.set_attributes(branch, triggerable=True)
+        w.place(branch, f"site_br{i}{suffix}")
+    w.add(klein_arrow(start, join))             # starting forces the join
+    w.set_attributes(join, triggerable=True)
+    w.place(start, f"site_start{suffix}")
+    w.place(join, f"site_join{suffix}")
+    return w
+
+
+def random_workflow(
+    n_tasks: int,
+    n_dependencies: int,
+    seed: int,
+    suffix: str = "",
+) -> Workflow:
+    """A random soup of Klein primitives over ``n_tasks`` events.
+
+    Dependencies are sampled as ``a < b`` or ``a -> b`` over distinct
+    random pairs, discarding immediate cycles (``a < b`` and
+    ``b < a``), which mirrors how the literature's examples compose.
+    """
+    rng = random.Random(seed)
+    events = [Event(f"t{i}{suffix}") for i in range(n_tasks)]
+    w = Workflow(f"random{n_tasks}x{n_dependencies}{suffix}")
+    ordered_pairs: set[tuple[Event, Event]] = set()
+    attempts = 0
+    while len(w.dependencies) < n_dependencies and attempts < n_dependencies * 20:
+        attempts += 1
+        a, b = rng.sample(events, 2)
+        if (b, a) in ordered_pairs:
+            continue
+        ordered_pairs.add((a, b))
+        if rng.random() < 0.5:
+            w.add(klein_precedes(a, b))
+        else:
+            w.add(klein_arrow(a, b))
+    for event in events:
+        w.place(event, f"site_{event.name}")
+    return w
+
+
+def scripts_for(
+    workflow: Workflow,
+    seed: int = 0,
+    spread: float = 10.0,
+    participation: float = 1.0,
+) -> list[AgentScript]:
+    """Agent scripts attempting each placed base event once.
+
+    Attempt times are uniform in ``[0, spread)``; with
+    ``participation < 1`` some events are never attempted and settle
+    by complement, exercising the failure paths.
+    """
+    rng = random.Random(seed)
+    by_site: dict[str, list[ScriptedAttempt]] = {}
+    for base in sorted(workflow.bases(), key=Event.sort_key):
+        attrs = workflow.attributes.get(base)
+        if attrs is not None and attrs.triggerable:
+            continue  # the scheduler causes these
+        if rng.random() > participation:
+            continue
+        site = workflow.sites.get(base, f"site_{base.name}")
+        by_site.setdefault(site, []).append(
+            ScriptedAttempt(rng.uniform(0.0, spread), base)
+        )
+    return [AgentScript(site, attempts) for site, attempts in sorted(by_site.items())]

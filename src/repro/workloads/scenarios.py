@@ -1,0 +1,190 @@
+"""Canonical scenarios: the paper's running examples, executable.
+
+Each builder returns a :class:`Scenario`: a workflow plus the agent
+scripts of one concrete run, so that tests and benches can execute the
+same situation on every scheduler and compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.workflows.primitives import klein_precedes, mutex
+from repro.workflows.spec import Workflow
+
+
+@dataclass
+class Scenario:
+    """A workflow together with one concrete run's agent scripts."""
+
+    workflow: Workflow
+    scripts: list[AgentScript] = field(default_factory=list)
+    expect_occur: frozenset[Event] = frozenset()
+    expect_absent: frozenset[Event] = frozenset()
+    description: str = ""
+
+
+def make_travel_booking(outcome: str = "success", suffix: str = "") -> Scenario:
+    """Example 4: buy an airline ticket and book a car, atomically-ish.
+
+    Dependencies (paper numbering):
+
+    1. ``~s_buy + s_book`` -- initiate ``book`` if ``buy`` is started
+       (``s_book`` is triggerable: the scheduler causes it);
+    2. ``~c_buy + c_book . c_buy`` -- if ``buy`` commits, it commits
+       after ``book`` (``buy`` is non-compensatable, so its commit
+       commits the whole workflow);
+    3. ``~c_book + c_buy + s_cancel`` -- compensate ``book`` by
+       ``cancel`` if ``buy`` fails to commit (``s_cancel``
+       triggerable).
+
+    ``outcome`` selects the run: ``"success"`` (buy commits) or
+    ``"failure"`` (buy aborts; the booking is compensated).
+    ``suffix`` renames all events, so many instances can share one
+    scheduler (the propositional stand-in for Example 12's ``cid``).
+    """
+    if outcome not in ("success", "failure"):
+        raise ValueError(f"unknown outcome: {outcome!r}")
+    s_buy = Event(f"s_buy{suffix}")
+    c_buy = Event(f"c_buy{suffix}")
+    s_book = Event(f"s_book{suffix}")
+    c_book = Event(f"c_book{suffix}")
+    s_cancel = Event(f"s_cancel{suffix}")
+
+    w = Workflow(f"travel{suffix}")
+    w.add(f"~s_buy{suffix} + s_book{suffix}")
+    w.add(f"~c_buy{suffix} + c_book{suffix} . c_buy{suffix}")
+    w.add(f"~c_book{suffix} + c_buy{suffix} + s_cancel{suffix}")
+    w.set_attributes(s_book, triggerable=True)
+    w.set_attributes(s_cancel, triggerable=True)
+    w.place_task(f"airline{suffix}", s_buy, c_buy)
+    w.place_task(f"car_rental{suffix}", s_book, c_book, s_cancel)
+
+    buy_attempts = [ScriptedAttempt(0.0, s_buy)]
+    if outcome == "success":
+        buy_attempts.append(ScriptedAttempt(5.0, c_buy, after=s_buy))
+        expect = {s_buy, s_book, c_book, c_buy}
+        absent = {s_cancel}
+    else:
+        # the buy task aborts: its commit will never happen
+        buy_attempts.append(ScriptedAttempt(5.0, ~c_buy, after=s_buy))
+        expect = {s_buy, s_book, c_book, s_cancel}
+        absent = {c_buy}
+    agent_buy = AgentScript(f"airline{suffix}", buy_attempts)
+    # book always commits (Example 4's simplifying assumption)
+    agent_book = AgentScript(
+        f"car_rental{suffix}",
+        [ScriptedAttempt(1.0, c_book, after=s_book)],
+    )
+    return Scenario(
+        workflow=w,
+        scripts=[agent_buy, agent_book],
+        expect_occur=frozenset(expect),
+        expect_absent=frozenset(absent),
+        description=f"Example 4 travel booking, {outcome} path",
+    )
+
+
+def make_order_fulfillment(pay_clears: bool = True, suffix: str = "") -> Scenario:
+    """An order-processing workflow in the style of the paper's intro.
+
+    Three tasks: payment (RDA transaction), inventory reservation
+    (compensatable by release), shipping (only after both commit).
+
+    Dependencies:
+
+    * reservation starts when payment starts;
+    * payment commits only after the reservation commits;
+    * if the reservation committed but payment did not, release it;
+    * shipping starts only if payment commits, and after it.
+    """
+    s_pay = Event(f"s_pay{suffix}")
+    c_pay = Event(f"c_pay{suffix}")
+    s_res = Event(f"s_res{suffix}")
+    c_res = Event(f"c_res{suffix}")
+    s_rel = Event(f"s_rel{suffix}")
+    s_ship = Event(f"s_ship{suffix}")
+
+    w = Workflow(f"order{suffix}")
+    w.add(f"~s_pay{suffix} + s_res{suffix}")
+    w.add(f"~c_pay{suffix} + c_res{suffix} . c_pay{suffix}")
+    w.add(f"~c_res{suffix} + c_pay{suffix} + s_rel{suffix}")
+    w.add(f"~s_ship{suffix} + c_pay{suffix}")  # ship only if paid
+    w.add(f"~c_pay{suffix} + s_ship{suffix}")  # paid orders do ship
+    w.add(klein_precedes(c_pay, s_ship))
+    w.set_attributes(s_res, triggerable=True)
+    w.set_attributes(s_rel, triggerable=True)
+    w.set_attributes(s_ship, triggerable=True)
+    w.place_task(f"payments{suffix}", s_pay, c_pay)
+    w.place_task(f"warehouse{suffix}", s_res, c_res, s_rel)
+    w.place_task(f"shipping{suffix}", s_ship)
+
+    pay_attempts = [ScriptedAttempt(0.0, s_pay)]
+    if pay_clears:
+        pay_attempts.append(ScriptedAttempt(4.0, c_pay, after=s_pay))
+        expect = {s_pay, s_res, c_res, c_pay, s_ship}
+        absent = {s_rel}
+    else:
+        pay_attempts.append(ScriptedAttempt(4.0, ~c_pay, after=s_pay))
+        expect = {s_pay, s_res, c_res, s_rel}
+        absent = {c_pay, s_ship}
+    agent_pay = AgentScript(f"payments{suffix}", pay_attempts)
+    agent_res = AgentScript(
+        f"warehouse{suffix}",
+        [ScriptedAttempt(1.0, c_res, after=s_res)],
+    )
+    return Scenario(
+        workflow=w,
+        scripts=[agent_pay, agent_res],
+        expect_occur=frozenset(expect),
+        expect_absent=frozenset(absent),
+        description=f"order fulfilment, payment {'clears' if pay_clears else 'fails'}",
+    )
+
+
+def make_mutex_scenario(first: str = "t1") -> Scenario:
+    """Example 13's mutual exclusion, propositional instance.
+
+    Two tasks enter and exit critical sections; if task 1 enters
+    before task 2, it must exit before task 2 enters.  Both tasks
+    attempt to enter concurrently; ``first`` breaks the tie by
+    attempting earlier.
+    """
+    b1, e1 = Event("b1"), Event("e1")
+    b2, e2 = Event("b2"), Event("e2")
+    w = Workflow("mutex")
+    w.add(mutex(b1, e1, b2, e2))
+    w.add(mutex(b2, e2, b1, e1))
+    w.add(klein_precedes(b1, e1))
+    w.add(klein_precedes(b2, e2))
+    # a task that enters its critical section is guaranteed to leave it
+    w.add(f"~b1 + e1")
+    w.add(f"~b2 + e2")
+    w.set_attributes(e1, guaranteed=True)
+    w.set_attributes(e2, guaranteed=True)
+    w.place_task("task1", b1, e1)
+    w.place_task("task2", b2, e2)
+    t1_first = first == "t1"
+    s1 = AgentScript(
+        "task1",
+        [
+            ScriptedAttempt(0.0 if t1_first else 0.5, b1),
+            ScriptedAttempt(3.0, e1, after=b1),
+        ],
+    )
+    s2 = AgentScript(
+        "task2",
+        [
+            ScriptedAttempt(0.5 if t1_first else 0.0, b2),
+            ScriptedAttempt(3.0, e2, after=b2),
+        ],
+    )
+    return Scenario(
+        workflow=w,
+        scripts=[s1, s2],
+        expect_occur=frozenset({b1, e1, b2, e2}),
+        description=f"Example 13 mutual exclusion, {first} first",
+    )

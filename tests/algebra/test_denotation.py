@@ -1,0 +1,84 @@
+"""Denotations and the algebraic laws the paper asserts (Section 3.2).
+
+"This semantics validates various useful properties of the given
+operators, e.g., associativity of +, ., and |, and distributivity of
+. over + and over |."
+"""
+
+from repro.algebra.denotation import denotation, entails, equivalent
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace
+
+
+class TestDenotation:
+    def test_zero_and_top(self):
+        e = Event("e")
+        assert denotation(parse("0"), [e]) == frozenset()
+        # T denotes all of U_E: <>, <e>, <~e>
+        assert len(denotation(parse("T"), [e])) == 3
+
+    def test_atom_denotation(self):
+        e, f = Event("e"), Event("f")
+        traces = denotation(parse("e"), [e, f])
+        assert all(e in u for u in traces)
+        assert len(traces) == 5
+
+    def test_seq_denotation_is_ordered_concatenation(self):
+        e, f = Event("e"), Event("f")
+        traces = denotation(parse("e . f"), [e, f])
+        assert traces == frozenset({Trace([e, f])})
+
+
+class TestAlgebraicLaws:
+    def test_choice_associative(self):
+        assert equivalent(parse("(e + f) + g"), parse("e + (f + g)"))
+
+    def test_conj_associative(self):
+        assert equivalent(parse("(e | f) | g"), parse("e | (f | g)"))
+
+    def test_seq_associative(self):
+        assert equivalent(parse("(e . f) . g"), parse("e . (f . g)"))
+
+    def test_seq_distributes_over_choice_left(self):
+        assert equivalent(parse("(e + f) . g"), parse("e . g + f . g"))
+
+    def test_seq_distributes_over_choice_right(self):
+        assert equivalent(parse("g . (e + f)"), parse("g . e + g . f"))
+
+    def test_seq_distributes_over_conj_left(self):
+        assert equivalent(parse("(e | f) . g"), parse("(e . g) | (f . g)"))
+
+    def test_seq_distributes_over_conj_right(self):
+        assert equivalent(parse("g . (e | f)"), parse("(g . e) | (g . f)"))
+
+    def test_choice_idempotent_commutative(self):
+        assert equivalent(parse("e + e"), parse("e"))
+        assert equivalent(parse("e + f"), parse("f + e"))
+
+    def test_conj_idempotent_commutative(self):
+        assert equivalent(parse("e | e"), parse("e"))
+        assert equivalent(parse("e | f"), parse("f | e"))
+
+    def test_demorgan_like_absorption(self):
+        assert equivalent(parse("e + (e | f)"), parse("e"))
+        assert equivalent(parse("e | (e + f)"), parse("e"))
+
+
+class TestEntailment:
+    def test_conj_entails_parts(self):
+        assert entails(parse("e | f"), parse("e"))
+        assert entails(parse("e | f"), parse("f"))
+
+    def test_parts_entail_choice(self):
+        assert entails(parse("e"), parse("e + f"))
+
+    def test_seq_entails_conj(self):
+        assert entails(parse("e . f"), parse("e | f"))
+        assert not entails(parse("e | f"), parse("e . f"))
+
+    def test_zero_entails_everything(self):
+        assert entails(parse("0"), parse("e"))
+
+    def test_everything_entails_top(self):
+        assert entails(parse("e . f | g"), parse("T"))

@@ -1,0 +1,65 @@
+"""Normal form for residuation (Section 3.4)."""
+
+from repro.algebra.denotation import equivalent
+from repro.algebra.normal_form import is_normal_form, to_normal_form
+from repro.algebra.parser import parse
+
+
+class TestIsNormalForm:
+    def test_atoms_and_constants(self):
+        for text in ("e", "~e", "T", "0"):
+            assert is_normal_form(parse(text))
+
+    def test_sequences_of_atoms(self):
+        assert is_normal_form(parse("e . f . g"))
+
+    def test_boolean_combinations_of_sequences(self):
+        assert is_normal_form(parse("e . f + (g | h . i)"))
+
+    def test_choice_under_seq_not_normal(self):
+        assert not is_normal_form(parse("(e + f) . g"))
+
+    def test_conj_under_seq_not_normal(self):
+        assert not is_normal_form(parse("(e | f) . g"))
+
+
+class TestToNormalForm:
+    def test_already_normal_unchanged(self):
+        expr = parse("~e + ~f + e . f")
+        assert to_normal_form(expr) == expr
+
+    def test_distributes_choice(self):
+        nf = to_normal_form(parse("(e + f) . g"))
+        assert is_normal_form(nf)
+        assert nf == parse("e . g + f . g")
+
+    def test_distributes_conj(self):
+        nf = to_normal_form(parse("(e | f) . g"))
+        assert is_normal_form(nf)
+        assert nf == parse("(e . g) | (f . g)")
+
+    def test_nested_distribution(self):
+        expr = parse("(e + f) . (g + h)")
+        nf = to_normal_form(expr)
+        assert is_normal_form(nf)
+        assert nf == parse("e.g + e.h + f.g + f.h")
+
+    def test_mixed_distribution(self):
+        expr = parse("((e + f) | g) . h")
+        nf = to_normal_form(expr)
+        assert is_normal_form(nf)
+
+    def test_preserves_semantics(self):
+        cases = [
+            "(e + f) . g",
+            "(e | f) . g",
+            "(e + f) . (g + h)",
+            "((e + f) | g) . h",
+            "g . (e + f) . h",
+            "(e . f + g) . (h | i)",
+        ]
+        for text in cases:
+            expr = parse(text)
+            nf = to_normal_form(expr)
+            assert is_normal_form(nf), text
+            assert equivalent(expr, nf), text

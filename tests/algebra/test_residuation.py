@@ -1,0 +1,141 @@
+"""Residuation: Rules 1-8, Example 6, Figure 2, Theorem 1 (Section 3.4)."""
+
+import pytest
+
+from repro.algebra.expressions import TOP, ZERO
+from repro.algebra.parser import parse
+from repro.algebra.residuation import (
+    residual_matches_semantics,
+    residuate,
+    residuate_trace,
+)
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace
+
+E, F, G = Event("e"), Event("f"), Event("g")
+
+
+class TestRules:
+    def test_rule1_zero(self):
+        assert residuate(ZERO, E) == ZERO
+
+    def test_rule2_top(self):
+        assert residuate(TOP, E) == TOP
+
+    def test_rule3_sequence_head(self):
+        assert residuate(parse("e . f"), E) == parse("f")
+        assert residuate(parse("e . f . g"), E) == parse("f . g")
+        assert residuate(parse("e"), E) == TOP
+
+    def test_rule4_choice(self):
+        assert residuate(parse("e + f"), E) == TOP  # T + f = T
+
+    def test_rule5_conj(self):
+        assert residuate(parse("e | f"), E) == parse("f")
+
+    def test_rule6_foreign_event(self):
+        assert residuate(parse("f . g"), E) == parse("f . g")
+        assert residuate(parse("~f"), E) == parse("~f")
+
+    def test_rule7_event_later_in_sequence(self):
+        assert residuate(parse("e . f"), F) == ZERO
+        assert residuate(parse("e . f . g"), G) == ZERO
+        assert residuate(parse("e . f . g"), F) == ZERO
+
+    def test_rule8_complement_mentioned(self):
+        assert residuate(parse("~e"), E) == ZERO
+        assert residuate(parse("e"), ~E) == ZERO
+        assert residuate(parse("f . ~e"), E) == ZERO
+        assert residuate(parse("~e . f"), E) == ZERO
+
+    def test_normalizes_first(self):
+        # (e + f) . g is not in normal form; residuation handles it
+        assert residuate(parse("(e + f) . g"), E) == parse("g + f . g")
+
+
+class TestPaperExamples:
+    def test_example_6_precedes_by_e(self):
+        """(~e + ~f + e.f)/e = ~f + f"""
+        assert residuate(parse("~e + ~f + e . f"), E) == parse("~f + f")
+
+    def test_example_6_arrow_by_not_f(self):
+        """(~e + f)/~f = ~e"""
+        assert residuate(parse("~e + f"), ~F) == parse("~e")
+
+    def test_figure_2_precedes_states(self):
+        """Figure 2, left: all states and transitions of D_<."""
+        d = parse("~e + ~f + e . f")
+        # complements discharge immediately
+        assert residuate(d, ~E) == TOP
+        assert residuate(d, ~F) == TOP
+        # e first: f or ~f may follow
+        after_e = residuate(d, E)
+        assert after_e == parse("f + ~f")
+        assert residuate(after_e, F) == TOP
+        assert residuate(after_e, ~F) == TOP
+        # f first: only ~e acceptable afterwards
+        after_f = residuate(d, F)
+        assert after_f == parse("~e")
+        assert residuate(after_f, ~E) == TOP
+        assert residuate(after_f, E) == ZERO
+
+    def test_figure_2_arrow_states(self):
+        """Figure 2, right: all states and transitions of D_->."""
+        d = parse("~e + f")
+        assert residuate(d, ~E) == TOP
+        assert residuate(d, F) == TOP
+        after_e = residuate(d, E)
+        assert after_e == parse("f")
+        assert residuate(after_e, F) == TOP
+        after_not_f = residuate(d, ~F)
+        assert after_not_f == parse("~e")
+        assert residuate(after_not_f, E) == ZERO
+
+    def test_example_5_narrative(self):
+        """After f, e cannot be permitted any more under D_<."""
+        d = parse("~e + ~f + e . f")
+        assert residuate_trace(d, [F, E]) == ZERO
+        assert residuate_trace(d, [E, F]) == TOP
+        assert residuate_trace(d, Trace([~E])) == TOP
+
+
+class TestIteratedResiduation:
+    def test_discharged_stays_discharged(self):
+        d = parse("~e + f")
+        assert residuate_trace(d, [F, E, ~G]) == TOP
+
+    def test_dead_stays_dead(self):
+        d = parse("e . f")
+        assert residuate_trace(d, [F, E]) == ZERO
+
+    def test_accepts_trace_object(self):
+        d = parse("~e + ~f + e . f")
+        assert residuate_trace(d, Trace([E, F])) == TOP
+
+
+class TestTheorem1:
+    """Symbolic residuation agrees with Semantics 6 on feasible
+    continuations, exhaustively over small alphabets."""
+
+    DEPENDENCIES = [
+        "~e + f",
+        "~e + ~f + e . f",
+        "e . f",
+        "e | f",
+        "e + f",
+        "~e",
+        "T",
+        "0",
+        "(e + f) . g",
+        "(e | ~f) + g . e",
+        "e . f . g",
+        "(~e + f) | (~f + g)",
+        "e . ~f",
+        "~e . f + g",
+    ]
+
+    @pytest.mark.parametrize("text", DEPENDENCIES)
+    def test_soundness(self, text):
+        dep = parse(text)
+        for ev in sorted(dep.alphabet() | {E, ~E}):
+            assert residual_matches_semantics(dep, ev), f"{text} / {ev}"

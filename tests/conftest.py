@@ -1,0 +1,33 @@
+"""Shared fixtures: the paper's running events and dependencies."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+
+
+@pytest.fixture
+def e():
+    return Event("e")
+
+
+@pytest.fixture
+def f():
+    return Event("f")
+
+
+@pytest.fixture
+def g():
+    return Event("g")
+
+
+@pytest.fixture
+def d_arrow():
+    """Klein's ``e -> f`` (Example 2)."""
+    return parse("~e + f")
+
+
+@pytest.fixture
+def d_prec():
+    """Klein's ``e < f`` (Example 3)."""
+    return parse("~e + ~f + e . f")

@@ -1,0 +1,102 @@
+"""Cross-scheduler agreement on generated random workloads.
+
+All three schedulers must realize *valid* traces (Theorem 6's safety
+reading) on the same workloads; they may legitimately differ in which
+valid trace they pick.
+"""
+
+import pytest
+
+from repro.algebra.traces import satisfies
+from repro.scheduler import (
+    AutomataScheduler,
+    CentralizedScheduler,
+    DistributedScheduler,
+)
+from repro.workloads.generators import (
+    chain_workflow,
+    fanout_workflow,
+    random_workflow,
+    scripts_for,
+)
+
+SCHEDULERS = [DistributedScheduler, CentralizedScheduler, AutomataScheduler]
+
+
+def run(workflow, scheduler_cls, seed=0, participation=1.0):
+    scripts = scripts_for(workflow, seed=seed, participation=participation)
+    sched = scheduler_cls(
+        workflow.dependencies,
+        sites=workflow.sites,
+        attributes=workflow.attributes,
+    )
+    return sched.run(scripts)
+
+
+@pytest.mark.parametrize("scheduler_cls", SCHEDULERS, ids=lambda c: c.__name__)
+class TestChains:
+    @pytest.mark.parametrize("length", [2, 4, 6])
+    def test_chain_executes_in_order(self, scheduler_cls, length):
+        w = chain_workflow(length)
+        result = run(w, scheduler_cls)
+        assert result.ok, (result.trace, result.violations)
+        positive = [en.event.name for en in result.entries if not en.event.negated]
+        assert positive == sorted(positive, key=lambda n: int(n[1:]))
+        assert len(positive) == length
+
+    def test_chain_with_dropped_head_settles_clean(self, scheduler_cls):
+        w = chain_workflow(4)
+        # participation < 1 drops some attempts; traces must stay valid
+        result = run(w, scheduler_cls, seed=3, participation=0.5)
+        assert not result.unsettled
+        for dep in w.dependencies:
+            assert satisfies(result.trace, dep)
+
+
+@pytest.mark.parametrize("scheduler_cls", SCHEDULERS, ids=lambda c: c.__name__)
+class TestFanout:
+    @pytest.mark.parametrize("width", [1, 3, 6])
+    def test_root_triggers_children(self, scheduler_cls, width):
+        w = fanout_workflow(width)
+        result = run(w, scheduler_cls)
+        assert result.ok, (result.trace, result.violations)
+        positive = {en.event.name for en in result.entries if not en.event.negated}
+        assert "root" in positive
+        assert sum(1 for n in positive if n.startswith("child")) == width
+
+
+@pytest.mark.parametrize("scheduler_cls", SCHEDULERS, ids=lambda c: c.__name__)
+class TestRandomSoups:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_traces_valid(self, scheduler_cls, seed):
+        w = random_workflow(n_tasks=5, n_dependencies=4, seed=seed)
+        result = run(w, scheduler_cls, seed=seed)
+        for dep in w.dependencies:
+            assert satisfies(result.trace, dep), (seed, dep, result.trace)
+        assert not result.unsettled
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_partial_participation_still_valid(self, scheduler_cls, seed):
+        w = random_workflow(n_tasks=5, n_dependencies=4, seed=seed)
+        result = run(w, scheduler_cls, seed=seed, participation=0.6)
+        for dep in w.dependencies:
+            assert satisfies(result.trace, dep), (seed, dep, result.trace)
+
+
+class TestSchedulersAgreeOnOutcome:
+    """On deterministic single-agent chains, the positive-event sets
+    agree across schedulers."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_positive_events(self, seed):
+        w = random_workflow(n_tasks=4, n_dependencies=3, seed=seed)
+        outcomes = []
+        for cls in SCHEDULERS:
+            result = run(w, cls, seed=seed)
+            outcomes.append(
+                frozenset(
+                    en.event.name for en in result.entries if not en.event.negated
+                )
+            )
+        # centralized and automata are decision-identical
+        assert outcomes[1] == outcomes[2]

@@ -1,0 +1,86 @@
+"""Randomized soak: many seeded workloads, every scheduler, full audit.
+
+Each run is checked by the independent Definition-4 oracle
+(:mod:`repro.scheduler.oracle`), not by the schedulers' own
+bookkeeping: dependencies satisfied, trace maximal, and every realized
+event's synthesized guard true at its occurrence index.
+"""
+
+import pytest
+
+from repro.scheduler import (
+    AutomataScheduler,
+    CentralizedScheduler,
+    DistributedScheduler,
+)
+from repro.scheduler.oracle import audit_result, validate_trace
+from repro.workloads.generators import (
+    chain_workflow,
+    diamond_workflow,
+    random_workflow,
+    saga_workflow,
+    scripts_for,
+)
+
+SCHEDULERS = [DistributedScheduler, CentralizedScheduler, AutomataScheduler]
+
+
+def run_audited(workflow, scheduler_cls, seed, participation=1.0):
+    scripts = scripts_for(workflow, seed=seed, participation=participation)
+    sched = scheduler_cls(
+        workflow.dependencies,
+        sites=workflow.sites,
+        attributes=workflow.attributes,
+    )
+    result = sched.run(scripts)
+    report = audit_result(result, workflow.dependencies)
+    assert report.ok, (
+        scheduler_cls.__name__,
+        seed,
+        result.trace,
+        [f.detail for f in report.findings],
+    )
+    return result
+
+
+@pytest.mark.parametrize("scheduler_cls", SCHEDULERS, ids=lambda c: c.__name__)
+class TestRandomSoak:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_full_participation(self, scheduler_cls, seed):
+        w = random_workflow(n_tasks=5, n_dependencies=5, seed=seed)
+        run_audited(w, scheduler_cls, seed)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_partial_participation(self, scheduler_cls, seed):
+        w = random_workflow(n_tasks=5, n_dependencies=4, seed=seed + 100)
+        run_audited(w, scheduler_cls, seed, participation=0.6)
+
+
+@pytest.mark.parametrize("scheduler_cls", SCHEDULERS, ids=lambda c: c.__name__)
+class TestStructuredSoak:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chains(self, scheduler_cls, seed):
+        run_audited(chain_workflow(5), scheduler_cls, seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_diamonds(self, scheduler_cls, seed):
+        w = diamond_workflow(3)
+        run_audited(w, scheduler_cls, seed)
+
+    def test_sagas(self, scheduler_cls):
+        run_audited(saga_workflow(4), scheduler_cls, seed=1)
+
+
+class TestCrossSchedulerTraceValidity:
+    """Each scheduler may pick a different valid trace; all of them
+    must be admitted by the specification."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_traces_admitted(self, seed):
+        w = random_workflow(n_tasks=4, n_dependencies=4, seed=seed + 50)
+        traces = []
+        for cls in SCHEDULERS:
+            result = run_audited(w, cls, seed)
+            traces.append(result.trace)
+        for trace in traces:
+            assert validate_trace(trace, w.dependencies).ok

@@ -1,0 +1,93 @@
+"""Distributed execution of parametrized dependencies (Section 5.2)."""
+
+import pytest
+
+from repro.algebra.symbols import Event
+from repro.params.distributed import DistributedParamRunner
+from repro.scheduler.events import EventAttributes
+
+MUTEX_DEPS = [
+    "b2[y] . b1[x] + ~e1[x] + ~b2[y] + e1[x] . b2[y]",
+    "b1[x] . b2[y] + ~e2[y] + ~b1[x] + e2[y] . b1[x]",
+    "~b1[x] + e1[x]",
+    "~b2[y] + e2[y]",
+    "~e1[x] + b1[x]",
+    "~e2[y] + b2[y]",
+    "~b1[x] + ~e1[x] + b1[x] . e1[x]",
+    "~b2[y] + ~e2[y] + b2[y] . e2[y]",
+]
+
+ATTRS = {
+    "e1": EventAttributes(guaranteed=True),
+    "e2": EventAttributes(guaranteed=True),
+}
+
+
+def tok(name, i):
+    return Event(name, params=(i,))
+
+
+def make_runner():
+    return DistributedParamRunner(MUTEX_DEPS, attributes=ATTRS)
+
+
+class TestDistributedMutex:
+    def test_single_iteration_serializes(self):
+        runner = make_runner()
+        runner.attempt(tok("b1", 0))
+        runner.attempt(tok("e1", 0))
+        runner.attempt(tok("b2", 0))
+        runner.attempt(tok("e2", 0))
+        result = runner.finish()
+        assert result.ok, result.violations
+        order = [e for e in result.trace.events if not e.negated]
+        positions = {f"{e.name}": i for i, e in enumerate(order)}
+        # critical sections do not overlap
+        assert positions["e1"] < positions["b2"] or positions["e2"] < positions["b1"]
+
+    def test_loop_iterations_mint_fresh_instances(self):
+        runner = make_runner()
+        for i in range(2):
+            runner.attempt(tok("b1", i))
+            runner.attempt(tok("e1", i))
+            runner.attempt(tok("b2", i))
+            runner.attempt(tok("e2", i))
+        result = runner.finish()
+        assert result.ok, result.violations
+        positive = [e for e in result.trace.events if not e.negated]
+        assert len(positive) == 8  # 4 events x 2 iterations
+
+    def test_instances_grow_with_values(self):
+        runner = make_runner()
+        runner.attempt(tok("b1", 0))
+        deps_after_one = len(runner.sched.dependencies)
+        runner.attempt(tok("e1", 0))
+        runner.attempt(tok("b1", 1))
+        deps_after_two = len(runner.sched.dependencies)
+        # new value 1 materializes cross bindings (x=0/1, y=0/1)
+        assert deps_after_two > deps_after_one
+
+    def test_trace_satisfies_every_materialized_instance(self):
+        from repro.algebra.traces import satisfies
+
+        runner = make_runner()
+        runner.attempt(tok("b1", 0))
+        runner.attempt(tok("e1", 0))
+        runner.attempt(tok("b2", 0))
+        runner.attempt(tok("e2", 0))
+        result = runner.finish()
+        for dep in runner.sched.dependencies:
+            assert satisfies(result.trace, dep), dep
+
+    def test_non_ground_attempt_rejected(self):
+        from repro.algebra.symbols import Variable
+
+        runner = make_runner()
+        with pytest.raises(ValueError):
+            runner.attempt(Event("b1", params=(Variable("x"),)))
+
+    def test_unconstrained_token_fires_freely(self):
+        runner = make_runner()
+        foreign = tok("audit_log", 1)
+        runner.attempt(foreign)
+        assert foreign in {e for e in runner.trace.events}

@@ -1,0 +1,68 @@
+"""Hypothesis strategies for event expressions and traces."""
+
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import Atom, Choice, Conj, Seq, TOP, ZERO
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace
+
+#: A small base alphabet keeps the finite universes tractable.
+BASES = [Event("e"), Event("f"), Event("g")]
+
+
+def signed_events(bases=None):
+    pool = []
+    for b in bases or BASES:
+        pool.extend([b, ~b])
+    return st.sampled_from(pool)
+
+
+def atoms(bases=None):
+    return st.builds(Atom, signed_events(bases))
+
+
+def expressions(max_depth: int = 3, bases=None):
+    """Random event expressions over the small alphabet."""
+    leaves = st.one_of(
+        atoms(bases),
+        st.just(TOP),
+        st.just(ZERO),
+    )
+
+    def extend(children):
+        lists = st.lists(children, min_size=2, max_size=3)
+        return st.one_of(
+            lists.map(Choice.of),
+            lists.map(Conj.of),
+            lists.map(Seq.of),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+@st.composite
+def maximal_traces(draw, bases=None):
+    """A random maximal trace: each base settles one way, any order."""
+    base_list = list(bases or BASES)
+    signed = [draw(st.booleans()) for _ in base_list]
+    events = [
+        base.complement if neg else base
+        for base, neg in zip(base_list, signed)
+    ]
+    order = draw(st.permutations(events))
+    return Trace(order)
+
+
+@st.composite
+def partial_traces(draw, bases=None):
+    """A random (possibly partial) trace over the alphabet."""
+    base_list = list(bases or BASES)
+    chosen = []
+    for base in base_list:
+        pick = draw(st.sampled_from(["skip", "pos", "neg"]))
+        if pick == "pos":
+            chosen.append(base)
+        elif pick == "neg":
+            chosen.append(~base)
+    order = draw(st.permutations(chosen))
+    return Trace(order)

@@ -1,0 +1,115 @@
+"""Property-based tests for the event algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.denotation import equivalent
+from repro.algebra.expressions import Choice, Conj, Seq, TOP
+from repro.algebra.normal_form import is_normal_form, to_normal_form
+from repro.algebra.parser import parse
+from repro.algebra.residuation import (
+    residual_matches_semantics,
+    residuate,
+    residuate_trace,
+)
+from repro.algebra.traces import satisfies
+
+from tests.properties.strategies import (
+    BASES,
+    expressions,
+    maximal_traces,
+    partial_traces,
+    signed_events,
+)
+
+
+class TestConstructorSoundness:
+    @given(expressions(), expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_choice_matches_semantics(self, a, b):
+        built = Choice.of([a, b])
+        for u in _universe():
+            assert satisfies(u, built) == (satisfies(u, a) or satisfies(u, b))
+
+    @given(expressions(), expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_conj_matches_semantics(self, a, b):
+        built = Conj.of([a, b])
+        for u in _universe():
+            assert satisfies(u, built) == (satisfies(u, a) and satisfies(u, b))
+
+    @given(expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_seq_with_top_is_identity(self, a):
+        assert equivalent(Seq.of([a, TOP]), a, BASES)
+        assert equivalent(Seq.of([TOP, a]), a, BASES)
+
+
+class TestNormalForm:
+    @given(expressions())
+    @settings(max_examples=80, deadline=None)
+    def test_normal_form_is_normal_and_equivalent(self, expr):
+        nf = to_normal_form(expr)
+        assert is_normal_form(nf)
+        assert equivalent(expr, nf, BASES)
+
+
+class TestSatisfactionStructure:
+    @given(expressions(), partial_traces(), partial_traces())
+    @settings(max_examples=80, deadline=None)
+    def test_satisfaction_closed_under_extension(self, expr, u, v):
+        """Satisfaction is preserved when a trace grows on either side
+        (the property underlying ``T``-units and distribution laws)."""
+        if not u.can_concat(v):
+            return
+        if satisfies(u, expr):
+            assert satisfies(u.concat(v), expr)
+        if satisfies(v, expr):
+            assert satisfies(u.concat(v), expr)
+
+
+class TestResiduationProperties:
+    @given(expressions(), signed_events())
+    @settings(max_examples=80, deadline=None)
+    def test_theorem_1_soundness(self, expr, event):
+        assert residual_matches_semantics(expr, event)
+
+    @given(expressions(), maximal_traces())
+    @settings(max_examples=120, deadline=None)
+    def test_full_residuation_decides_satisfaction(self, expr, trace):
+        """After a maximal trace every base is settled, so the residual
+        collapses to T or 0 -- and T exactly when the trace satisfies
+        the dependency.  This ties Figure 2's state machine to the
+        trace semantics end to end."""
+        residual = residuate_trace(expr, trace)
+        assert repr(residual) in ("T", "0")
+        assert (repr(residual) == "T") == satisfies(trace, expr)
+
+    @given(expressions(), signed_events(), signed_events())
+    @settings(max_examples=60, deadline=None)
+    def test_foreign_event_residuation_commutes(self, expr, a, b):
+        """Residuation by an event *foreign to the expression* is the
+        identity (Rule 6), so it commutes with anything.  (Events the
+        expression mentions do NOT commute in general -- order is the
+        whole point of sequences.)"""
+        if a.base == b.base:
+            return
+        if a.base in expr.bases():
+            return
+        assert residuate(expr, a) == to_normal_form(expr)
+        ab = residuate(residuate(expr, a), b)
+        ba = residuate(residuate(expr, b), a)
+        assert equivalent(ab, ba, BASES)
+
+
+class TestParserRoundTrip:
+    @given(expressions())
+    @settings(max_examples=100, deadline=None)
+    def test_repr_reparses(self, expr):
+        assert parse(repr(expr)) == expr
+
+
+def _universe():
+    from repro.algebra.traces import universe
+
+    return universe(BASES)

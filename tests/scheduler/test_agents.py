@@ -1,0 +1,51 @@
+"""Task skeletons (Figure 1) and agent scripts."""
+
+from repro.algebra.symbols import Event
+from repro.scheduler.agents import AgentScript, ScriptedAttempt, TaskSkeleton
+
+
+class TestTypicalApplication:
+    def test_events(self):
+        skel = TaskSkeleton.typical_application("app")
+        assert skel.events() == frozenset({Event("s_app"), Event("f_app")})
+
+    def test_accepts_full_run(self):
+        skel = TaskSkeleton.typical_application("app")
+        assert skel.run_to_terminal([Event("s_app"), Event("f_app")])
+
+    def test_accepts_prefix(self):
+        skel = TaskSkeleton.typical_application("app")
+        assert skel.accepts([Event("s_app")])
+        assert not skel.run_to_terminal([Event("s_app")])
+
+    def test_rejects_out_of_order(self):
+        skel = TaskSkeleton.typical_application("app")
+        assert not skel.accepts([Event("f_app")])
+        assert not skel.accepts([Event("s_app"), Event("s_app")])
+
+
+class TestRdaTransaction:
+    def test_commit_and_abort_runs(self):
+        skel = TaskSkeleton.rda_transaction("t")
+        s, c, a = Event("s_t"), Event("c_t"), Event("a_t")
+        assert skel.run_to_terminal([s, c])
+        assert skel.run_to_terminal([s, a])
+        assert not skel.accepts([s, c, a])  # terminal states are final
+        assert not skel.accepts([c])
+
+    def test_step(self):
+        skel = TaskSkeleton.rda_transaction("t")
+        assert skel.step("initial", Event("s_t")) == "active"
+        assert skel.step("active", Event("a_t")) == "aborted"
+        assert skel.step("active", Event("s_t")) is None
+
+
+class TestAgentScript:
+    def test_events_listing(self):
+        s, c = Event("s_t"), Event("c_t")
+        script = AgentScript(
+            "site1",
+            [ScriptedAttempt(0.0, s), ScriptedAttempt(1.0, c, after=s)],
+        )
+        assert script.events() == frozenset({s, c})
+        assert script.attempts[1].after == s

@@ -1,0 +1,77 @@
+"""The automaton-per-dependency baseline (Section 6 / Attie et al.)."""
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.scheduler.automata import AutomataScheduler, DependencyAutomaton
+
+E, F, G = Event("e"), Event("f"), Event("g")
+
+
+class TestDependencyAutomaton:
+    def test_figure_2_precedes_has_five_states(self):
+        """Figure 2 left: D_<, e-state, f-state, T, 0."""
+        auto = DependencyAutomaton(parse("~e + ~f + e . f"))
+        assert auto.state_count == 5
+
+    def test_figure_2_arrow_has_five_states(self):
+        auto = DependencyAutomaton(parse("~e + f"))
+        # ~e+f, f (after e), ~e (after ~f), T, 0
+        assert auto.state_count == 5
+
+    def test_transitions_match_residuation(self):
+        from repro.algebra.residuation import residuate_trace
+
+        dep = parse("~e + ~f + e . f")
+        auto = DependencyAutomaton(dep)
+        for seq in ([E, F], [F, E], [~E], [F, ~E], [E, ~F]):
+            state = auto.run(seq)
+            residual = residuate_trace(dep, seq)
+            assert auto.is_discharged(state) == (repr(residual) == "T")
+            assert auto.is_dead(state) == (repr(residual) == "0")
+
+    def test_foreign_events_self_loop(self):
+        auto = DependencyAutomaton(parse("~e + f"))
+        assert auto.step(auto.initial, G) == auto.initial
+
+    def test_dead_state_absorbing(self):
+        auto = DependencyAutomaton(parse("e . f"))
+        dead = auto.run([F])
+        assert auto.is_dead(dead)
+        assert auto.step(dead, E) == dead
+
+    def test_semantic_dedup_merges_equivalent_residuals(self):
+        # (e + e.f) residuals by f and by ~f both contain e-ish states;
+        # the state count stays small thanks to semantic dedup
+        auto = DependencyAutomaton(parse("e + e . f"))
+        assert auto.state_count <= 4
+
+    def test_transition_table_is_total_over_alphabet(self):
+        dep = parse("~e + ~f + e . f")
+        auto = DependencyAutomaton(dep)
+        assert auto.transition_count == auto.state_count * len(auto.alphabet)
+
+
+class TestAutomataScheduler:
+    def test_decisions_match_centralized(self):
+        deps = [parse("~e + ~f + e . f"), parse("~e + f")]
+        attempts = [ScriptedAttempt(0.0, E), ScriptedAttempt(1.0, F)]
+        from repro.scheduler import CentralizedScheduler
+
+        r_auto = AutomataScheduler(deps).run([AgentScript("s", list(attempts))])
+        r_cent = CentralizedScheduler(deps).run([AgentScript("s", list(attempts))])
+        assert [en.event for en in r_auto.entries] == [
+            en.event for en in r_cent.entries
+        ]
+        assert r_auto.ok and r_cent.ok
+
+    def test_exposes_compile_metrics(self):
+        sched = AutomataScheduler([parse("~e + ~f + e . f"), parse("~e + f")])
+        assert sched.total_states() == 10
+        assert sched.total_transitions() > 0
+
+    def test_automaton_state_tracks_run(self):
+        sched = AutomataScheduler([parse("~e + f")])
+        sched.run([AgentScript("s", [ScriptedAttempt(0.0, ~E)])])
+        state = sched._automaton_state[0]
+        assert sched.automata[0].is_discharged(state)

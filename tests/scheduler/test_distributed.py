@@ -1,0 +1,174 @@
+"""The distributed event-centric scheduler (Sections 2 and 4.3)."""
+
+import random
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import satisfies
+from repro.scheduler import DistributedScheduler, EventAttributes
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.sim.network import ConstantLatency
+
+E, F, G = Event("e"), Event("f"), Event("g")
+D_PREC = parse("~e + ~f + e . f")
+D_ARROW = parse("~e + f")
+
+
+def run_one(deps, attempts, attributes=None, sites=None):
+    sched = DistributedScheduler(
+        deps, attributes=attributes or {}, sites=sites or {}
+    )
+    scripts = {}
+    for time, event in attempts:
+        site = (sites or {}).get(event.base, f"site_{event.base.name}")
+        scripts.setdefault(site, []).append(ScriptedAttempt(time, event))
+    result = sched.run(
+        [AgentScript(site, atts) for site, atts in scripts.items()]
+    )
+    return result
+
+
+class TestExample10:
+    """f attempted first is parked; ~e occurs; f is enabled."""
+
+    def test_trace_and_parking(self):
+        result = run_one([D_PREC], [(0.0, F), (5.0, ~E)])
+        assert result.ok
+        assert [en.event for en in result.entries] == [~E, F]
+        assert result.parked_total >= 1
+        # f's decision latency covers the wait for ~e
+        f_entry = result.entries[-1]
+        assert f_entry.decision_latency > 0
+
+
+class TestExample11:
+    """Mutual <> guards resolved by conditional promises."""
+
+    def test_both_occur(self):
+        deps = [D_ARROW, parse("~f + e")]
+        result = run_one(deps, [(0.0, E), (0.0, F)])
+        assert result.ok
+        occurred = {en.event for en in result.entries}
+        assert occurred == {E, F}
+        assert result.promises_granted >= 1
+
+    def test_one_sided_attempt_settles_negative(self):
+        """Only e attempted: f never arrives, so neither may occur."""
+        deps = [D_ARROW, parse("~f + e")]
+        result = run_one(deps, [(0.0, E)])
+        assert result.ok
+        occurred = {en.event for en in result.entries}
+        assert occurred == {~E, ~F}
+
+
+class TestOrderingEnforcement:
+    def test_e_then_f_ordered(self):
+        result = run_one([D_PREC], [(0.0, E), (1.0, F)])
+        assert result.ok
+        assert [en.event for en in result.entries] == [E, F]
+
+    def test_f_attempted_first_still_ordered(self):
+        result = run_one([D_PREC], [(0.0, F), (10.0, E)])
+        assert result.ok
+        assert [en.event for en in result.entries] == [E, F]
+
+    def test_not_yet_round_used_for_notyet_guard(self):
+        result = run_one([D_PREC], [(0.0, E), (1.0, F)])
+        assert result.not_yet_rounds >= 1
+
+
+class TestRejectionAndSettlement:
+    def test_unconditional_sequence_is_completed(self):
+        # e . f is an obligation: both events must occur, in order.
+        # Only f is attempted; it parks on []e, and the settlement
+        # machinery discovers ~e is impossible, so e itself is driven
+        # to occur, after which f fires: the only satisfying outcome.
+        result = run_one([parse("e . f")], [(0.0, F)])
+        assert result.ok
+        assert [en.event for en in result.entries] == [E, F]
+
+    def test_unattempted_events_settle_negative(self):
+        result = run_one([D_ARROW], [])
+        assert result.ok
+        occurred = {en.event for en in result.entries}
+        assert occurred == {~E, ~F}
+
+    def test_trace_is_maximal_after_settlement(self):
+        result = run_one([D_PREC, D_ARROW], [(0.0, E)])
+        assert not result.unsettled
+
+
+class TestTriggering:
+    def test_monitor_triggers_required_event(self):
+        s_buy, s_book = Event("s_buy"), Event("s_book")
+        result = run_one(
+            [parse("~s_buy + s_book")],
+            [(0.0, s_buy)],
+            attributes={s_book: EventAttributes(triggerable=True)},
+        )
+        assert result.ok
+        occurred = {en.event for en in result.entries}
+        assert occurred == {s_buy, s_book}
+        assert result.triggered >= 1
+
+    def test_untriggerable_required_event_blocks(self):
+        s_buy, s_book = Event("s_buy"), Event("s_book")
+        result = run_one([parse("~s_buy + s_book")], [(0.0, s_buy)])
+        # s_book is not triggerable and never attempted: s_buy must not
+        # occur (its guard needs <>s_book), so both settle negative
+        assert result.ok
+        occurred = {en.event for en in result.entries}
+        assert occurred == {~s_buy, ~s_book}
+
+
+class TestNonrejectable:
+    def test_forced_event_recorded_as_violation(self):
+        a = Event("a")
+        result = run_one(
+            [parse("~a")],  # a must never occur
+            [(0.0, a)],
+            attributes={a: EventAttributes(rejectable=False)},
+        )
+        assert any(v.kind == "forced" for v in result.violations)
+        assert any(v.kind == "dependency" for v in result.violations)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def go():
+            sched = DistributedScheduler(
+                [D_PREC, D_ARROW],
+                latency=ConstantLatency(1.0),
+                rng=random.Random(42),
+            )
+            return sched.run(
+                [AgentScript("s", [ScriptedAttempt(0.0, E), ScriptedAttempt(2.0, F)])]
+            )
+
+        r1, r2 = go(), go()
+        assert [en.event for en in r1.entries] == [en.event for en in r2.entries]
+        assert r1.messages == r2.messages
+        assert r1.makespan == r2.makespan
+
+
+class TestResultInvariants:
+    @pytest.mark.parametrize(
+        "deps,attempts",
+        [
+            ([D_PREC], [(0.0, E), (1.0, F)]),
+            ([D_PREC], [(0.0, F), (1.0, E)]),
+            ([D_ARROW, parse("~f + e")], [(0.0, E), (0.0, F)]),
+            ([parse("e . f"), D_ARROW], [(0.0, F), (2.0, E)]),
+        ],
+    )
+    def test_realized_trace_satisfies_dependencies(self, deps, attempts):
+        result = run_one(deps, attempts)
+        for dep in deps:
+            assert satisfies(result.trace, dep)
+
+    def test_unknown_event_attempt_raises(self):
+        sched = DistributedScheduler([D_ARROW])
+        with pytest.raises(KeyError):
+            sched.attempt(Event("zzz"))

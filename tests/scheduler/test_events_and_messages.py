@@ -1,0 +1,117 @@
+"""Result types and message vocabulary."""
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.scheduler.events import (
+    AttemptOutcome,
+    EventAttributes,
+    ExecutionResult,
+    SchedulerPolicy,
+    TraceEntry,
+)
+from repro.scheduler.messages import (
+    Announce,
+    AttemptMsg,
+    DecisionMsg,
+    NotYetReply,
+    NotYetRequest,
+    PromiseGrant,
+    PromiseRefuse,
+    PromiseRequest,
+    Release,
+    TriggerMsg,
+)
+
+E, F = Event("e"), Event("f")
+
+
+class TestEventAttributes:
+    def test_defaults(self):
+        attrs = EventAttributes()
+        assert not attrs.triggerable
+        assert attrs.rejectable
+        assert attrs.auto_complement
+        assert not attrs.guaranteed
+        assert attrs.delayable
+
+    def test_frozen(self):
+        attrs = EventAttributes()
+        try:
+            attrs.triggerable = True
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestSchedulerPolicy:
+    def test_defaults_are_full_protocol(self):
+        policy = SchedulerPolicy()
+        assert policy.promise_chaining
+        assert policy.lazy_triggering
+        assert policy.certificates
+        assert policy.escalation
+
+
+class TestTraceEntryAndResult:
+    def test_decision_latency(self):
+        entry = TraceEntry(E, time=7.0, attempted_at=2.0,
+                           outcome=AttemptOutcome.ACCEPTED)
+        assert entry.decision_latency == 5.0
+
+    def test_trace_property(self):
+        result = ExecutionResult()
+        result.entries.append(
+            TraceEntry(E, 1.0, 0.0, AttemptOutcome.ACCEPTED)
+        )
+        result.entries.append(
+            TraceEntry(~F, 2.0, 2.0, AttemptOutcome.ACCEPTED)
+        )
+        assert repr(result.trace) == "<e ~f>"
+
+    def test_ok_reflects_violations_and_unsettled(self):
+        result = ExecutionResult()
+        assert result.ok
+        result.unsettled.append(E)
+        assert not result.ok
+
+    def test_mean_decision_latency(self):
+        result = ExecutionResult()
+        assert result.mean_decision_latency() == 0.0
+        result.entries.append(TraceEntry(E, 4.0, 0.0, AttemptOutcome.ACCEPTED))
+        result.entries.append(TraceEntry(F, 6.0, 4.0, AttemptOutcome.ACCEPTED))
+        assert result.mean_decision_latency() == 3.0
+
+    def test_verify_appends_violations(self):
+        result = ExecutionResult()
+        result.entries.append(TraceEntry(F, 1.0, 0.0, AttemptOutcome.ACCEPTED))
+        result.entries.append(TraceEntry(E, 2.0, 0.0, AttemptOutcome.ACCEPTED))
+        found = result.verify([parse("~e + ~f + e . f")])
+        assert found and not result.ok
+
+
+class TestMessages:
+    def test_kinds_are_distinct(self):
+        kinds = {
+            Announce.kind,
+            PromiseRequest.kind,
+            PromiseGrant.kind,
+            PromiseRefuse.kind,
+            NotYetRequest.kind,
+            NotYetReply.kind,
+            Release.kind,
+            AttemptMsg.kind,
+            DecisionMsg.kind,
+            TriggerMsg.kind,
+        }
+        assert len(kinds) == 10
+
+    def test_messages_are_frozen_values(self):
+        req = PromiseRequest(target=F, requester=E, chain=(E,))
+        assert req == PromiseRequest(target=F, requester=E, chain=(E,))
+        assert not req.demand
+
+    def test_not_yet_reply_statuses(self):
+        for status in ("not_yet", "occurred", "comp_occurred"):
+            reply = NotYetReply(target=F, requester=E, status=status)
+            assert reply.status == status

@@ -1,0 +1,102 @@
+"""Requirement monitoring: when triggerable events must be caused."""
+
+from repro.algebra.expressions import TOP, ZERO
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.scheduler.monitors import RequirementMonitor, required_events
+
+E, F, G = Event("e"), Event("f"), Event("g")
+
+
+class TestRequiredEvents:
+    def test_nothing_required_initially_for_arrow(self):
+        # ~e + f can be discharged by ~e alone: f is not required
+        assert required_events(parse("~e + f"), frozenset()) == frozenset()
+
+    def test_atom_is_required(self):
+        assert required_events(parse("f"), frozenset()) == frozenset({F})
+
+    def test_doomed_returns_none(self):
+        assert required_events(ZERO, frozenset()) is None
+
+    def test_top_requires_nothing(self):
+        assert required_events(TOP, frozenset()) == frozenset()
+
+    def test_settled_bases_limit_completions(self):
+        # residual e + f, but f's base already settled: only e remains
+        residual = parse("e + f")
+        assert required_events(residual, frozenset({F})) == frozenset({E})
+
+    def test_common_event_across_paths(self):
+        # (e . f) + (g . f): every completion contains f
+        residual = parse("e . f + g . f")
+        assert F in required_events(residual, frozenset())
+
+
+class TestRequirementMonitor:
+    def test_triggers_after_enabling_event(self):
+        """Example 4 dependency (1): s_book required once s_buy occurs."""
+        s_buy, s_book = Event("s_buy"), Event("s_book")
+        triggered = []
+        monitor = RequirementMonitor(
+            [parse("~s_buy + s_book")],
+            frozenset({s_book}),
+            trigger=triggered.append,
+        )
+        monitor.evaluate()
+        assert triggered == []
+        monitor.observe(s_buy)
+        assert triggered == [s_book]
+
+    def test_does_not_trigger_twice(self):
+        s_buy, s_book = Event("s_buy"), Event("s_book")
+        triggered = []
+        monitor = RequirementMonitor(
+            [parse("~s_buy + s_book")], frozenset({s_book}), triggered.append
+        )
+        monitor.observe(s_buy)
+        monitor.evaluate()
+        assert triggered == [s_book]
+
+    def test_compensation_chain(self):
+        """Example 4 dependency (3): cancel required only after c_book
+        occurred and c_buy settled against."""
+        c_book, c_buy, s_cancel = (
+            Event("c_book"),
+            Event("c_buy"),
+            Event("s_cancel"),
+        )
+        triggered = []
+        monitor = RequirementMonitor(
+            [parse("~c_book + c_buy + s_cancel")],
+            frozenset({s_cancel}),
+            triggered.append,
+        )
+        monitor.observe(c_book)
+        assert triggered == []
+        monitor.observe(~c_buy)
+        assert triggered == [s_cancel]
+
+    def test_doomed_callback(self):
+        doomed = []
+        monitor = RequirementMonitor(
+            [parse("e . f")],
+            frozenset(),
+            trigger=lambda ev: None,
+            doomed=lambda dep, res: doomed.append(res),
+        )
+        monitor.observe(F)  # f before e kills e . f
+        assert doomed and doomed[0] == ZERO
+
+    def test_residual_accessor(self):
+        dep = parse("~e + f")
+        monitor = RequirementMonitor([dep], frozenset(), lambda ev: None)
+        monitor.observe(E)
+        assert monitor.residual(dep) == parse("f")
+
+    def test_never_triggers_complements(self):
+        dep = parse("~e")
+        triggered = []
+        monitor = RequirementMonitor([dep], frozenset({E}), triggered.append)
+        monitor.evaluate()
+        assert triggered == []

@@ -1,0 +1,103 @@
+"""The Definition 4 execution oracle."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace
+from repro.scheduler import (
+    AutomataScheduler,
+    CentralizedScheduler,
+    DistributedScheduler,
+)
+from repro.scheduler.oracle import audit_result, validate_generation, validate_trace
+from repro.workloads.scenarios import (
+    make_mutex_scenario,
+    make_order_fulfillment,
+    make_travel_booking,
+)
+
+E, F = Event("e"), Event("f")
+D_PREC = parse("~e + ~f + e . f")
+
+SCHEDULERS = [DistributedScheduler, CentralizedScheduler, AutomataScheduler]
+SCENARIOS = [
+    make_travel_booking("success"),
+    make_travel_booking("failure"),
+    make_order_fulfillment(True),
+    make_order_fulfillment(False),
+    make_mutex_scenario("t1"),
+]
+
+
+class TestValidateTrace:
+    def test_clean_trace(self):
+        report = validate_trace(Trace([E, F]), [D_PREC])
+        assert report.ok
+
+    def test_violation_found(self):
+        report = validate_trace(Trace([F, E]), [D_PREC])
+        assert not report.ok
+        assert report.findings[0].kind == "dependency"
+
+    def test_maximality_checked(self):
+        report = validate_trace(Trace([E]), [D_PREC])
+        assert any(f.kind == "maximality" for f in report.findings)
+
+    def test_maximality_optional(self):
+        report = validate_trace(Trace([E]), [parse("~f + e")], require_maximal=False)
+        assert report.ok
+
+
+class TestValidateGeneration:
+    def test_valid_order_passes(self):
+        assert validate_generation(Trace([E, F]), [D_PREC]).ok
+        assert validate_generation(Trace([~E, F]), [D_PREC]).ok
+
+    def test_guard_violation_located(self):
+        # f before e: f's guard ([]e + <>~e) is false at index 0
+        report = validate_generation(Trace([F, E]), [D_PREC])
+        assert not report.ok
+        assert report.findings[0].kind == "guard"
+        assert "f" in report.findings[0].detail
+
+    def test_foreign_events_ignored(self):
+        g = Event("g")
+        report = validate_generation(Trace([g, E, F]), [D_PREC])
+        assert report.ok
+
+
+class TestAuditSchedulerRuns:
+    """Every scheduler's runs on every scenario pass the full audit --
+    an oracle fully independent of the schedulers' own bookkeeping."""
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS, ids=lambda c: c.__name__)
+    @pytest.mark.parametrize(
+        "scenario", SCENARIOS, ids=lambda s: s.description[:24]
+    )
+    def test_runs_pass_audit(self, scheduler_cls, scenario):
+        workflow = scenario.workflow
+        sched = scheduler_cls(
+            workflow.dependencies,
+            sites=workflow.sites,
+            attributes=workflow.attributes,
+        )
+        result = sched.run(
+            [type(s)(s.site, list(s.attempts)) for s in scenario.scripts]
+        )
+        report = audit_result(result, workflow.dependencies)
+        assert report.ok, [f.detail for f in report.findings]
+
+    def test_audit_flags_inconsistent_bookkeeping(self):
+        from repro.scheduler.events import ExecutionResult, TraceEntry
+        from repro.scheduler.events import AttemptOutcome
+
+        doctored = ExecutionResult()
+        doctored.entries.append(
+            TraceEntry(E, time=1.0, attempted_at=5.0, outcome=AttemptOutcome.ACCEPTED)
+        )
+        doctored.entries.append(
+            TraceEntry(F, time=2.0, attempted_at=0.0, outcome=AttemptOutcome.ACCEPTED)
+        )
+        report = audit_result(doctored, [D_PREC])
+        assert any(f.kind == "bookkeeping" for f in report.findings)

@@ -1,0 +1,283 @@
+"""Scheduler policy ablations and network failure injection."""
+
+import random
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import satisfies
+from repro.scheduler import DistributedScheduler
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.scheduler.events import SchedulerPolicy
+from repro.sim.clock import Simulator
+from repro.sim.network import Network
+from repro.workloads.generators import chain_workflow, scripts_for
+from repro.workloads.scenarios import make_travel_booking
+
+E, F = Event("e"), Event("f")
+
+
+def run_scenario(scenario, **kwargs):
+    w = scenario.workflow
+    sched = DistributedScheduler(
+        w.dependencies, sites=w.sites, attributes=w.attributes, **kwargs
+    )
+    return sched.run(scenario.scripts)
+
+
+class TestPromiseChainingAblation:
+    def test_chaining_prevents_broken_promises_on_dropped_chain(self):
+        """The dropped-head chain: with chaining ON the system settles
+        all-negative cleanly; with chaining OFF an optimistic grant
+        lets the head fire on a promise that is later broken."""
+        w = chain_workflow(4)
+        scripts = scripts_for(w, seed=3, participation=0.5)
+
+        with_chaining = DistributedScheduler(
+            w.dependencies, sites=w.sites, attributes=w.attributes
+        ).run([AgentScript(s.site, list(s.attempts)) for s in scripts])
+        assert with_chaining.ok
+        assert not with_chaining.unsettled
+
+        without = DistributedScheduler(
+            w.dependencies,
+            sites=w.sites,
+            attributes=w.attributes,
+            policy=SchedulerPolicy(promise_chaining=False),
+        ).run([AgentScript(s.site, list(s.attempts)) for s in scripts])
+        assert any(v.kind == "promise" for v in without.violations)
+
+    def test_chaining_off_still_fine_on_simple_mutual(self):
+        """Example 11's 2-cycle is safe even optimistically."""
+        deps = [parse("~e + f"), parse("~f + e")]
+        result = DistributedScheduler(
+            deps, policy=SchedulerPolicy(promise_chaining=False)
+        ).run(
+            [
+                AgentScript("se", [ScriptedAttempt(0.0, E)]),
+                AgentScript("sf", [ScriptedAttempt(0.0, F)]),
+            ]
+        )
+        assert result.ok
+        assert {en.event for en in result.entries} == {E, F}
+
+
+class TestLazyTriggeringAblation:
+    @staticmethod
+    def _alternative_workflow():
+        """``~e + a_comp + z_real``: e needs either the (triggerable)
+        fallback ``a_comp`` or the real event ``z_real``, which a task
+        attempts shortly after e.  Lazy triggering waits for the real
+        event; eager triggering causes the fallback at once."""
+        from repro.scheduler.events import EventAttributes
+
+        a_comp, z_real = Event("a_comp"), Event("z_real")
+        deps = [parse("~e + a_comp + z_real")]
+        attributes = {a_comp: EventAttributes(triggerable=True)}
+        scripts = [
+            AgentScript(
+                "s",
+                [ScriptedAttempt(0.0, E), ScriptedAttempt(2.0, z_real)],
+            )
+        ]
+        return deps, attributes, scripts, a_comp, z_real
+
+    def test_lazy_triggering_prefers_the_real_event(self):
+        deps, attributes, scripts, a_comp, z_real = self._alternative_workflow()
+        result = DistributedScheduler(deps, attributes=attributes).run(
+            [AgentScript(s.site, list(s.attempts)) for s in scripts]
+        )
+        assert result.ok
+        occurred = {en.event for en in result.entries}
+        assert z_real in occurred
+        assert a_comp not in occurred  # the fallback never ran
+
+    def test_eager_triggering_runs_the_fallback_needlessly(self):
+        deps, attributes, scripts, a_comp, z_real = self._alternative_workflow()
+        result = DistributedScheduler(
+            deps,
+            attributes=attributes,
+            policy=SchedulerPolicy(lazy_triggering=False),
+        ).run([AgentScript(s.site, list(s.attempts)) for s in scripts])
+        assert result.ok  # still a valid trace...
+        occurred = {en.event for en in result.entries}
+        assert a_comp in occurred  # ...but the fallback fired eagerly
+
+    def test_failure_path_unaffected(self):
+        scenario = make_travel_booking("failure")
+        for policy in (SchedulerPolicy(), SchedulerPolicy(lazy_triggering=False)):
+            result = run_scenario(scenario, policy=policy)
+            assert result.ok
+            assert any(
+                en.event.name == "s_cancel" and not en.event.negated
+                for en in result.entries
+            )
+
+
+class TestCertificateAblation:
+    def test_without_certificates_precedence_serializes(self):
+        """D_<: with certificates, e fires while f is merely parked;
+        without them, e must wait for f's base to settle -- here that
+        means the run degrades to the all-negative/partial outcome."""
+        d = parse("~e + ~f + e . f")
+        script = AgentScript(
+            "s", [ScriptedAttempt(0.0, E), ScriptedAttempt(1.0, F)]
+        )
+        with_certs = DistributedScheduler([d]).run(
+            [AgentScript("s", list(script.attempts))]
+        )
+        assert [en.event for en in with_certs.entries] == [E, F]
+        assert with_certs.not_yet_rounds >= 1
+
+        without = DistributedScheduler(
+            [d], policy=SchedulerPolicy(certificates=False)
+        ).run([AgentScript("s", list(script.attempts))])
+        # no certificate protocol: no rounds ran; trace stays valid
+        assert without.not_yet_rounds == 0
+        assert satisfies(without.trace, d)
+
+
+class TestEscalationAblation:
+    @staticmethod
+    def _multi_alternative():
+        """``~e + a + b`` with both alternatives triggerable and nobody
+        attempting them: only quiescence escalation can cause one."""
+        from repro.scheduler.events import EventAttributes
+
+        a, b = Event("a"), Event("b")
+        deps = [parse("~e + a + b")]
+        attributes = {
+            a: EventAttributes(triggerable=True),
+            b: EventAttributes(triggerable=True),
+        }
+        return deps, attributes
+
+    def test_escalation_resolves_parked_alternatives(self):
+        deps, attributes = self._multi_alternative()
+        result = DistributedScheduler(deps, attributes=attributes).run(
+            [AgentScript("s", [ScriptedAttempt(0.0, E)])]
+        )
+        assert result.ok
+        occurred = {en.event for en in result.entries}
+        assert E in occurred
+        assert result.triggered >= 1
+
+    def test_without_escalation_everything_settles_negative(self):
+        deps, attributes = self._multi_alternative()
+        result = DistributedScheduler(
+            deps,
+            attributes=attributes,
+            policy=SchedulerPolicy(escalation=False),
+        ).run([AgentScript("s", [ScriptedAttempt(0.0, E)])])
+        # e parks on its alternatives forever; settlement goes negative
+        assert result.ok
+        occurred = {en.event for en in result.entries}
+        assert E not in occurred
+        assert result.triggered == 0
+
+
+class TestFailureInjection:
+    def test_network_validates_probabilities(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, drop_probability=1.5)
+        with pytest.raises(ValueError):
+            Network(sim, duplicate_probability=-0.1)
+
+    def test_drops_are_counted_and_detected(self):
+        """With heavy message loss the run may wedge -- but it must
+        *report* that (unsettled bases / violations), never silently
+        claim success with an invalid trace."""
+        scenario = make_travel_booking("success")
+        clean_traces = 0
+        for seed in range(6):
+            w = scenario.workflow
+            sched = DistributedScheduler(
+                w.dependencies,
+                sites=w.sites,
+                attributes=w.attributes,
+                rng=random.Random(seed),
+                drop_probability=0.3,
+            )
+            result = sched.run(scenario.scripts)
+            if result.ok:
+                clean_traces += 1
+                # an ok run must really satisfy the dependencies
+                for dep in w.dependencies:
+                    assert satisfies(result.trace, dep)
+            else:
+                assert result.unsettled or result.violations
+            assert sched.network.stats.dropped > 0
+
+    def test_duplicates_are_harmless(self):
+        """Announcements and grants are idempotent: duplication changes
+        counts but never correctness."""
+        scenario = make_travel_booking("success")
+        w = scenario.workflow
+        sched = DistributedScheduler(
+            w.dependencies,
+            sites=w.sites,
+            attributes=w.attributes,
+            rng=random.Random(7),
+            duplicate_probability=0.3,
+        )
+        result = sched.run(scenario.scripts)
+        assert result.ok, result.violations
+        assert sched.network.stats.duplicated > 0
+        occurred = {en.event for en in result.entries}
+        assert scenario.expect_occur <= occurred
+
+    def test_zero_probability_is_default_behaviour(self):
+        scenario = make_travel_booking("failure")
+        w = scenario.workflow
+        sched = DistributedScheduler(
+            w.dependencies, sites=w.sites, attributes=w.attributes
+        )
+        result = sched.run(scenario.scripts)
+        assert sched.network.stats.dropped == 0
+        assert sched.network.stats.duplicated == 0
+        assert result.ok
+
+
+class TestMinimizedGuards:
+    """Running the actors on prime-cover-minimized guards preserves
+    behaviour on every canonical scenario (the regions are equal; only
+    the cube decomposition differs)."""
+
+    @pytest.mark.parametrize("outcome", ["success", "failure"])
+    def test_travel_scenarios(self, outcome):
+        scenario = make_travel_booking(outcome)
+        plain = run_scenario(scenario)
+        minimized = run_scenario(scenario, minimize_guards=True)
+        assert plain.ok and minimized.ok
+        assert {en.event for en in plain.entries} == {
+            en.event for en in minimized.entries
+        }
+
+    def test_mutex_scenario(self):
+        from repro.workloads.scenarios import make_mutex_scenario
+
+        scenario = make_mutex_scenario("t1")
+        result = run_scenario(scenario, minimize_guards=True)
+        assert result.ok
+        order = [en.event.name for en in result.entries]
+        b1, e1 = order.index("b1"), order.index("e1")
+        b2, e2 = order.index("b2"), order.index("e2")
+        assert e1 < b2 or e2 < b1
+
+    def test_minimization_reduces_actor_state(self):
+        from repro.scheduler import DistributedScheduler
+
+        scenario = make_travel_booking("success")
+        w = scenario.workflow
+        plain = DistributedScheduler(
+            w.dependencies, sites=w.sites, attributes=w.attributes
+        )
+        small = DistributedScheduler(
+            w.dependencies, sites=w.sites, attributes=w.attributes,
+            minimize_guards=True,
+        )
+        plain_size = sum(a.guard.literal_count() for a in plain.actors.values())
+        small_size = sum(a.guard.literal_count() for a in small.actors.values())
+        assert small_size < plain_size

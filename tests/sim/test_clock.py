@@ -1,0 +1,86 @@
+"""The discrete-event simulation core."""
+
+import pytest
+
+from repro.sim.clock import Simulator
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def respawn():
+            sim.schedule(0.0, respawn)
+
+        sim.schedule(0.0, respawn)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: sim.schedule_at(7.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [7.0]
+
+    def test_schedule_at_past_fires_now(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: sim.schedule_at(1.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_step_and_pending(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending == 1
+        assert sim.step()
+        assert sim.pending == 0
+        assert not sim.step()

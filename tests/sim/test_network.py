@@ -1,0 +1,108 @@
+"""Simulated network: latency, FIFO, service queues, accounting."""
+
+import random
+
+import pytest
+
+from repro.sim.clock import Simulator
+from repro.sim.network import (
+    ConstantLatency,
+    ExponentialLatency,
+    Network,
+    UniformLatency,
+)
+
+
+def _rig(latency=None, service=None):
+    sim = Simulator()
+    net = Network(sim, latency=latency, rng=random.Random(7), service_times=service)
+    return sim, net
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(2.5)
+        assert model.sample(random.Random(0), "a", "b") == 2.5
+
+    def test_uniform_in_bounds(self):
+        model = UniformLatency(1.0, 2.0)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert 1.0 <= model.sample(rng, "a", "b") <= 2.0
+
+    def test_uniform_validates(self):
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)
+
+    def test_exponential_nonnegative(self):
+        model = ExponentialLatency(3.0)
+        rng = random.Random(0)
+        assert all(model.sample(rng, "a", "b") >= 0 for _ in range(50))
+
+    def test_zero_mean_exponential(self):
+        assert ExponentialLatency(0.0).sample(random.Random(0), "a", "b") == 0.0
+
+
+class TestDelivery:
+    def test_intra_site_is_free(self):
+        sim, net = _rig(ConstantLatency(5.0))
+        arrivals = []
+        net.send("a", "a", "msg", 1, lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [0.0]
+        assert net.stats.intra_site == 1
+
+    def test_inter_site_pays_latency(self):
+        sim, net = _rig(ConstantLatency(5.0))
+        arrivals = []
+        net.send("a", "b", "msg", 1, lambda p: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [5.0]
+        assert net.stats.inter_site == 1
+
+    def test_fifo_per_channel(self):
+        sim, net = _rig(UniformLatency(1.0, 10.0))
+        arrivals = []
+        for i in range(20):
+            net.send("a", "b", "msg", i, lambda p: arrivals.append(p))
+        sim.run()
+        assert arrivals == list(range(20))
+
+    def test_payload_passthrough(self):
+        sim, net = _rig()
+        got = []
+        net.send("a", "b", "msg", {"k": 1}, got.append)
+        sim.run()
+        assert got == [{"k": 1}]
+
+
+class TestServiceQueue:
+    def test_central_site_serializes(self):
+        sim, net = _rig(ConstantLatency(0.0), service={"center": 2.0})
+        done = []
+        for i in range(3):
+            net.send("a", "center", "attempt", i, lambda p: done.append(sim.now))
+        sim.run()
+        assert done == [2.0, 4.0, 6.0]
+        assert net.stats.max_queue_wait == 4.0
+
+    def test_unqueued_site_processes_in_parallel(self):
+        sim, net = _rig(ConstantLatency(1.0))
+        done = []
+        for i in range(3):
+            net.send("a", "b", "x", i, lambda p: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 1.0, 1.0]
+
+
+class TestAccounting:
+    def test_by_kind_and_site_load(self):
+        sim, net = _rig()
+        for _ in range(3):
+            net.send("a", "b", "announce", None, lambda p: None)
+        net.send("a", "c", "promise_request", None, lambda p: None)
+        sim.run()
+        assert net.stats.by_kind == {"announce": 3, "promise_request": 1}
+        assert net.site_load() == {"b": 3, "c": 1}
+        assert net.max_site_load() == 3
+        assert net.stats.messages == 4

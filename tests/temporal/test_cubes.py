@@ -1,0 +1,196 @@
+"""The four-world cube algebra (Figure 3 as a decision procedure)."""
+
+import pytest
+
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace, maximal_universe
+from repro.temporal.cubes import (
+    C_OCC,
+    DIA_COMP_MASK,
+    DIA_MASK,
+    E_OCC,
+    FALSE_GUARD,
+    FULL,
+    GuardExpr,
+    NOTYET_MASK,
+    P_C,
+    P_E,
+    TRUE_GUARD,
+    closure,
+    flip,
+    literal,
+    worlds_at,
+)
+from repro.temporal.semantics import holds
+
+E, F = Event("e"), Event("f")
+
+
+class TestMasksAndWorlds:
+    def test_literal_masks_match_figure_3(self):
+        assert literal("box", E).cubes == frozenset({((E, E_OCC),)})
+        assert literal("dia", E).cubes == frozenset({((E, E_OCC | P_E),)})
+        assert literal("notyet", E).cubes == frozenset(
+            {((E, C_OCC | P_E | P_C),)}
+        )
+
+    def test_complement_literals_flip(self):
+        assert literal("box", ~E).cubes == frozenset({((E, C_OCC),)})
+        assert literal("dia", ~E).cubes == frozenset({((E, C_OCC | P_C),)})
+
+    def test_flip_involution(self):
+        for mask in range(16):
+            assert flip(flip(mask)) == mask
+
+    def test_closure(self):
+        assert closure(P_E) == P_E | E_OCC
+        assert closure(P_C) == P_C | C_OCC
+        assert closure(E_OCC) == E_OCC
+        assert closure(FULL) == FULL
+
+    def test_worlds_at(self):
+        u = Trace([E, ~F])
+        assert worlds_at(u, 0) == {E: P_E, F: P_C}
+        assert worlds_at(u, 1) == {E: E_OCC, F: P_C}
+        assert worlds_at(u, 2) == {E: E_OCC, F: C_OCC}
+
+    def test_unknown_literal_kind(self):
+        with pytest.raises(ValueError):
+            literal("sometime", E)
+
+
+class TestBooleanAlgebra:
+    def test_true_false(self):
+        assert TRUE_GUARD.is_true
+        assert FALSE_GUARD.is_false
+        assert (TRUE_GUARD & FALSE_GUARD).is_false
+        assert (TRUE_GUARD | FALSE_GUARD).is_true
+
+    def test_conj_intersects_masks(self):
+        g = literal("dia", E) & literal("notyet", E)
+        assert g.cubes == frozenset({((E, P_E),)})
+
+    def test_contradiction_collapses(self):
+        g = literal("box", E) & literal("notyet", E)
+        assert g.is_false
+
+    def test_box_and_dia_is_box(self):
+        assert (literal("box", E) & literal("dia", E)) == literal("box", E)
+
+    def test_example8_b_disjunction_of_dias(self):
+        g = literal("dia", E) | literal("dia", ~E)
+        assert g.is_true  # masks {E,PE} and {C,PC} merge to FULL
+
+    def test_example8_c_conj_of_dias(self):
+        assert (literal("dia", E) & literal("dia", ~E)).is_false
+
+    def test_example8_e_boolean_complement(self):
+        assert (literal("notyet", E) | literal("box", E)).is_true
+        assert (literal("notyet", E) & literal("box", E)).is_false
+
+    def test_example8_f_absorption(self):
+        g = literal("notyet", E) | literal("box", ~E)
+        assert g == literal("notyet", E)
+
+    def test_multi_base_conj(self):
+        g = literal("box", E) & literal("notyet", F)
+        assert g.cube_count() == 1
+        assert g.literal_count() == 2
+
+    def test_absorption_of_subsumed_cube(self):
+        small = literal("box", E) & literal("dia", F)
+        big = literal("dia", F)
+        assert (small | big) == big
+
+    def test_equivalent_and_entails(self):
+        g1 = literal("notyet", E) | literal("box", E)
+        assert g1.equivalent(TRUE_GUARD)
+        assert literal("box", E).entails(literal("dia", E))
+        assert not literal("dia", E).entails(literal("box", E))
+
+
+class TestEvaluation:
+    def test_holds_at_matches_exact_semantics(self):
+        """Cube evaluation equals the exact T semantics, for all
+        single-literal guards on all points of a 2-event universe."""
+        guards = [
+            literal(kind, ev)
+            for kind in ("box", "dia", "notyet")
+            for ev in (E, ~E, F, ~F)
+        ]
+        for guard in guards:
+            formula = guard.to_formula()
+            for u in maximal_universe([E, F]):
+                for i in range(len(u) + 1):
+                    assert guard.holds_at(u, i) == holds(u, i, formula), (
+                        guard,
+                        u,
+                        i,
+                    )
+
+    def test_compound_guard_matches_exact_semantics(self):
+        compound = (literal("box", E) & literal("notyet", F)) | literal(
+            "dia", ~F
+        )
+        formula = compound.to_formula()
+        for u in maximal_universe([E, F]):
+            for i in range(len(u) + 1):
+                assert compound.holds_at(u, i) == holds(u, i, formula)
+
+
+class TestKnowledgeReasoning:
+    def test_region_subsumes(self):
+        g = literal("notyet", F)
+        assert not g.region_subsumes({})  # unknown: could be occurred
+        assert g.region_subsumes({F: P_E | P_C})  # certified not yet
+        assert g.region_subsumes({F: C_OCC})
+        assert not g.region_subsumes({F: E_OCC})
+
+    def test_possible_under(self):
+        g = literal("box", F)
+        assert g.possible_under({})  # F may still occur
+        assert g.possible_under({F: P_E | P_C})
+        assert not g.possible_under({F: C_OCC})  # complement settled
+
+    def test_simplify_under_box_message(self):
+        """Receiving []f : []f, <>f -> T ; !f -> 0 (Section 4.3)."""
+        knowledge = {F: E_OCC}
+        assert literal("box", F).simplify_under(knowledge).is_true
+        assert literal("dia", F).simplify_under(knowledge).is_true
+        assert literal("notyet", F).simplify_under(knowledge).is_false
+
+    def test_simplify_under_dia_message(self):
+        """Receiving <>f : <>f -> T ; []f and !f unaffected."""
+        knowledge = {F: DIA_MASK}
+        assert literal("dia", F).simplify_under(knowledge).is_true
+        assert literal("box", F).simplify_under(knowledge) == literal("box", F)
+        assert literal("notyet", F).simplify_under(knowledge) == literal(
+            "notyet", F
+        )
+
+    def test_simplify_under_comp_messages(self):
+        """Receiving []~f or <>~f : []f, <>f -> 0 ; !f -> T."""
+        for knowledge in ({F: C_OCC}, {F: DIA_COMP_MASK}):
+            assert literal("box", F).simplify_under(knowledge).is_false
+            assert literal("dia", F).simplify_under(knowledge).is_false
+            assert literal("notyet", F).simplify_under(knowledge).is_true
+
+    def test_simplify_preserves_unrelated_bases(self):
+        g = literal("box", E) & literal("dia", F)
+        out = g.simplify_under({F: E_OCC})
+        assert out == literal("box", E)
+
+
+class TestRendering:
+    def test_repr_true_false(self):
+        assert repr(TRUE_GUARD) == "T"
+        assert repr(FALSE_GUARD) == "0"
+
+    def test_repr_literals(self):
+        assert repr(literal("notyet", F)) == "!f"
+        assert repr(literal("box", E)) == "[]e"
+        assert repr(literal("dia", ~E)) == "<>~e"
+
+    def test_repr_mask_sums(self):
+        g = literal("box", E) | literal("dia", ~E)
+        assert repr(g) == "([]e + <>~e)"

@@ -1,0 +1,97 @@
+"""The T-formula AST: constructors, operators, embedding."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.temporal.formulas import (
+    Always,
+    Eventually,
+    NotYet,
+    TAtom,
+    TChoice,
+    TConj,
+    TSeq,
+    T_TOP,
+    T_ZERO,
+    embed,
+)
+
+E, F = Event("e"), Event("f")
+
+
+class TestConstructors:
+    def test_choice_flattens_and_dedupes(self):
+        a, b = TAtom(E), TAtom(F)
+        built = TChoice.of([a, TChoice.of([b, a])])
+        assert built == TChoice.of([a, b])
+
+    def test_choice_constants(self):
+        a = TAtom(E)
+        assert TChoice.of([a, T_ZERO]) == a
+        assert TChoice.of([a, T_TOP]) == T_TOP
+        assert TChoice.of([]) == T_ZERO
+
+    def test_conj_constants(self):
+        a = TAtom(E)
+        assert TConj.of([a, T_TOP]) == a
+        assert TConj.of([a, T_ZERO]) == T_ZERO
+        assert TConj.of([]) == T_TOP
+
+    def test_seq_flattens(self):
+        a, b = TAtom(E), TAtom(F)
+        built = TSeq.of([a, TSeq.of([b, a])])
+        assert isinstance(built, TSeq)
+        assert len(built.parts) == 3
+
+    def test_seq_zero_annihilates(self):
+        assert TSeq.of([TAtom(E), T_ZERO]) == T_ZERO
+
+    def test_operators(self):
+        a, b = TAtom(E), TAtom(F)
+        assert a + b == TChoice.of([a, b])
+        assert a & b == TConj.of([a, b])
+        assert a >> b == TSeq.of([a, b])
+
+    def test_unary_equality_and_hash(self):
+        assert Always(TAtom(E)) == Always(TAtom(E))
+        assert Always(TAtom(E)) != Eventually(TAtom(E))
+        assert hash(NotYet(TAtom(E))) == hash(NotYet(TAtom(E)))
+
+    def test_repr(self):
+        assert repr(Always(TAtom(E))) == "[](e)"
+        assert repr(Eventually(TAtom(E))) == "<>(e)"
+        assert repr(NotYet(TAtom(E))) == "!(e)"
+
+
+class TestInspection:
+    def test_events_collected(self):
+        formula = Always(TAtom(E)) & NotYet(TAtom(~F))
+        assert formula.events() == frozenset({E, ~F})
+        assert formula.bases() == frozenset({E, F})
+        assert formula.alphabet() == frozenset({E, ~E, F, ~F})
+
+    def test_walk(self):
+        formula = Always(TChoice.of([TAtom(E), TAtom(F)]))
+        names = [type(node).__name__ for node in formula.walk()]
+        assert names[0] == "Always"
+        assert names.count("TAtom") == 2
+
+
+class TestEmbedding:
+    def test_embed_structure(self):
+        expr = parse("~e + f . g")
+        formula = embed(expr)
+        assert isinstance(formula, TChoice)
+        assert formula.events() == expr.events()
+
+    def test_embed_constants(self):
+        assert embed(parse("T")) == T_TOP
+        assert embed(parse("0")) == T_ZERO
+
+    def test_coercion_in_operators(self):
+        # raw Expr and Event values coerce inside formula operators
+        combined = TAtom(E) & parse("f")
+        assert combined == TConj.of([TAtom(E), TAtom(F)])
+        with pytest.raises(TypeError):
+            TAtom(E) & 42

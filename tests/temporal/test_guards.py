@@ -1,0 +1,257 @@
+"""Guard synthesis: Definition 2, Example 9, Figure 4, Section 4.4 results."""
+
+import pytest
+
+from repro.algebra.expressions import TOP, ZERO
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import maximal_universe, satisfies
+from repro.temporal.cubes import FALSE_GUARD, TRUE_GUARD, literal
+from repro.temporal.guards import (
+    accepting_paths,
+    generates,
+    guard,
+    guard_formula,
+    lemma5_guard,
+    path_guard,
+    workflow_guards,
+)
+from repro.temporal.semantics import holds, t_equivalent
+
+E, F, G = Event("e"), Event("f"), Event("g")
+D_PREC = parse("~e + ~f + e . f")
+D_ARROW = parse("~e + f")
+
+
+class TestExample9:
+    """All eight guard computations of Example 9, verbatim."""
+
+    def test_1_top(self):
+        assert guard(TOP, E) == TRUE_GUARD
+
+    def test_2_zero(self):
+        assert guard(ZERO, E) == FALSE_GUARD
+
+    def test_3_own_atom(self):
+        assert guard(parse("e"), E) == TRUE_GUARD
+
+    def test_4_own_complement(self):
+        assert guard(parse("~e"), E) == FALSE_GUARD
+
+    def test_5_precedes_guard_on_not_e(self):
+        assert guard(D_PREC, ~E) == TRUE_GUARD
+
+    def test_6_precedes_guard_on_e_is_notyet_f(self):
+        assert guard(D_PREC, E) == literal("notyet", F)
+
+    def test_7_precedes_guard_on_not_f(self):
+        assert guard(D_PREC, ~F) == TRUE_GUARD
+
+    def test_8_precedes_guard_on_f(self):
+        expected = literal("dia", ~E) | literal("box", E)
+        assert guard(D_PREC, F) == expected
+
+    def test_narrative_reading(self):
+        """'~e can occur at any time, and e can occur if f has not yet
+        happened ... f can occur only if e has occurred or ~e is
+        guaranteed.'"""
+        g_e = guard(D_PREC, E)
+        assert repr(g_e) == "!f"
+        g_f = guard(D_PREC, F)
+        assert repr(g_f) == "([]e + <>~e)"
+
+
+class TestExample11:
+    def test_mutual_eventuality_guards(self):
+        """D_-> gives e the guard <>f; the transpose gives f the guard <>e."""
+        assert guard(D_ARROW, E) == literal("dia", F)
+        transpose = parse("~f + e")
+        assert guard(transpose, F) == literal("dia", E)
+
+
+class TestGuardDefinitionConsistency:
+    """The cube guard equals the literal Definition 2 formula wherever
+    the exact semantics can check it."""
+
+    DEPS = [
+        "~e + f",
+        "~e + ~f + e . f",
+        "e . f",
+        "e + f",
+        "e | f",
+        "~e + ~f + ~g",
+    ]
+
+    @pytest.mark.parametrize("text", DEPS)
+    def test_guard_matches_exact_formula(self, text):
+        dep = parse(text)
+        for ev in sorted(dep.alphabet()):
+            cube_guard = guard(dep, ev)
+            exact = guard_formula(dep, ev)
+            assert t_equivalent(cube_guard.to_formula(), exact), (text, ev)
+
+    def test_sequence_insight_weakens_single_guard(self):
+        """For residuals containing multi-event sequences the cube
+        guard is deliberately weaker than the literal formula: the
+        '<>(f . g)' term becomes '<>f | <>g' (Section 4.2's insight).
+        Per-event equivalence fails; Theorem 6 (below) shows the
+        guards are collectively exact anyway."""
+        dep = parse("~e + f . g")
+        cube_guard = guard(dep, E)
+        exact = guard_formula(dep, E)
+        from repro.temporal.semantics import t_entails
+
+        assert not t_equivalent(cube_guard.to_formula(), exact)
+        assert t_entails(exact, cube_guard.to_formula())
+
+
+class TestAcceptingPaths:
+    def test_arrow_paths(self):
+        # ~e or f discharge immediately; e first leaves the obligation
+        # f, and ~f first leaves the obligation ~e
+        assert accepting_paths(D_ARROW) == frozenset(
+            {(~E,), (F,), (E, F), (~F, ~E)}
+        )
+
+    def test_precedes_paths(self):
+        paths = accepting_paths(D_PREC)
+        assert (E, F) in paths
+        assert (~E,) in paths
+        assert (~F,) in paths
+        assert (F, ~E) in paths
+        assert (E, ~F) in paths
+        assert (F, E) not in paths
+
+    def test_non_minimal_paths_extend(self):
+        non_minimal = accepting_paths(D_ARROW, minimal=False)
+        assert (F, E) in non_minimal
+        assert (~E, F) in non_minimal
+
+    def test_zero_has_no_paths(self):
+        assert accepting_paths(ZERO) == frozenset()
+
+    def test_top_has_empty_path(self):
+        assert () in accepting_paths(TOP)
+
+
+class TestPathGuard:
+    def test_closed_form(self):
+        """G(e1..ek..en, ek) = []-before | !-after | <>-after."""
+        g = path_guard((E, F, G), F)
+        expected = (
+            literal("box", E)
+            & literal("notyet", G)
+            & literal("dia", G)
+        )
+        assert g == expected
+
+    def test_event_not_on_path(self):
+        with pytest.raises(ValueError):
+            path_guard((E, F), G)
+
+
+class TestLemma5:
+    DEPS = ["~e + f", "~e + ~f + e . f", "e . f", "e | f", "e + f"]
+
+    @pytest.mark.parametrize("text", DEPS)
+    def test_guard_equals_path_sum(self, text):
+        dep = parse(text)
+        for ev in sorted(dep.alphabet()):
+            assert guard(dep, ev).equivalent(lemma5_guard(dep, ev)), (text, ev)
+
+
+class TestTheorems2And4:
+    """Guard decomposition over alphabet-disjoint dependencies."""
+
+    PAIRS = [
+        ("~e + f", "~g + h"),
+        ("e . f", "g . h"),
+        ("~e + ~f + e . f", "g + h"),
+    ]
+
+    @pytest.mark.parametrize("left,right", PAIRS)
+    def test_theorem_2_choice(self, left, right):
+        d, x = parse(left), parse(right)
+        combined = d + x
+        for ev in sorted(d.alphabet()):
+            assert guard(combined, ev).equivalent(
+                guard(d, ev) | guard(x, ev)
+            ), ev
+
+    @pytest.mark.parametrize("left,right", PAIRS)
+    def test_theorem_4_conj(self, left, right):
+        d, x = parse(left), parse(right)
+        combined = d & x
+        for ev in sorted(d.alphabet()):
+            assert guard(combined, ev).equivalent(
+                guard(d, ev) & guard(x, ev)
+            ), ev
+
+
+class TestLemma3:
+    """G(D,e) = !g | G(D,e)  +  []g | G(D/g, e) for any foreign g."""
+
+    @pytest.mark.parametrize("text", ["~e + f", "~e + ~f + e . f", "e . f"])
+    def test_case_split(self, text):
+        from repro.algebra.residuation import residuate
+
+        dep = parse(text)
+        for ev in sorted(dep.alphabet()):
+            base_guard = guard(dep, ev)
+            for g_ev in sorted(dep.alphabet()):
+                if g_ev.base == ev.base:
+                    continue
+                split = (literal("notyet", g_ev) & base_guard) | (
+                    literal("box", g_ev) & guard(residuate(dep, g_ev), ev)
+                )
+                assert base_guard.equivalent(split), (text, ev, g_ev)
+
+
+class TestTheorem6:
+    """W generates u  iff  u satisfies every D in W (exhaustively)."""
+
+    WORKFLOWS = [
+        ["~e + f"],
+        ["~e + ~f + e . f"],
+        ["~e + f", "~f + e"],
+        ["~e + ~f + e . f", "~e + f"],
+        ["e . f"],
+        ["e | f"],
+        ["~e + ~f + e . f", "~f + ~g + f . g"],
+        # sequences in residuals: the conjunctive-insight case whose
+        # per-event guards are weaker but collectively exact
+        ["~e + f . g"],
+        ["f . g"],
+    ]
+
+    @pytest.mark.parametrize("texts", WORKFLOWS)
+    def test_generation_characterizes_satisfaction(self, texts):
+        deps = [parse(t) for t in texts]
+        table = workflow_guards(deps, mentioned_only=False)
+        bases = set()
+        for d in deps:
+            bases |= d.bases()
+        for u in maximal_universe(bases):
+            generated = generates(table, u)
+            satisfied = all(satisfies(u, d) for d in deps)
+            assert generated == satisfied, (texts, u)
+
+
+class TestWorkflowGuards:
+    def test_mentioned_only_restricts(self):
+        deps = [parse("~e + f"), parse("~g + h")]
+        table = workflow_guards(deps, mentioned_only=True)
+        # e's guard only involves f (not g/h)
+        assert table[E].bases() <= {F}
+
+    def test_conjunction_across_dependencies(self):
+        deps = [D_PREC, parse("~e + f")]
+        table = workflow_guards(deps)
+        # e needs: f not yet (from D_<) AND f eventually (from D_->)
+        expected = literal("notyet", F) & literal("dia", F)
+        assert table[E] == expected
+
+    def test_guard_formula_example_9_narrative(self):
+        """Exact formula for G(D_<, e) is equivalent to !f."""
+        exact = guard_formula(D_PREC, E)
+        assert t_equivalent(exact, literal("notyet", F).to_formula())

@@ -1,0 +1,161 @@
+"""Exact point semantics of ``T`` (Semantics 7-14, Examples 7-8, Figure 3)."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace
+from repro.temporal.formulas import (
+    Always,
+    Eventually,
+    NotYet,
+    TAtom,
+    TChoice,
+    TConj,
+    TSeq,
+    T_TOP,
+    T_ZERO,
+    embed,
+)
+from repro.temporal.semantics import holds, t_entails, t_equivalent
+
+E, F, G = Event("e"), Event("f"), Event("g")
+
+
+class TestPointSemantics:
+    def test_atom_counts_prefix(self):
+        u = Trace([E, F])
+        assert not holds(u, 0, TAtom(E))
+        assert holds(u, 1, TAtom(E))
+        assert holds(u, 2, TAtom(E))
+        assert not holds(u, 1, TAtom(F))
+        assert holds(u, 2, TAtom(F))
+
+    def test_stability(self):
+        """Semantics 7 validates stability: once satisfied, always."""
+        u = Trace([E, F, ~G])
+        for formula in (TAtom(E), TAtom(F)):
+            satisfied_from = None
+            for i in range(len(u) + 1):
+                if holds(u, i, formula):
+                    satisfied_from = i
+                    break
+            assert satisfied_from is not None
+            for i in range(satisfied_from, len(u) + 1):
+                assert holds(u, i, formula)
+
+    def test_index_bounds(self):
+        u = Trace([E])
+        with pytest.raises(ValueError):
+            holds(u, 2, TAtom(E))
+        with pytest.raises(ValueError):
+            holds(u, -1, TAtom(E))
+
+    def test_example_7(self):
+        """u = <e f g>: the paper's six point-checks."""
+        u = Trace([E, F, G])
+        assert holds(u, 0, Eventually(TAtom(G)))
+        assert holds(
+            u, 0, TConj.of([NotYet(TAtom(E)), NotYet(TAtom(F)), NotYet(TAtom(G))])
+        )
+        assert holds(u, 0, Eventually(TSeq.of([TAtom(F), TAtom(G)])))
+        assert holds(
+            u, 1, TConj.of([Always(TAtom(E)), NotYet(TAtom(F)), NotYet(TAtom(G))])
+        )
+        assert not holds(u, 1, TSeq.of([TAtom(E), TAtom(G)]))
+        # The paper writes "u |=_2 e . g"; under its own Semantics 9
+        # with the Figure 3 indexing (index = events elapsed, so
+        # index 2 means only e and f have occurred), the split needs
+        # g to have occurred, which happens at index 3.  We follow the
+        # Figure 3 convention consistently.
+        assert not holds(u, 2, TSeq.of([TAtom(E), TAtom(G)]))
+        assert holds(u, 3, TSeq.of([TAtom(E), TAtom(G)]))
+
+    def test_seq_split_semantics(self):
+        """Semantics 9: e.g at index 2 of <e g> needs the split."""
+        u = Trace([E, G])
+        assert holds(u, 2, TSeq.of([TAtom(E), TAtom(G)]))
+        v = Trace([G, E])
+        assert not holds(v, 2, TSeq.of([TAtom(E), TAtom(G)]))
+
+
+class TestFigure3:
+    """The 6x4 truth table of Figure 3, verbatim."""
+
+    TABLE = {
+        # formula-builder: [(trace <e>, idx 0), (<e>, 1), (<~e>, 0), (<~e>, 1)]
+        "not_e": (lambda: NotYet(TAtom(E)), [True, False, True, True]),
+        "box_e": (lambda: Always(TAtom(E)), [False, True, False, False]),
+        "dia_e": (lambda: Eventually(TAtom(E)), [True, True, False, False]),
+        "not_ce": (lambda: NotYet(TAtom(~E)), [True, True, True, False]),
+        "box_ce": (lambda: Always(TAtom(~E)), [False, False, False, True]),
+        "dia_ce": (lambda: Eventually(TAtom(~E)), [False, False, True, True]),
+    }
+
+    @pytest.mark.parametrize("name", list(TABLE))
+    def test_row(self, name):
+        build, expected = self.TABLE[name]
+        formula = build()
+        points = [(Trace([E]), 0), (Trace([E]), 1), (Trace([~E]), 0), (Trace([~E]), 1)]
+        actual = [holds(u, i, formula) for u, i in points]
+        assert actual == expected
+
+
+class TestExample8Identities:
+    """The six identities (a)-(f) the semantics of T was designed for."""
+
+    def test_a_box_sum_not_top(self):
+        lhs = TChoice.of([Always(TAtom(E)), Always(TAtom(~E))])
+        assert not t_equivalent(lhs, T_TOP)
+
+    def test_b_dia_sum_is_top(self):
+        lhs = TChoice.of([Eventually(TAtom(E)), Eventually(TAtom(~E))])
+        assert t_equivalent(lhs, T_TOP)
+
+    def test_c_dia_conj_is_zero(self):
+        lhs = TConj.of([Eventually(TAtom(E)), Eventually(TAtom(~E))])
+        assert t_equivalent(lhs, T_ZERO)
+
+    def test_d_dia_plus_box_comp_not_top(self):
+        lhs = TChoice.of([Eventually(TAtom(E)), Always(TAtom(~E))])
+        assert not t_equivalent(lhs, T_TOP)
+
+    def test_e_notyet_is_boolean_complement_of_box(self):
+        assert t_equivalent(
+            TChoice.of([NotYet(TAtom(E)), Always(TAtom(E))]), T_TOP
+        )
+        assert t_equivalent(
+            TConj.of([NotYet(TAtom(E)), Always(TAtom(E))]), T_ZERO
+        )
+
+    def test_f_box_comp_entails_notyet(self):
+        lhs = TChoice.of([NotYet(TAtom(E)), Always(TAtom(~E))])
+        assert t_equivalent(lhs, NotYet(TAtom(E)))
+        assert t_entails(Always(TAtom(~E)), NotYet(TAtom(E)))
+
+    def test_box_of_atom_equals_atom(self):
+        """Stability gives [] e = e."""
+        assert t_equivalent(Always(TAtom(E)), TAtom(E))
+
+    def test_notyet_box_comp_differ(self):
+        """[] !e != !e : not-yet is not permanent."""
+        assert not t_equivalent(Always(NotYet(TAtom(E))), NotYet(TAtom(E)))
+
+
+class TestEmbedding:
+    def test_embedded_expression_matches_satisfaction_at_end(self):
+        """At the final index, the embedded expression holds iff the
+        trace satisfies it (Semantics 1-5 vs 7-11)."""
+        from repro.algebra.traces import maximal_universe, satisfies
+
+        for text in ("~e + f", "~e + ~f + e . f", "e . f", "e | f"):
+            expr = parse(text)
+            formula = embed(expr)
+            for u in maximal_universe(expr.bases()):
+                assert holds(u, len(u), formula) == satisfies(u, expr), (
+                    text,
+                    u,
+                )
+
+    def test_box_entails_dia(self):
+        assert t_entails(Always(TAtom(E)), Eventually(TAtom(E)))

@@ -1,0 +1,96 @@
+"""Guard minimization by prime-cube cover."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.temporal.cubes import FALSE_GUARD, TRUE_GUARD, literal
+from repro.temporal.guards import guard, workflow_guards
+from repro.temporal.simplify import guard_size, minimize
+
+E, F, G = Event("e"), Event("f"), Event("g")
+
+
+class TestMinimize:
+    def test_constants_fixed(self):
+        assert minimize(TRUE_GUARD) is TRUE_GUARD
+        assert minimize(FALSE_GUARD) is FALSE_GUARD
+
+    def test_complement_pair_collapses_to_top(self):
+        g = literal("notyet", E) | literal("box", E)
+        assert minimize(g).is_true
+
+    def test_dia_pair_collapses_to_top(self):
+        g = literal("dia", E) | literal("dia", ~E)
+        assert minimize(g).is_true
+
+    def test_single_literal_unchanged(self):
+        g = literal("notyet", F)
+        assert minimize(g) == g
+
+    def test_example9_guards_already_minimal(self):
+        d = parse("~e + ~f + e . f")
+        for ev in (E, ~E, F, ~F):
+            synthesized = guard(d, ev)
+            assert minimize(synthesized).equivalent(synthesized)
+            assert guard_size(minimize(synthesized)) <= guard_size(synthesized)
+
+    def test_redundant_overlap_removed(self):
+        # []e + ([]e | !f) : the second cube is subsumed -- already
+        # handled by construction, minimize must agree
+        g = literal("box", E) | (literal("box", E) & literal("notyet", F))
+        assert minimize(g) == literal("box", E)
+
+    def test_cross_cube_merge(self):
+        # (!f | []e) + (!f | !e... ) style overlaps merge into fewer cubes
+        g = (literal("notyet", F) & literal("box", E)) | (
+            literal("notyet", F) & literal("notyet", E)
+        ) | (literal("notyet", F) & literal("dia", E))
+        minimized = minimize(g)
+        assert minimized.equivalent(g)
+        assert minimized.cube_count() <= g.cube_count()
+
+    def test_shrinks_conjoined_dependency_guards(self):
+        deps = [parse("~e + ~f + e . f"), parse("~f + ~g + f . g")]
+        table = workflow_guards(deps)
+        for ev, synthesized in table.items():
+            minimized = minimize(synthesized)
+            assert minimized.equivalent(synthesized), ev
+            assert guard_size(minimized) <= guard_size(synthesized)
+
+
+def _guards():
+    lits = st.builds(
+        literal,
+        st.sampled_from(["box", "dia", "notyet"]),
+        st.sampled_from([E, ~E, F, ~F]),
+    )
+    leaves = st.one_of(lits, st.just(TRUE_GUARD), st.just(FALSE_GUARD))
+
+    def extend(children):
+        pair = st.tuples(children, children)
+        return st.one_of(
+            pair.map(lambda ab: ab[0] & ab[1]),
+            pair.map(lambda ab: ab[0] | ab[1]),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+class TestMinimizeProperties:
+    @given(_guards())
+    @settings(max_examples=120, deadline=None)
+    def test_equivalence_preserved(self, g):
+        assert minimize(g).equivalent(g)
+
+    @given(_guards())
+    @settings(max_examples=80, deadline=None)
+    def test_never_larger(self, g):
+        assert guard_size(minimize(g)) <= guard_size(g)
+
+    @given(_guards())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, g):
+        once = minimize(g)
+        assert guard_size(minimize(once)) == guard_size(once)

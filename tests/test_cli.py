@@ -1,0 +1,99 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SPEC = """
+workflow demo
+dep ~e + ~f + e . f
+dep ~e + f
+attr f triggerable
+site left  e
+site right f
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "demo.wf"
+    path.write_text(SPEC)
+    return str(path)
+
+
+class TestCompile:
+    def test_prints_guard_table(self, spec_file, capsys):
+        assert main(["compile", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "workflow demo: 2 dependencies" in out
+        assert "G(" in out and "!f" in out
+
+
+class TestAnalyze:
+    def test_clean_spec_exits_zero(self, spec_file, capsys):
+        assert main(["analyze", spec_file]) == 0
+        assert "satisfiable: True" in capsys.readouterr().out
+
+    def test_conflicting_spec_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.wf"
+        path.write_text("dep e . f\ndep f . e\n")
+        assert main(["analyze", str(path)]) == 1
+        assert "CONFLICT" in capsys.readouterr().out
+
+
+class TestAutomatonAndGraph:
+    def test_automaton_dot(self, capsys):
+        assert main(["automaton", "~e + ~f + e . f"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "doublecircle" in out
+
+    def test_graph_dot(self, spec_file, capsys):
+        assert main(["graph", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "digraph workflow" in out
+        assert "cluster_" in out
+
+
+class TestGuard:
+    def test_example_9(self, capsys):
+        assert main(["guard", "~e + ~f + e . f", "e"]) == 0
+        assert "= !f" in capsys.readouterr().out
+
+    def test_complement_event(self, capsys):
+        assert main(["guard", "~e + ~f + e . f", "~e"]) == 0
+        assert "= T" in capsys.readouterr().out
+
+    def test_rejects_non_event(self, capsys):
+        assert main(["guard", "~e + f", "e + f"]) == 2
+
+
+class TestRun:
+    def test_ordered_run(self, spec_file, capsys):
+        code = main(
+            [
+                "run", spec_file,
+                "--attempt", "e=0",
+                "--scheduler", "distributed",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "ok=True" in out
+        assert "*" in out
+
+    def test_centralized_run(self, spec_file, capsys):
+        code = main(
+            ["run", spec_file, "--attempt", "e=0", "--scheduler", "centralized"]
+        )
+        assert code == 0
+        assert "ok=True" in capsys.readouterr().out
+
+    def test_bad_attempt_syntax(self, spec_file, capsys):
+        assert main(["run", spec_file, "--attempt", "e"]) == 2
+        assert "bad --attempt" in capsys.readouterr().err
+
+    def test_no_attempts_settles_negative(self, spec_file, capsys):
+        assert main(["run", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "~e" in out

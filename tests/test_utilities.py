@@ -1,0 +1,93 @@
+"""Utilities added around the core: journal, explanations, selectivity."""
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace
+from repro.scheduler import DistributedScheduler
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.temporal.cubes import FALSE_GUARD, TRUE_GUARD, literal
+from repro.temporal.guards import guard
+from repro.viz import explain_guard, message_sequence_text
+from repro.workflows.analysis import admissible_traces, admitted_fraction
+from repro.workloads.scenarios import make_travel_booking
+
+E, F = Event("e"), Event("f")
+D_PREC = parse("~e + ~f + e . f")
+
+
+class TestMessageJournal:
+    def test_journal_records_all_messages(self):
+        scenario = make_travel_booking("success")
+        w = scenario.workflow
+        sched = DistributedScheduler(
+            w.dependencies, sites=w.sites, attributes=w.attributes
+        )
+        result = sched.run(scenario.scripts)
+        assert len(sched.network.journal) == result.messages
+        kinds = {entry[4] for entry in sched.network.journal}
+        assert "announce" in kinds
+
+    def test_journal_is_chronological(self):
+        sched = DistributedScheduler([D_PREC])
+        sched.run(
+            [AgentScript("s", [ScriptedAttempt(0.0, F), ScriptedAttempt(5.0, ~E)])]
+        )
+        times = [entry[0] for entry in sched.network.journal]
+        assert times == sorted(times)
+
+    def test_message_sequence_rendering(self):
+        sched = DistributedScheduler([D_PREC])
+        sched.run(
+            [AgentScript("s", [ScriptedAttempt(0.0, F), ScriptedAttempt(5.0, ~E)])]
+        )
+        text = message_sequence_text(sched.network.journal, limit=3)
+        assert "-->" in text or "local" in text
+        assert "more messages" in text
+
+    def test_empty_journal(self):
+        assert message_sequence_text([]) == "(no messages)"
+
+
+class TestExplainGuard:
+    def test_constants(self):
+        assert explain_guard(TRUE_GUARD) == "always allowed"
+        assert explain_guard(FALSE_GUARD) == "never allowed"
+
+    def test_example_9_guards_read_well(self):
+        assert explain_guard(guard(D_PREC, E)) == "f has not occurred yet"
+        assert explain_guard(guard(D_PREC, F)) == (
+            "e has occurred or will never occur"
+        )
+
+    def test_conjunction_and_disjunction(self):
+        g = (literal("box", E) & literal("notyet", F)) | literal("dia", ~F)
+        text = explain_guard(g)
+        assert " and " in text
+        assert "; or " in text
+
+
+class TestSelectivity:
+    def test_admissible_traces_are_satisfying(self):
+        deps = [D_PREC]
+        traces = list(admissible_traces(deps))
+        from repro.algebra.traces import satisfies
+
+        assert traces
+        assert all(satisfies(t, D_PREC) for t in traces)
+        # <f e> is the one forbidden shape among the 8 maximal traces
+        assert Trace([F, E]) not in traces
+        assert len(traces) == 7
+
+    def test_admitted_fraction(self):
+        admitted, total = admitted_fraction([D_PREC])
+        assert (admitted, total) == (7, 8)
+
+    def test_travel_workflow_selectivity(self):
+        w = make_travel_booking("success").workflow
+        admitted, total = admitted_fraction(w.dependencies)
+        assert 0 < admitted < total
+        assert total == 2**5 * 120  # 5 bases: 2^5 sign choices x 5! orders
+
+    def test_unsatisfiable_admits_nothing(self):
+        admitted, _total = admitted_fraction([parse("e . f"), parse("f . e")])
+        assert admitted == 0

@@ -1,0 +1,96 @@
+"""The workflow spec file format."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.workflows.loader import SpecError, dumps, load, loads
+
+TRAVEL = """
+# travel booking
+workflow travel
+dep ~s_buy + s_book
+dep ~c_buy + c_book . c_buy
+dep ~c_book + c_buy + s_cancel
+attr s_book   triggerable
+attr s_cancel triggerable
+site airline     s_buy c_buy
+site car_rental  s_book c_book s_cancel
+"""
+
+
+class TestLoads:
+    def test_full_spec(self):
+        w = loads(TRAVEL)
+        assert w.name == "travel"
+        assert len(w.dependencies) == 3
+        assert w.dependencies[0] == parse("~s_buy + s_book")
+        assert w.attributes[Event("s_book")].triggerable
+        assert w.sites[Event("s_buy")] == "airline"
+        assert w.sites[Event("s_cancel")] == "car_rental"
+
+    def test_default_name(self):
+        w = loads("dep ~e + f", default_name="fallback")
+        assert w.name == "fallback"
+
+    def test_comments_and_blanks_ignored(self):
+        w = loads("\n# nothing\n\ndep ~e + f  # trailing\n")
+        assert len(w.dependencies) == 1
+
+    def test_all_flags(self):
+        w = loads(
+            "dep ~e + f\nattr e triggerable guaranteed nonrejectable manual\n"
+        )
+        attrs = w.attributes[Event("e")]
+        assert attrs.triggerable and attrs.guaranteed
+        assert not attrs.rejectable and not attrs.auto_complement
+
+    def test_parametrized_events(self):
+        w = loads("dep ~s_buy[cid] + s_book[cid]\n")
+        assert any(ev.params for ev in w.alphabet())
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("dep e +", "bad dependency"),
+            ("attr e", "attr needs"),
+            ("attr e flying", "unknown flag"),
+            ("site only_name", "site needs"),
+            ("teleport x", "unknown directive"),
+            ("workflow", "workflow needs a name"),
+            ("attr e+f triggerable", "expected a single event"),
+        ],
+    )
+    def test_rejects(self, text, fragment):
+        with pytest.raises(SpecError) as excinfo:
+            loads(text)
+        assert fragment in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(SpecError) as excinfo:
+            loads("dep ~e + f\nteleport x\n")
+        assert excinfo.value.line_number == 2
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self):
+        original = loads(TRAVEL)
+        again = loads(dumps(original))
+        assert again.name == original.name
+        assert again.dependencies == original.dependencies
+        assert again.attributes == original.attributes
+        assert again.sites == original.sites
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "demo.wf"
+        path.write_text("dep ~e + f\n")
+        w = load(path)
+        assert w.name == "demo"
+        assert w.dependencies == [parse("~e + f")]
+
+    def test_example_file_parses(self):
+        w = load("examples/travel.wf")
+        assert w.name == "travel"
+        assert len(w.dependencies) == 3

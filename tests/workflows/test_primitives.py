@@ -1,0 +1,86 @@
+"""Dependency templates: Klein's primitives and the patterns built on them."""
+
+from repro.algebra.denotation import equivalent
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace, satisfies
+from repro.workflows.primitives import (
+    compensate,
+    coupled,
+    exclusive,
+    klein_arrow,
+    klein_precedes,
+    mutex,
+    requires,
+)
+
+E, F, G = Event("e"), Event("f"), Event("g")
+
+
+class TestKleinPrimitives:
+    def test_arrow_formalization(self):
+        assert klein_arrow(E, F) == parse("~e + f")
+
+    def test_precedes_formalization(self):
+        assert klein_precedes(E, F) == parse("~e + ~f + e . f")
+
+    def test_arrow_semantics(self):
+        d = klein_arrow(E, F)
+        assert satisfies(Trace([E, F]), d)
+        assert satisfies(Trace([F, E]), d)  # no order imposed (Example 2)
+        assert not satisfies(Trace([E, ~F]), d)
+
+    def test_precedes_semantics(self):
+        d = klein_precedes(E, F)
+        assert satisfies(Trace([E, F]), d)
+        assert not satisfies(Trace([F, E]), d)
+        assert satisfies(Trace([~E, F]), d)
+
+    def test_requires_is_arrow(self):
+        assert requires(E, F) == klein_arrow(E, F)
+
+
+class TestPatterns:
+    def test_exclusive(self):
+        d = exclusive(E, F)
+        assert satisfies(Trace([E, ~F]), d)
+        assert satisfies(Trace([~E, F]), d)
+        assert satisfies(Trace([~E, ~F]), d)
+        assert not satisfies(Trace([E, F]), d)
+
+    def test_coupled(self):
+        d = coupled(E, F)
+        assert satisfies(Trace([E, F]), d)
+        assert satisfies(Trace([~E, ~F]), d)
+        assert not satisfies(Trace([E, ~F]), d)
+
+    def test_coupled_is_two_arrows(self):
+        assert equivalent(
+            coupled(E, F), klein_arrow(E, F) & klein_arrow(F, E)
+        )
+
+    def test_compensate(self):
+        book, buy, cancel = Event("c_book"), Event("c_buy"), Event("s_cancel")
+        d = compensate(book, buy, cancel)
+        assert d == parse("~c_book + c_buy + s_cancel")
+        # booked, buy failed, cancelled: fine
+        assert satisfies(Trace([book, ~buy, cancel]), d)
+        # booked, buy failed, no cancel: violation
+        assert not satisfies(Trace([book, ~buy, ~cancel]), d)
+        # never booked: nothing to do
+        assert satisfies(Trace([~book, ~buy, ~cancel]), d)
+
+    def test_mutex_shape(self):
+        b1, e1, b2, e2 = (Event(n) for n in ("b1", "e1", "b2", "e2"))
+        d = mutex(b1, e1, b2, e2)
+        assert d == parse("b2 . b1 + ~e1 + ~b2 + e1 . b2")
+
+    def test_mutex_semantics(self):
+        b1, e1, b2, e2 = (Event(n) for n in ("b1", "e1", "b2", "e2"))
+        d = mutex(b1, e1, b2, e2)
+        # b1 enters and exits before b2 enters: fine
+        assert satisfies(Trace([b1, e1, b2]), d)
+        # b2 enters first: the constraint does not apply
+        assert satisfies(Trace([b2, b1, e1]), d)
+        # b1 enters, b2 enters before e1, but e1 occurs: violation
+        assert not satisfies(Trace([b1, b2, e1]), d)

@@ -1,0 +1,99 @@
+"""The Workflow container and the guard compiler."""
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.algebra.traces import Trace
+from repro.temporal.cubes import literal
+from repro.workflows.compiler import compile_workflow
+from repro.workflows.spec import Workflow
+
+E, F = Event("e"), Event("f")
+
+
+class TestWorkflow:
+    def test_add_parses_strings(self):
+        w = Workflow("w")
+        dep = w.add("~e + f")
+        assert dep == parse("~e + f")
+        assert w.dependencies == [dep]
+
+    def test_add_accepts_expressions(self):
+        w = Workflow("w")
+        dep = w.add(parse("e . f"))
+        assert w.dependencies == [dep]
+
+    def test_bases_and_alphabet(self):
+        w = Workflow("w")
+        w.add("~e + f")
+        assert w.bases() == frozenset({E, F})
+        assert w.alphabet() == frozenset({E, ~E, F, ~F})
+
+    def test_attributes_and_placement(self):
+        w = Workflow("w")
+        w.add("~e + f")
+        w.set_attributes(F, triggerable=True)
+        w.place_task("siteA", E, F)
+        assert w.attributes[F].triggerable
+        assert w.sites[E] == "siteA"
+        assert w.sites[F] == "siteA"
+
+    def test_admits(self):
+        w = Workflow("w")
+        w.add("~e + ~f + e . f")
+        assert w.admits(Trace([E, F]))
+        assert not w.admits(Trace([F, E]))
+
+    def test_merged(self):
+        w1, w2 = Workflow("a"), Workflow("b")
+        w1.add("~e + f")
+        w2.add("e . f")
+        merged = w1.merged(w2)
+        assert len(merged.dependencies) == 2
+        assert merged.name == "a+b"
+
+
+class TestCompiler:
+    def test_example_9_guards_in_table(self):
+        w = Workflow("w")
+        w.add("~e + ~f + e . f")
+        compiled = compile_workflow(w)
+        assert compiled.guard_of(E) == literal("notyet", F)
+        assert compiled.guard_of(~E).is_true
+        assert compiled.guard_of(F) == literal("box", E) | literal("dia", ~E)
+
+    def test_subscriptions_cover_guard_bases(self):
+        w = Workflow("w")
+        w.add("~e + ~f + e . f")
+        compiled = compile_workflow(w)
+        assert compiled.subscriptions[E] == frozenset({F})
+        assert compiled.subscriptions[F] == frozenset({E})
+
+    def test_notyet_needs_detected(self):
+        w = Workflow("w")
+        w.add("~e + ~f + e . f")
+        compiled = compile_workflow(w)
+        # e's guard is !f: e needs not-yet agreement on f
+        assert F in compiled.notyet_needs.get(E, frozenset())
+
+    def test_promise_pairs_detected(self):
+        """Example 11: D_-> plus transpose makes {e, f} a promise pair."""
+        w = Workflow("w")
+        w.add("~e + f")
+        w.add("~f + e")
+        compiled = compile_workflow(w)
+        assert frozenset({E, F}) in compiled.promise_pairs
+
+    def test_no_promise_pairs_for_one_sided_arrow(self):
+        w = Workflow("w")
+        w.add("~e + f")
+        compiled = compile_workflow(w)
+        assert not compiled.promise_pairs
+
+    def test_metrics_and_summary(self):
+        w = Workflow("w")
+        w.add("~e + ~f + e . f")
+        compiled = compile_workflow(w)
+        assert compiled.total_guard_cubes() >= 2
+        assert compiled.total_guard_literals() >= 2
+        text = compiled.summary()
+        assert "G(" in text and "!f" in text
