@@ -41,7 +41,10 @@ from repro.scheduler.messages import (
     PromiseGrant,
     PromiseRefuse,
     PromiseRequest,
+    Recovered,
     Release,
+    SyncReply,
+    SyncRequest,
 )
 from repro.temporal.cubes import (
     C_OCC,
@@ -84,6 +87,11 @@ class EventActor:
     ):
         self.event = event
         self.guard = guard
+        #: the durable (logged) guard: the compiled artifact plus any
+        #: run-time reconfigurations, *without* the volatile
+        #: ``simplify_under`` compressions -- this is what a crash
+        #: restores and recovery re-simplifies as facts return
+        self._durable_guard = guard
         self.site = site
         self.sched = scheduler
         self.status = ActorStatus.IDLE
@@ -91,6 +99,7 @@ class EventActor:
         self.knowledge: dict[Event, int] = {}
         # -- own not-yet round --
         self.round_active = False
+        self.round_id = 0  # scheduler-issued; replies echo it
         self.round_awaiting: set[Event] = set()
         self.round_certified: set[Event] = set()
         self.round_holds: set[Event] = set()  # bases we froze
@@ -133,6 +142,7 @@ class EventActor:
         impossible) and the escalation bookkeeping reset, since the
         cube structure changed.
         """
+        self._durable_guard = self._durable_guard & extra
         self.guard = (self.guard & extra).simplify_under(self.knowledge)
         self._escalated_cubes = set()
         self._knowledge_dirty = True
@@ -146,6 +156,7 @@ class EventActor:
         agent (rejection is not retracted here -- the complement may
         already be in flight).
         """
+        self._durable_guard = new_guard
         self.guard = new_guard.simplify_under(self.knowledge)
         self._escalated_cubes = set()
         self._knowledge_dirty = True
@@ -186,8 +197,12 @@ class EventActor:
         self._solicit()
 
     def _fire(self) -> None:
-        self._finish_round(fired=False)  # abandon any round; we are done
+        # Status first: finishing the round serves certificate requests
+        # deferred by the priority rule, and they must see the
+        # occurrence -- certifying "not yet" in the same instant the
+        # event fires would hand the requester a false transient fact.
         self.status = ActorStatus.OCCURRED
+        self._finish_round(fired=False)  # abandon any round; we are done
         self._process_pending_grants()
         self.sched.record_occurrence(self)
 
@@ -491,6 +506,7 @@ class EventActor:
         if not targets:
             return
         self.round_active = True
+        self.round_id = self.sched.next_round_id()
         self._knowledge_dirty = False
         self.round_awaiting = {b.base for b in targets}
         self.round_certified = set()
@@ -498,16 +514,30 @@ class EventActor:
         self.sched.note_round()
         for base in sorted(self.round_awaiting, key=Event.sort_key):
             self.sched.send_to_base(
-                self.event, base, NotYetRequest(target=base, requester=self.event)
+                self.event,
+                base,
+                NotYetRequest(
+                    target=base, requester=self.event, round_id=self.round_id
+                ),
             )
 
     def on_not_yet_reply(self, reply: NotYetReply) -> None:
-        if not self.round_active or reply.target not in self.round_awaiting:
-            if reply.status == "not_yet":
-                # stale certificate: release immediately
+        current = self.round_active and reply.round_id == self.round_id
+        if not current or reply.target not in self.round_awaiting:
+            if reply.status == "not_yet" and not (
+                current and reply.target in self.round_holds
+            ):
+                # stale certificate (aborted round, or a pre-crash
+                # straggler): release the freeze it carries.  A
+                # duplicate of a *current* hold is simply ignored.
                 self.sched.send_to_base(
-                    self.event, reply.target,
-                    Release(target=reply.target, requester=self.event),
+                    self.event,
+                    reply.target,
+                    Release(
+                        target=reply.target,
+                        requester=self.event,
+                        round_id=reply.round_id,
+                    ),
                 )
             return
         self.round_awaiting.discard(reply.target)
@@ -530,7 +560,9 @@ class EventActor:
             and not self.sched.is_frozen(self.event.base, exclude=self.event)
             and self.guard.region_subsumes(transient)
         ):
-            self._finish_round(fired=True)
+            # _fire finishes the round itself, *after* setting
+            # OCCURRED, so deferred certificate requests served during
+            # the release see the occurrence.
             self._fire()
             return
         self._finish_round(fired=False)
@@ -539,13 +571,23 @@ class EventActor:
     def _finish_round(self, fired: bool) -> None:
         if not self.round_active and not self.round_holds:
             return
-        holds, self.round_holds = self.round_holds, set()
+        rid = self.round_id
+        # Release still-awaited bases too, not only confirmed holds: an
+        # aborted round may have a certificate -- and its freeze -- in
+        # flight, or lost outright with a crashed coordinator session.
+        # The freeze itself is durable, so without this the lock would
+        # be orphaned; releasing a freeze never taken is a no-op, and
+        # session FIFO keeps the release behind its own request.
+        to_release = self.round_holds | self.round_awaiting
+        self.round_holds = set()
         self.round_active = False
         self.round_awaiting = set()
         self.round_certified = set()
-        for base in holds:
+        for base in sorted(to_release, key=Event.sort_key):
             self.sched.send_to_base(
-                self.event, base, Release(target=base, requester=self.event)
+                self.event,
+                base,
+                Release(target=base, requester=self.event, round_id=rid),
             )
         # Requests deferred while this base had an active round may sit
         # at either polarity actor; the scheduler re-serves both.
@@ -571,25 +613,47 @@ class EventActor:
         requester = req.requester
         base = self.event.base
         settled = self.sched.base_settled(base)
+        if settled is None:
+            # mid-fire window: our own status flips before the global
+            # settlement record is written
+            if self.status is ActorStatus.OCCURRED:
+                settled = "comp_occurred" if self.event.negated else "occurred"
+            elif self.status is ActorStatus.DEAD:
+                settled = "occurred" if self.event.negated else "comp_occurred"
         if settled == "occurred":
             self.sched.send_to_actor(
                 self.event, requester,
-                NotYetReply(target=base, requester=requester, status="occurred"),
+                NotYetReply(
+                    target=base,
+                    requester=requester,
+                    status="occurred",
+                    round_id=req.round_id,
+                ),
             )
             return
         if settled == "comp_occurred":
             self.sched.send_to_actor(
                 self.event, requester,
-                NotYetReply(target=base, requester=requester, status="comp_occurred"),
+                NotYetReply(
+                    target=base,
+                    requester=requester,
+                    status="comp_occurred",
+                    round_id=req.round_id,
+                ),
             )
             return
         if self._defer_notyet(requester):
             self.deferred_notyet_reqs.append(req)
             return
-        self.sched.freeze(base, requester)
+        self.sched.freeze(base, requester, req.round_id)
         self.sched.send_to_actor(
             self.event, requester,
-            NotYetReply(target=base, requester=requester, status="not_yet"),
+            NotYetReply(
+                target=base,
+                requester=requester,
+                status="not_yet",
+                round_id=req.round_id,
+            ),
         )
 
     def _defer_notyet(self, requester: Event) -> bool:
@@ -600,4 +664,102 @@ class EventActor:
         return self.event.base.sort_key() < requester.base.sort_key()
 
     def on_release(self, release: Release) -> None:
-        self.sched.unfreeze(self.event.base, release.requester)
+        self.sched.unfreeze(self.event.base, release.requester, release.round_id)
+
+    # ------------------------------------------------------------------
+    # crash recovery (fail-stop model, see repro.sim.faults)
+
+    def crash_reset(self) -> None:
+        """Wipe volatile state at a crash instant.
+
+        Durable (logged) facts survive: the settlement status, the
+        attempt timestamp, the durable guard, and the promise
+        obligations in ``granted_to`` (a grant is logged before it is
+        sent).  Everything else -- knowledge masks, in-flight rounds,
+        request dedup, deferred queues, escalation marks -- was heap
+        memory and is gone.
+        """
+        self.guard = self._durable_guard
+        self.knowledge = {}
+        self.round_active = False
+        self.round_id = 0
+        self.round_awaiting = set()
+        self.round_certified = set()
+        self.round_holds = set()
+        self._knowledge_dirty = True
+        self.promise_requested = {}
+        self.deferred_promise_reqs = []
+        self.pending_grant_reqs = []
+        self.deferred_notyet_reqs = []
+        self._escalated_cubes = set()
+
+    def recover(self) -> None:
+        """Rebuild knowledge after a restart (solicitation round).
+
+        The actor re-learns its own base from its durable status, then
+        asks the coordinator of every base its durable guard mentions
+        for the settled facts (:class:`SyncRequest`).  Transient state
+        (certificates, promises) is *not* reconstructed -- the normal
+        solicitation machinery re-acquires whatever is still needed
+        once the settled facts are back.
+        """
+        if self.status is ActorStatus.OCCURRED:
+            self.learn(
+                self.event.base, C_OCC if self.event.negated else E_OCC
+            )
+        elif self.status is ActorStatus.DEAD:
+            self.learn(
+                self.event.base, E_OCC if self.event.negated else C_OCC
+            )
+        for base in sorted(self._durable_guard.bases(), key=Event.sort_key):
+            if base == self.event.base:
+                continue
+            self.sched.send_sync(self.event, base)
+        self.guard = self.guard.simplify_under(self.knowledge)
+        self.try_fire()
+
+    def on_sync_reply(self, reply: SyncReply) -> None:
+        if reply.status == "occurred":
+            self.learn(reply.base, E_OCC)
+        elif reply.status == "comp_occurred":
+            self.learn(reply.base, C_OCC)
+        self.guard = self.guard.simplify_under(self.knowledge)
+        self.try_fire()
+        if self.status is ActorStatus.PENDING:
+            self._solicit()
+        self._process_pending_grants()
+        self.sched.note_sync_reply(self.event)
+
+    def on_sync_request(self, req: SyncRequest) -> None:
+        """Coordinator side: report the base's durable settlement.
+
+        A sync request also proves the requester restarted and lost
+        its round state, so any freeze it held here is void.
+        """
+        base = self.event.base
+        self.sched.unfreeze_all(base, req.requester)
+        status = self.sched.base_settled(base) or "unsettled"
+        self.sched.send_to_actor(
+            self.event,
+            req.requester,
+            SyncReply(base=base, requester=req.requester, status=status),
+        )
+
+    def on_recovered(self, msg: Recovered) -> None:
+        """A peer we may have solicited restarted and lost our requests.
+
+        Clear the request-dedup record for its base (so a re-request
+        actually goes out), abort-and-retry any certificate round that
+        was awaiting it, drop escalation marks, and re-solicit.
+        """
+        base = msg.event.base
+        for key in [k for k in self.promise_requested if k[0].base == base]:
+            del self.promise_requested[key]
+        if self.round_active and base in self.round_awaiting:
+            self._knowledge_dirty = True  # allow an immediate retry round
+            self._finish_round(fired=False)
+        self._escalated_cubes = set()
+        if self.status is ActorStatus.PENDING:
+            self.try_fire()
+            if self.status is ActorStatus.PENDING:
+                self._solicit()

@@ -39,12 +39,17 @@ from repro.scheduler.messages import (
     PromiseGrant,
     PromiseRefuse,
     PromiseRequest,
+    Recovered,
     Release,
+    SyncReply,
+    SyncRequest,
     TriggerMsg,
 )
 from repro.scheduler.monitors import RequirementMonitor
 from repro.sim.clock import Simulator
+from repro.sim.faults import ChaosReport, FaultInjector, FaultPlan
 from repro.sim.network import LatencyModel, Network
+from repro.sim.reliable import ReliableNetwork
 from repro.temporal.cubes import GuardExpr
 from repro.temporal.guards import workflow_guards
 
@@ -66,6 +71,16 @@ class DistributedScheduler:
         Per-base :class:`EventAttributes`.
     latency / rng:
         Network behaviour; defaults to unit latency, seed 0.
+    reliable:
+        Route all protocol traffic through the
+        :class:`~repro.sim.reliable.ReliableNetwork` session layer
+        (exactly-once FIFO over the lossy fabric).  Implied by a
+        fault plan: crash recovery is built on the session layer.
+    fault_plan:
+        Scheduled site crashes/restarts (:class:`FaultPlan`); armed
+        when the run starts.
+    retransmit_timeout / max_retries:
+        Session-layer tuning, forwarded to :class:`ReliableNetwork`.
     """
 
     def __init__(
@@ -80,6 +95,10 @@ class DistributedScheduler:
         drop_probability: float = 0.0,
         duplicate_probability: float = 0.0,
         minimize_guards: bool = False,
+        reliable: bool = False,
+        fault_plan: FaultPlan | None = None,
+        retransmit_timeout: float = 4.0,
+        max_retries: int = 20,
     ):
         self.dependencies = list(dependencies)
         self.policy = policy or SchedulerPolicy()
@@ -91,6 +110,32 @@ class DistributedScheduler:
             drop_probability=drop_probability,
             duplicate_probability=duplicate_probability,
         )
+        self.faults: FaultInjector | None = None
+        if fault_plan is not None:
+            reliable = True  # recovery is built on the session layer
+            self.faults = FaultInjector(self.sim, fault_plan)
+        self.reliable = reliable
+        #: where protocol messages travel: the raw fabric, or the
+        #: exactly-once FIFO session layer on top of it
+        self.channel = (
+            ReliableNetwork(
+                self.network,
+                faults=self.faults,
+                timeout=retransmit_timeout,
+                max_retries=max_retries,
+            )
+            if reliable
+            else self.network
+        )
+        if self.faults is not None:
+            self.faults.on_crash(self._crash_site)
+            # restart order matters: sessions first, then the actors'
+            # recovery protocol runs over the fresh sessions
+            self.faults.on_restart(self.channel.reset_site)
+            self.faults.on_restart(self._recover_site)
+        self._recovering: dict[str, dict] = {}
+        self._recovery_latencies: list[float] = []
+        self._round_counter = 0
         self._sites = {e.base: s for e, s in (sites or {}).items()}
         self._attributes = {e.base: a for e, a in (attributes or {}).items()}
         self.result = ExecutionResult()
@@ -115,8 +160,13 @@ class DistributedScheduler:
         # per-site requirement monitors for triggerable events
         self._monitors: list[tuple[str, RequirementMonitor]] = []
         self._monitor_subs: dict[Event, list[int]] = {}
+        #: construction spec per monitor index, kept so a crashed
+        #: site's monitors can be rebuilt and resynced
+        self._monitor_specs: list[tuple[list[Expr], frozenset[Event]]] = []
         self._build_monitors()
-        self._frozen: dict[Event, set[Event]] = {}
+        # base -> holders; a holder is (requester, round_id) so a stale
+        # release (from an aborted round) cannot void a newer freeze
+        self._frozen: dict[Event, set[tuple[Event, int]]] = {}
         self._settled: dict[Event, Event] = {}  # base -> signed occurrence
         self._waiters: dict[Event, list] = {}  # base -> callbacks on settle
         self._no_progress_bases: set[Event] = set()
@@ -152,6 +202,7 @@ class DistributedScheduler:
             )
             index = len(self._monitors)
             self._monitors.append((site, monitor))
+            self._monitor_specs.append((deps, frozenset(bases)))
             for dep in deps:
                 for base in dep.bases():
                     self._monitor_subs.setdefault(base, []).append(index)
@@ -159,7 +210,7 @@ class DistributedScheduler:
     def _make_trigger(self, site: str):
         def do_trigger(event: Event) -> None:
             self.result.triggered += 1
-            self.network.send(
+            self.channel.send(
                 site,
                 self.site_of(event.base),
                 TriggerMsg.kind,
@@ -187,7 +238,7 @@ class DistributedScheduler:
         actor = self.actors.get(dst_event)
         if actor is None:
             return
-        self.network.send(
+        self.channel.send(
             self.site_of(src_event.base),
             actor.site,
             message.kind,
@@ -202,7 +253,7 @@ class DistributedScheduler:
             coordinator = self.actors.get(base.base.complement)
         if coordinator is None:
             return
-        self.network.send(
+        self.channel.send(
             self.site_of(src_event.base),
             coordinator.site,
             message.kind,
@@ -226,6 +277,12 @@ class DistributedScheduler:
             actor.on_not_yet_reply(message)
         elif isinstance(message, Release):
             actor.on_release(message)
+        elif isinstance(message, SyncRequest):
+            actor.on_sync_request(message)
+        elif isinstance(message, SyncReply):
+            actor.on_sync_reply(message)
+        elif isinstance(message, Recovered):
+            actor.on_recovered(message)
         else:  # pragma: no cover
             raise TypeError(f"unroutable message: {message!r}")
 
@@ -252,14 +309,28 @@ class DistributedScheduler:
             if actor is not None:
                 actor.serve_deferred_notyet()
 
-    def freeze(self, base: Event, requester: Event) -> None:
-        self._frozen.setdefault(base.base, set()).add(requester)
+    def freeze(self, base: Event, requester: Event, round_id: int = 0) -> None:
+        self._frozen.setdefault(base.base, set()).add((requester, round_id))
 
-    def unfreeze(self, base: Event, requester: Event) -> None:
+    def unfreeze(self, base: Event, requester: Event, round_id: int = 0) -> None:
+        self._release_holds(base, lambda holder: holder == (requester, round_id))
+
+    def unfreeze_all(self, base: Event, requester: Event) -> None:
+        """Void every freeze ``requester`` holds on ``base``.
+
+        Used by recovery: a sync request proves the requester restarted
+        and lost its round state, so its holds can never be released by
+        the normal protocol."""
+        self._release_holds(base, lambda holder: holder[0] == requester)
+
+    def _release_holds(self, base: Event, predicate) -> None:
         holders = self._frozen.get(base.base)
         if holders is None:
             return
-        holders.discard(requester)
+        victims = {h for h in holders if predicate(h)}
+        if not victims:
+            return
+        holders -= victims
         if not holders:
             del self._frozen[base.base]
             for event in (base.base, base.base.complement):
@@ -270,8 +341,13 @@ class DistributedScheduler:
     def is_frozen(self, base: Event, exclude: Event | None = None) -> bool:
         holders = self._frozen.get(base.base, set())
         if exclude is not None:
-            holders = holders - {exclude}
+            holders = {h for h in holders if h[0] != exclude}
         return bool(holders)
+
+    def next_round_id(self) -> int:
+        """A fresh certificate-round id (unique across the run)."""
+        self._round_counter += 1
+        return self._round_counter
 
     def note_parked(self, event: Event) -> None:
         self.result.parked_total += 1
@@ -324,7 +400,7 @@ class DistributedScheduler:
         # requirement monitors
         for index in self._monitor_subs.get(event.base, ()):
             site, monitor = self._monitors[index]
-            self.network.send(
+            self.channel.send(
                 self.site_of(event.base),
                 site,
                 "announce",
@@ -385,7 +461,7 @@ class DistributedScheduler:
                     subs.append(event)
             # apply synchronously (an administrative operation must
             # not race in-flight attempts) but cost the message
-            self.network.send(
+            self.channel.send(
                 self.ADMIN_SITE, actor.site, "reconfigure",
                 contribution, lambda _payload: None,
             )
@@ -425,7 +501,7 @@ class DistributedScheduler:
             new_guard = guard_and(
                 synthesize_guard(r, event) for r in relevant
             ) if relevant else TRUE_GUARD  # Zero residuals yield G=0
-            self.network.send(
+            self.channel.send(
                 self.ADMIN_SITE, actor.site, "reconfigure",
                 new_guard, lambda _payload: None,
             )
@@ -438,10 +514,162 @@ class DistributedScheduler:
         replay the settled history into them."""
         self._monitors = []
         self._monitor_subs = {}
+        self._monitor_specs = []
         self._build_monitors()
         for _site, monitor in self._monitors:
             for event in self._settled_sequence():
                 monitor.observe(event)
+
+    # ------------------------------------------------------------------
+    # crash recovery (see repro.sim.faults for the fault model)
+
+    def _site_actors(self, site: str) -> list[EventActor]:
+        return [
+            a
+            for a in sorted(
+                self.actors.values(), key=lambda a: a.event.sort_key()
+            )
+            if a.site == site
+        ]
+
+    def _crash_site(self, site: str) -> None:
+        """Crash hook: the site's actors lose their volatile state."""
+        for actor in self._site_actors(site):
+            actor.crash_reset()
+
+    def _recover_site(self, site: str) -> None:
+        """Restart hook: run the recovery protocol for the site.
+
+        Each actor re-learns the durable settlement facts its guard
+        depends on (sync round); peers that may hold requests against
+        the restarted actors are told to re-solicit
+        (:class:`Recovered` broadcast); the site's requirement
+        monitors are rebuilt and resynced from the coordinators'
+        durable logs.  Recovery latency is measured from here until
+        the last sync reply for the site arrives.
+        """
+        self._recovering[site] = {"started": self.sim.now, "outstanding": 0}
+        restarted = self._site_actors(site)
+        for actor in restarted:
+            actor.recover()
+        announced: set[Event] = set()
+        for actor in restarted:
+            base = actor.event.base
+            # settled bases are broadcast too: a peer may be mid-round
+            # on this base with its reply lost in the crash
+            if base in announced:
+                continue
+            announced.add(base)
+            settled = self._settled.get(base)
+            for sub_event in self._subscribers.get(base, ()):
+                if sub_event.base == base:
+                    continue
+                if settled is not None:
+                    # the settlement announcement may have died with
+                    # the crashed site's sender state: re-announce
+                    # (idempotent at every receiver), and in session
+                    # order *before* Recovered so a re-solicit already
+                    # sees the fact
+                    self.send_to_actor(
+                        actor.event, sub_event, Announce(event=settled)
+                    )
+                self.send_to_actor(actor.event, sub_event, Recovered(event=actor.event))
+        self._recover_monitors(site)
+        record = self._recovering.get(site)
+        if record is not None and record["outstanding"] <= 0:
+            # nothing to resync: recovery is instantaneous
+            self._recovery_latencies.append(self.sim.now - record["started"])
+            del self._recovering[site]
+
+    def send_sync(self, requester: Event, base: Event) -> None:
+        """Route a recovery :class:`SyncRequest` to ``base``'s coordinator."""
+        record = self._recovering.get(self.site_of(requester.base))
+        if record is not None:
+            record["outstanding"] += 1
+        self.send_to_base(
+            requester, base, SyncRequest(base=base, requester=requester)
+        )
+
+    def note_sync_reply(self, requester: Event) -> None:
+        """A sync reply landed; close out the site's recovery window."""
+        site = self.site_of(requester.base)
+        record = self._recovering.get(site)
+        if record is None:
+            return
+        record["outstanding"] -= 1
+        if record["outstanding"] <= 0:
+            self._recovery_latencies.append(self.sim.now - record["started"])
+            del self._recovering[site]
+
+    def _recover_monitors(self, site: str) -> None:
+        for index, (monitor_site, _monitor) in enumerate(self._monitors):
+            if monitor_site != site:
+                continue
+            deps, bases = self._monitor_specs[index]
+            fresh = RequirementMonitor(
+                deps,
+                bases,
+                trigger=self._make_trigger(site),
+                doomed=self._note_doomed,
+            )
+            self._monitors[index] = (site, fresh)
+            self._resync_monitor(site, fresh, deps)
+
+    def _resync_monitor(
+        self, site: str, monitor: RequirementMonitor, deps: list[Expr]
+    ) -> None:
+        """Replay the settled history into a rebuilt monitor.
+
+        One sync round-trip per base it watches; replies carry the
+        occurrence *index* so the replay preserves trace order even
+        though replies from different coordinators interleave.
+        """
+        targets = sorted(
+            {b for dep in deps for b in dep.bases()}, key=Event.sort_key
+        )
+        if not targets:
+            monitor.evaluate()
+            return
+        state: dict = {"waiting": len(targets), "facts": []}
+
+        def finish() -> None:
+            for _index, event in sorted(state["facts"], key=lambda f: f[0]):
+                monitor.observe(event)
+            monitor.evaluate()
+
+        def on_reply(payload) -> None:
+            state["waiting"] -= 1
+            if payload is not None:
+                state["facts"].append(payload)
+            if state["waiting"] == 0:
+                finish()
+
+        for base in targets:
+            coordinator_site = self.site_of(base)
+
+            def serve(_query, b=base, coord=coordinator_site) -> None:
+                # runs at the coordinator: consult its durable
+                # settlement log for the base
+                signed = self._settled.get(b.base)
+                payload = None
+                if signed is not None:
+                    index = next(
+                        i
+                        for i, entry in enumerate(self.result.entries)
+                        if entry.event == signed
+                    )
+                    payload = (index, signed)
+                self.channel.send(coord, site, SyncReply.kind, payload, on_reply)
+
+            self.channel.send(
+                site, coordinator_site, SyncRequest.kind, base, serve
+            )
+
+    def chaos_report(self) -> ChaosReport:
+        """Summary of injected faults and the protocol's response."""
+        return ChaosReport.collect(
+            self.network.stats, self.faults, self._recovery_latencies
+        )
 
     # ------------------------------------------------------------------
     # driving a run
@@ -450,6 +678,13 @@ class DistributedScheduler:
         actor = self.actors.get(event)
         if actor is None:
             raise KeyError(f"no actor for {event!r}; is it in the workflow alphabet?")
+        if self.faults is not None and self.faults.is_down(actor.site):
+            restart = self.faults.restart_time(actor.site)
+            if restart is not None:
+                # the task agent retries once its site is back up; a
+                # permanently-failed site simply loses the attempt
+                self.sim.schedule_at(restart, lambda: self.attempt(event))
+            return
         attempted_at = self.sim.now if at is None else at
         actor.attempt(attempted_at)
 
@@ -481,6 +716,8 @@ class DistributedScheduler:
     ) -> ExecutionResult:
         for script in scripts:
             self.schedule_script(script)
+        if self.faults is not None:
+            self.faults.arm()
         for _site, monitor in self._monitors:
             monitor.evaluate()
         self.sim.run()
@@ -514,6 +751,9 @@ class DistributedScheduler:
                     self.actors.values(), key=lambda a: a.event.sort_key()
                 )
                 if a.status is ActorStatus.PENDING
+                and not (
+                    self.faults is not None and self.faults.is_down(a.site)
+                )
             ]
             before = len(self.result.entries)
             # every parked actor demands one further cube; batching
@@ -573,6 +813,10 @@ class DistributedScheduler:
                 continue
             if not self.attributes(base).auto_complement:
                 continue
+            if self.faults is not None and self.faults.is_down(
+                self.site_of(base)
+            ):
+                continue  # a permanently-failed site cannot settle
             return base
         return None
 

@@ -71,10 +71,17 @@ class PromiseRefuse:
 
 @dataclass(frozen=True)
 class NotYetRequest:
-    """Ask ``target``'s actor to certify ``target`` has not occurred."""
+    """Ask ``target``'s actor to certify ``target`` has not occurred.
+
+    ``round_id`` identifies the requester's certificate round; replies
+    echo it so a reply from an earlier round (retransmitted, delayed,
+    or predating a crash) is recognized as stale and its certificate
+    released instead of being consumed.
+    """
 
     target: Event
     requester: Event
+    round_id: int = 0
 
     kind = "not_yet_request"
 
@@ -91,18 +98,68 @@ class NotYetReply:
     target: Event
     requester: Event
     status: str
+    round_id: int = 0
 
     kind = "not_yet_reply"
 
 
 @dataclass(frozen=True)
 class Release:
-    """Release a freeze taken on behalf of ``requester``."""
+    """Release a freeze taken on behalf of ``requester``'s round."""
 
     target: Event
     requester: Event
+    round_id: int = 0
 
     kind = "release"
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """Recovery: ask ``base``'s coordinator whether the base settled.
+
+    Sent by a restarted actor (or on behalf of a restarted monitor)
+    for every base its guard mentions.  Receiving one also tells the
+    coordinator that the requester lost its volatile state, so any
+    freeze the requester held on this base is void and is released.
+    """
+
+    base: Event
+    requester: Event
+
+    kind = "sync_request"
+
+
+@dataclass(frozen=True)
+class SyncReply:
+    """Recovery reply: the base's durable settlement status.
+
+    ``status`` is ``"occurred"``, ``"comp_occurred"``, or
+    ``"unsettled"`` -- unlike a not-yet certificate this carries no
+    freeze, only the (stable) occurrence facts, which is all a
+    restarted actor needs to rebuild its knowledge masks.
+    """
+
+    base: Event
+    requester: Event
+    status: str
+
+    kind = "sync_reply"
+
+
+@dataclass(frozen=True)
+class Recovered:
+    """Recovery broadcast: ``event``'s actor restarted and lost its
+    volatile protocol state.
+
+    Sent to the subscribers of the event's base (exactly the actors
+    that may have promise requests or certificate rounds outstanding
+    against it).  Receivers clear their request-dedup record for the
+    base, abort-and-retry any round awaiting it, and re-solicit."""
+
+    event: Event
+
+    kind = "recovered"
 
 
 @dataclass(frozen=True)

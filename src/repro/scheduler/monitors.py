@@ -90,7 +90,14 @@ class RequirementMonitor:
         self._already_triggered: set[Event] = set()
 
     def observe(self, event: Event) -> None:
-        """Assimilate an occurrence and fire any newly-required triggers."""
+        """Assimilate an occurrence and fire any newly-required triggers.
+
+        Each base settles exactly once, so a repeated announcement (the
+        session layer is at-least-once across a site restart) is a
+        duplicate and is dropped -- residuating twice by the same event
+        would corrupt the residual."""
+        if event.base in self._settled:
+            return
         self._settled.add(event.base)
         for dep in list(self._residuals):
             self._residuals[dep] = residuate(self._residuals[dep], event)

@@ -9,9 +9,14 @@ reproducible (see DESIGN.md, "Substitutions").
 * :mod:`repro.sim.network` -- sites, links, latency models, message
   accounting, and an optional service-time queue per site (used to
   model the bottleneck at a centralized scheduler node).
+* :mod:`repro.sim.reliable` -- exactly-once FIFO sessions (sequence
+  numbers, acks, timeout retransmission) over the lossy fabric.
+* :mod:`repro.sim.faults` -- scheduled site crash/restart injection
+  and the per-run chaos report.
 """
 
 from repro.sim.clock import Simulator
+from repro.sim.faults import ChaosReport, FaultInjector, FaultPlan, SiteCrash
 from repro.sim.network import (
     ConstantLatency,
     ExponentialLatency,
@@ -20,13 +25,19 @@ from repro.sim.network import (
     NetworkStats,
     UniformLatency,
 )
+from repro.sim.reliable import ReliableNetwork
 
 __all__ = [
+    "ChaosReport",
     "ConstantLatency",
     "ExponentialLatency",
+    "FaultInjector",
+    "FaultPlan",
     "LatencyModel",
     "Network",
     "NetworkStats",
+    "ReliableNetwork",
+    "SiteCrash",
     "Simulator",
     "UniformLatency",
 ]

@@ -27,13 +27,15 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
+        self._cancelled: set[int] = set()
         self.processed = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` to fire ``delay`` time units from now.
 
-        Returns a sequence id (useful only for debugging; there is no
-        cancellation -- workflow events are never retracted, only
+        Returns a handle usable with :meth:`cancel` (the reliable
+        session layer cancels retransmission timers when the ack
+        arrives; workflow events themselves are never retracted, only
         rejected, which is modeled at the scheduler layer).
         """
         if delay < 0:
@@ -42,16 +44,33 @@ class Simulator:
         heapq.heappush(self._heap, (self.now + delay, self._sequence, callback))
         return self._sequence
 
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled callback by its handle.
+
+        Cancellation is lazy: the heap entry stays until its time
+        comes, then is discarded without firing or advancing the
+        clock, so a cancelled timer never stretches the makespan.
+        Cancelling an already-fired or unknown handle is a no-op.
+        """
+        self._cancelled.add(handle)
+
+    def _purge_head(self) -> None:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, seq, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(seq)
+
     def schedule_at(self, time: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` at an absolute virtual time."""
         return self.schedule(max(0.0, time - self.now), callback)
 
     @property
     def pending(self) -> int:
+        self._purge_head()
         return len(self._heap)
 
     def step(self) -> bool:
         """Fire the next callback; returns False when the heap is empty."""
+        self._purge_head()
         if not self._heap:
             return False
         time, _seq, callback = heapq.heappop(self._heap)
@@ -64,7 +83,10 @@ class Simulator:
         """Run until the heap drains, the horizon passes, or the budget
         is exhausted (the budget guards against livelock bugs)."""
         fired = 0
-        while self._heap:
+        while True:
+            self._purge_head()
+            if not self._heap:
+                return
             if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return

@@ -75,6 +75,15 @@ class NetworkStats:
     max_queue_wait: float = 0.0
     dropped: int = 0
     duplicated: int = 0
+    # -- reliable session layer (repro.sim.reliable) --
+    retransmits: int = 0        # payload re-sends after a timeout
+    retransmit_giveups: int = 0  # messages abandoned after max retries
+    acks_sent: int = 0
+    dedup_discards: int = 0     # receiver-side duplicate suppressions
+    # -- fault injection (repro.sim.faults) --
+    crash_lost: int = 0         # deliveries into a crashed site
+    stale_session: int = 0      # arrivals from a pre-restart session
+    session_resets: int = 0     # channel resets performed at restarts
 
     def record(self, kind: str, src: str, dst: str, latency: float) -> None:
         self.messages += 1

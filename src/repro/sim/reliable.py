@@ -1,0 +1,308 @@
+"""Reliable exactly-once FIFO sessions over the lossy :class:`Network`.
+
+The paper's message protocols (announcements, promises, not-yet
+certificates) assume reliable FIFO channels; ``Network`` can drop and
+duplicate messages and :mod:`repro.sim.faults` can crash whole sites.
+This layer restores the assumed semantics the way real fabrics do --
+with sequence numbers, cumulative acks, and timeout retransmission:
+
+* every (src, dst) pair is a *session*: payloads carry a session epoch
+  and a per-session sequence number;
+* the receiver delivers strictly in sequence order, buffering
+  out-of-order arrivals and discarding duplicates, and acknowledges
+  cumulatively (the highest in-order sequence delivered);
+* the sender retransmits unacknowledged payloads on a timeout with
+  capped exponential backoff, up to ``max_retries`` (a bounded channel
+  -- exhaustion is counted, never silent);
+* a site restart re-establishes every session touching the site
+  (``reset_site``): epochs bump so pre-crash straggler packets are
+  discarded as stale, the crashed site's own sender/receiver state is
+  wiped (it was volatile memory), and surviving peers re-enter their
+  unacknowledged backlog into the fresh sessions, preserving send
+  order.  Delivery across a restart is therefore *at-least-once*; the
+  scheduler's message handlers are idempotent, and the actor recovery
+  protocol re-solicits anything that was lost outright.
+
+Within one session lifetime the layer gives exactly-once FIFO
+delivery, which is what the actor protocols were written against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.faults import FaultInjector
+from repro.sim.network import Network
+
+ACK_KIND = "ack"
+
+
+@dataclass
+class _Pending:
+    """Sender-side record of one unacknowledged payload."""
+
+    kind: str
+    payload: Any
+    handler: Callable[[Any], None]
+    retries: int = 0
+    interval: float = 0.0
+    timer: int | None = None
+
+
+class ReliableNetwork:
+    """Session layer over a :class:`Network`; same ``send`` signature.
+
+    Parameters
+    ----------
+    network:
+        The (possibly lossy) underlying fabric; its ``stats`` object
+        also accounts for this layer's retransmissions and acks.
+    faults:
+        Optional crash injector: deliveries into a down site are lost
+        (and retransmitted until the site returns or retries exhaust).
+    timeout:
+        Initial retransmission timeout.  Choose a small multiple of
+        the round-trip latency; too small wastes duplicates, too large
+        stretches recovery.
+    backoff / max_interval:
+        Exponential backoff factor applied per retry, capped so that a
+        long crash window cannot push the next probe arbitrarily far.
+    max_retries:
+        Per-payload retry budget; exhaustion is recorded in
+        ``stats.retransmit_giveups`` and the payload is abandoned
+        (safety is unaffected -- the recovery protocol or settlement
+        reports the resulting wedge instead of hiding it).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        faults: FaultInjector | None = None,
+        timeout: float = 4.0,
+        backoff: float = 2.0,
+        max_interval: float = 32.0,
+        max_retries: int = 20,
+    ):
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be nonnegative")
+        self.net = network
+        self.sim = network.sim
+        self.faults = faults
+        self.timeout = float(timeout)
+        self.backoff = float(backoff)
+        self.max_interval = float(max_interval)
+        self.max_retries = int(max_retries)
+        self.stats = network.stats
+        # sender side, per (src, dst)
+        self._next_seq: dict[tuple[str, str], int] = {}
+        self._unacked: dict[tuple[str, str], dict[int, _Pending]] = {}
+        # receiver side, per (src, dst)
+        self._expected: dict[tuple[str, str], int] = {}
+        self._buffer: dict[
+            tuple[str, str], dict[int, tuple[Any, Callable[[Any], None]]]
+        ] = {}
+        # session epoch, per (src, dst); bumps on reset_site
+        self._epoch: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # sending
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Any,
+        handler: Callable[[Any], None],
+    ) -> None:
+        """Queue ``payload`` for exactly-once in-order delivery."""
+        if self.faults is not None and self.faults.is_down(src):
+            # a down site sends nothing; whatever state produced this
+            # message is volatile and dies with the crash
+            self.stats.crash_lost += 1
+            return
+        if src == dst:
+            # intra-site hand-off: reliable by definition, but a down
+            # site executes nothing -- checked again at delivery time,
+            # since the site may crash while the message is in flight
+            # (both endpoints die together; recovery rebuilds)
+            self.net.send(
+                src,
+                dst,
+                kind,
+                payload,
+                lambda p: self._deliver_local(dst, p, handler),
+            )
+            return
+        key = (src, dst)
+        seq = self._next_seq.get(key, 1)
+        self._next_seq[key] = seq + 1
+        pending = _Pending(kind, payload, handler, interval=self.timeout)
+        self._unacked.setdefault(key, {})[seq] = pending
+        epoch = self._epoch.get(key, 0)
+        self._transmit(key, epoch, seq, pending)
+        self._arm_timer(key, epoch, seq, pending)
+
+    def _transmit(
+        self, key: tuple[str, str], epoch: int, seq: int, pending: _Pending
+    ) -> None:
+        src, dst = key
+        self.net.send(
+            src,
+            dst,
+            pending.kind,
+            pending.payload,
+            lambda p, h=pending.handler, k=pending.kind: self._deliver(
+                key, epoch, seq, k, p, h
+            ),
+        )
+
+    def _arm_timer(
+        self, key: tuple[str, str], epoch: int, seq: int, pending: _Pending
+    ) -> None:
+        pending.timer = self.sim.schedule(
+            pending.interval, lambda: self._on_timeout(key, epoch, seq)
+        )
+
+    def _on_timeout(self, key: tuple[str, str], epoch: int, seq: int) -> None:
+        if epoch != self._epoch.get(key, 0):
+            return  # session re-established; the backlog was re-queued
+        pending = self._unacked.get(key, {}).get(seq)
+        if pending is None:
+            return  # acked in the meantime
+        src, _dst = key
+        if self.faults is not None and self.faults.is_down(src):
+            return  # our own site is down; restart wipes this state
+        if pending.retries >= self.max_retries:
+            del self._unacked[key][seq]
+            self.stats.retransmit_giveups += 1
+            return
+        pending.retries += 1
+        pending.interval = min(pending.interval * self.backoff, self.max_interval)
+        self.stats.retransmits += 1
+        self._transmit(key, epoch, seq, pending)
+        self._arm_timer(key, epoch, seq, pending)
+
+    # ------------------------------------------------------------------
+    # receiving
+
+    def _deliver_local(
+        self, site: str, payload: Any, handler: Callable[[Any], None]
+    ) -> None:
+        if self.faults is not None and self.faults.is_down(site):
+            self.stats.crash_lost += 1
+            return
+        handler(payload)
+
+    def _deliver(
+        self,
+        key: tuple[str, str],
+        epoch: int,
+        seq: int,
+        kind: str,
+        payload: Any,
+        handler: Callable[[Any], None],
+    ) -> None:
+        _src, dst = key
+        if self.faults is not None and self.faults.is_down(dst):
+            self.stats.crash_lost += 1
+            return  # no ack: the sender keeps retransmitting
+        if epoch != self._epoch.get(key, 0):
+            self.stats.stale_session += 1
+            return  # pre-restart straggler
+        expected = self._expected.get(key, 1)
+        buffer = self._buffer.setdefault(key, {})
+        if seq < expected or seq in buffer:
+            self.stats.dedup_discards += 1
+            self._send_ack(key, epoch)
+            return
+        buffer[seq] = (payload, handler)
+        while expected in buffer:
+            queued_payload, queued_handler = buffer.pop(expected)
+            expected += 1
+            self._expected[key] = expected
+            queued_handler(queued_payload)
+        self._send_ack(key, epoch)
+
+    def _send_ack(self, key: tuple[str, str], epoch: int) -> None:
+        src, dst = key
+        upto = self._expected.get(key, 1) - 1
+        self.stats.acks_sent += 1
+        self.net.send(
+            dst, src, ACK_KIND, upto, lambda n: self._on_ack(key, epoch, n)
+        )
+
+    def _on_ack(self, key: tuple[str, str], epoch: int, upto: int) -> None:
+        src, _dst = key
+        if self.faults is not None and self.faults.is_down(src):
+            self.stats.crash_lost += 1
+            return
+        if epoch != self._epoch.get(key, 0):
+            self.stats.stale_session += 1
+            return
+        unacked = self._unacked.get(key)
+        if not unacked:
+            return
+        for seq in [s for s in unacked if s <= upto]:
+            pending = unacked.pop(seq)
+            if pending.timer is not None:
+                self.sim.cancel(pending.timer)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+
+    def reset_site(self, site: str) -> None:
+        """Re-establish every session touching ``site`` after a restart.
+
+        The restarted site's own channel state is wiped (volatile
+        memory); surviving peers re-queue their unacknowledged backlog
+        toward the site, in order, under the new session epoch --
+        at-least-once delivery across the crash.
+        """
+        keys = sorted(
+            {
+                k
+                for store in (
+                    self._next_seq,
+                    self._unacked,
+                    self._expected,
+                    self._buffer,
+                    self._epoch,
+                )
+                for k in store
+                if site in k
+            }
+        )
+        backlog: list[tuple[tuple[str, str], list[_Pending]]] = []
+        for key in keys:
+            self._epoch[key] = self._epoch.get(key, 0) + 1
+            pending_map = self._unacked.pop(key, {})
+            for pending in pending_map.values():
+                if pending.timer is not None:
+                    self.sim.cancel(pending.timer)
+            src, _dst = key
+            if src != site and pending_map:
+                # the surviving sender re-enters its backlog in order
+                backlog.append(
+                    (key, [pending_map[s] for s in sorted(pending_map)])
+                )
+            self._next_seq.pop(key, None)
+            self._expected.pop(key, None)
+            self._buffer.pop(key, None)
+        self.stats.session_resets += 1
+        for (src, dst), pendings in backlog:
+            for pending in pendings:
+                self.stats.retransmits += 1
+                self.send(src, dst, pending.kind, pending.payload, pending.handler)
+
+    # ------------------------------------------------------------------
+    # introspection (used by tests and the chaos report)
+
+    def in_flight(self) -> int:
+        """Unacknowledged payloads across all sessions."""
+        return sum(len(m) for m in self._unacked.values())

@@ -1,9 +1,25 @@
-"""Shared fixtures: the paper's running events and dependencies."""
+"""Shared fixtures: the paper's running events and dependencies.
+
+Also registers the Hypothesis profiles the suite runs under:
+
+* ``ci`` -- what the CI workflow selects (``--hypothesis-profile=ci``):
+  at least 100 examples per property and *derandomized*, so a CI run
+  is reproducible and a failure can be replayed locally byte-for-byte;
+* ``dev`` -- a quick local profile for tight edit-test loops.
+"""
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.algebra.parser import parse
 from repro.algebra.symbols import Event
+
+hypothesis_settings.register_profile(
+    "ci", max_examples=100, derandomize=True, deadline=None
+)
+hypothesis_settings.register_profile(
+    "dev", max_examples=20, deadline=None
+)
 
 
 @pytest.fixture

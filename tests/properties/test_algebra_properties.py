@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.algebra.denotation import equivalent
 from repro.algebra.expressions import Choice, Conj, Seq, TOP
 from repro.algebra.normal_form import is_normal_form, to_normal_form
-from repro.algebra.parser import parse
+from repro.algebra.parser import ParseError, parse
 from repro.algebra.residuation import (
     residual_matches_semantics,
     residuate,
@@ -106,6 +106,33 @@ class TestParserRoundTrip:
     @given(expressions())
     @settings(max_examples=100, deadline=None)
     def test_repr_reparses(self, expr):
+        assert parse(repr(expr)) == expr
+
+    @given(expressions())
+    @settings(max_examples=100, deadline=None)
+    def test_normal_form_survives_print_parse(self, expr):
+        """Printing a normal-form expression and parsing it back is the
+        identity (up to re-normalization being a no-op): the concrete
+        syntax loses nothing the normal form cares about."""
+        nf = to_normal_form(expr)
+        assert to_normal_form(parse(repr(nf))) == nf
+
+    @given(
+        st.text(
+            alphabet="ef~+.()* &|#@0123456789",
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_malformed_input_never_crashes_unexpectedly(self, text):
+        """The parser either returns an expression that round-trips or
+        raises its own :class:`ParseError` -- never an arbitrary
+        exception, never a silent wrong answer."""
+        try:
+            expr = parse(text)
+        except ParseError:
+            return
         assert parse(repr(expr)) == expr
 
 

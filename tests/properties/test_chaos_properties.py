@@ -1,0 +1,171 @@
+"""Property-based chaos testing of the distributed scheduler.
+
+Hypothesis generates fault schedules -- message drop/duplication rates
+plus site crash/restart plans -- against the paper's example workflows
+and asserts:
+
+* **safety** (Theorem 6's reading): whatever the fabric does, the
+  realized trace is valid -- no base event occurs twice, never both
+  ``e`` and ``~e``, and every dependency's residual over the final
+  trace is nonzero (the trace is a prefix of an accepting run);
+* **liveness**: when every crashed site restarts, the reliable run
+  settles every base the fault-free run settles (the recovery protocol
+  loses nothing for good).
+
+Each generated schedule is deterministic: the simulator is seeded and
+Hypothesis's ``ci`` profile is derandomized, so failures replay.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import Zero
+from repro.algebra.residuation import residuate_trace
+from repro.algebra.traces import Trace
+from repro.scheduler.guard_scheduler import DistributedScheduler
+from repro.sim import FaultPlan, SiteCrash
+from repro.workloads.scenarios import make_mutex_scenario, make_travel_booking
+
+SCENARIOS = {
+    "travel_success": lambda: make_travel_booking("success"),
+    "travel_failure": lambda: make_travel_booking("failure"),
+    "mutex_t1": lambda: make_mutex_scenario("t1"),
+    "mutex_t2": lambda: make_mutex_scenario("t2"),
+}
+
+
+def run_chaos(scenario, drop, dup, plan, seed):
+    sched = DistributedScheduler(
+        scenario.workflow.dependencies,
+        sites=scenario.workflow.sites,
+        attributes=scenario.workflow.attributes,
+        rng=random.Random(seed),
+        drop_probability=drop,
+        duplicate_probability=dup,
+        reliable=True,
+        fault_plan=plan,
+    )
+    result = sched.run(scenario.scripts, verify=False)
+    return sched, result
+
+
+def scenario_sites(scenario):
+    return sorted(set(scenario.workflow.sites.values()))
+
+
+@st.composite
+def fault_schedules(draw, sites, allow_permanent):
+    """A non-overlapping crash plan over the scenario's sites."""
+    crashes = []
+    for site in sites:
+        if not draw(st.booleans()):
+            continue
+        at = draw(st.integers(0, 12)) / 2.0
+        if allow_permanent and draw(st.integers(0, 3)) == 0:
+            crashes.append(SiteCrash(site, at=at))
+        else:
+            downtime = draw(st.integers(1, 20)) / 2.0
+            crashes.append(SiteCrash(site, at=at, restart_at=at + downtime))
+    return FaultPlan.of(crashes)
+
+
+@st.composite
+def chaos_cases(draw, allow_permanent):
+    name = draw(st.sampled_from(sorted(SCENARIOS)))
+    scenario = SCENARIOS[name]()
+    plan = draw(
+        fault_schedules(scenario_sites(scenario), allow_permanent)
+    )
+    drop = draw(st.integers(0, 3)) / 10.0
+    dup = draw(st.integers(0, 3)) / 10.0
+    seed = draw(st.integers(0, 2**16))
+    return name, scenario, plan, drop, dup, seed
+
+
+def assert_trace_safe(scenario, result):
+    bases = [entry.event.base for entry in result.entries]
+    assert len(bases) == len(set(bases)), "a base event settled twice"
+    trace = Trace([entry.event for entry in result.entries])
+    for dep in scenario.workflow.dependencies:
+        residual = residuate_trace(dep, list(trace))
+        assert not isinstance(residual, Zero), (dep, trace)
+
+
+class TestChaosSafety:
+    """Any fault schedule -- including permanent site loss -- yields a
+    valid (prefix of an accepting) trace."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(chaos_cases(allow_permanent=True))
+    def test_trace_valid_under_arbitrary_faults(self, case):
+        name, scenario, plan, drop, dup, seed = case
+        sched, result = run_chaos(scenario, drop, dup, plan, seed)
+        assert_trace_safe(scenario, result)
+        # a granted promise may only be outstanding if its site died
+        # for good; otherwise every obligation was honoured
+        if not plan or all(c.restart_at is not None for c in plan.crashes):
+            assert not [
+                v for v in result.violations if v.kind == "promise"
+            ], result.violations
+
+    @settings(max_examples=100, deadline=None)
+    @given(chaos_cases(allow_permanent=True))
+    def test_report_accounts_for_the_run(self, case):
+        name, scenario, plan, drop, dup, seed = case
+        sched, result = run_chaos(scenario, drop, dup, plan, seed)
+        report = sched.chaos_report()
+        assert report.crashes == len(plan.crashes)
+        assert report.restarts == sum(
+            1 for c in plan.crashes if c.restart_at is not None
+        )
+        assert report.dropped >= 0 and report.messages > 0
+        if drop == 0.0 and not plan:
+            assert report.retransmits == 0
+        assert len(report.recovery_latencies) <= report.restarts
+        assert report.mean_recovery_latency <= report.max_recovery_latency
+
+
+class TestChaosLiveness:
+    """With restarts guaranteed, the chaotic run settles exactly what
+    the fault-free run settles."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(chaos_cases(allow_permanent=False))
+    def test_reaches_maximal_trace(self, case):
+        name, scenario, plan, drop, dup, seed = case
+        _, clean = run_chaos(scenario, 0.0, 0.0, None, seed)
+        _, chaotic = run_chaos(scenario, drop, dup, plan, seed)
+        assert_trace_safe(scenario, chaotic)
+        assert set(chaotic.unsettled) == set(clean.unsettled)
+        occurred = {e.event for e in chaotic.entries}
+        assert scenario.expect_occur <= occurred, (
+            name,
+            scenario.expect_occur - occurred,
+        )
+        assert not (scenario.expect_absent & occurred)
+
+
+class TestChaosRegressions:
+    """Seeds that once exposed bugs stay pinned as exact regressions."""
+
+    CASES = [
+        ("travel_failure", 0.3, 0.3, (("airline", 2.0, 10.0),), 7),
+        ("travel_success", 0.3, 0.3, (("car_rental", 1.0, 6.0),), 11),
+        ("mutex_t2", 0.2, 0.3, (("task2", 1.0, 9.0),), 3),
+        ("mutex_t1", 0.3, 0.0, (("task1", 0.5, 4.0), ("task2", 5.0, 8.0)), 19),
+    ]
+
+    def test_pinned_schedules_settle_clean(self):
+        for name, drop, dup, crashes, seed in self.CASES:
+            scenario = SCENARIOS[name]()
+            plan = FaultPlan.of(
+                SiteCrash(site, at=at, restart_at=back)
+                for site, at, back in crashes
+            )
+            sched, result = run_chaos(scenario, drop, dup, plan, seed)
+            assert_trace_safe(scenario, result)
+            assert not result.unsettled, (name, result.unsettled)
+            occurred = {e.event for e in result.entries}
+            assert scenario.expect_occur <= occurred, name

@@ -100,3 +100,82 @@ class TestRequirementMonitor:
         monitor = RequirementMonitor([dep], frozenset({E}), triggered.append)
         monitor.evaluate()
         assert triggered == []
+
+    def test_duplicate_observation_is_idempotent(self):
+        """The session layer is at-least-once across a site restart, so
+        the same announcement can arrive twice; residuating twice by
+        the same event would corrupt the residual."""
+        dep = parse("~e + f")
+        monitor = RequirementMonitor([dep], frozenset(), lambda ev: None)
+        monitor.observe(E)
+        once = monitor.residual(dep)
+        monitor.observe(E)
+        assert monitor.residual(dep) == once == parse("f")
+
+    def test_duplicate_does_not_retrigger(self):
+        s_buy, s_book = Event("s_buy"), Event("s_book")
+        triggered = []
+        monitor = RequirementMonitor(
+            [parse("~s_buy + s_book")], frozenset({s_book}), triggered.append
+        )
+        monitor.observe(s_buy)
+        monitor.observe(s_buy)
+        assert triggered == [s_book]
+
+
+class TestTriggeringUnderDelay:
+    """The distributed monitor is fed by cross-site announcements; with
+    real message latency it must still trigger (just later), and doomed
+    states must still surface as violations."""
+
+    def _run(self, latency, deps, attempts, attributes, sites):
+        from repro.scheduler import DistributedScheduler
+        from repro.scheduler.agents import AgentScript, ScriptedAttempt
+        from repro.sim.network import ConstantLatency
+
+        sched = DistributedScheduler(
+            deps,
+            attributes=attributes,
+            sites=sites,
+            latency=ConstantLatency(latency),
+        )
+        scripts = {}
+        for time, event in attempts:
+            site = sites.get(event.base, f"site_{event.base.name}")
+            scripts.setdefault(site, []).append(ScriptedAttempt(time, event))
+        return sched.run(
+            [AgentScript(site, atts) for site, atts in scripts.items()]
+        )
+
+    def test_trigger_fires_across_slow_links(self):
+        from repro.scheduler import EventAttributes
+
+        s_buy, s_book = Event("s_buy"), Event("s_book")
+        sites = {s_buy: "shop", s_book: "supplier"}
+        result = self._run(
+            latency=3.0,
+            deps=[parse("~s_buy + s_book")],
+            attempts=[(0.0, s_buy)],
+            attributes={s_book: EventAttributes(triggerable=True)},
+            sites=sites,
+        )
+        assert result.ok
+        occurred = {en.event for en in result.entries}
+        assert occurred == {s_buy, s_book}
+        assert result.triggered >= 1
+        # cross-site coordination cannot beat the wire: nothing settles
+        # before at least one 3.0-latency flight
+        assert all(en.time >= 3.0 for en in result.entries)
+
+    def test_delayed_monitor_still_detects_doomed(self):
+        from repro.scheduler import EventAttributes
+
+        a = Event("a")
+        result = self._run(
+            latency=2.5,
+            deps=[parse("~a")],
+            attempts=[(0.0, a)],
+            attributes={a: EventAttributes(rejectable=False)},
+            sites={a: "site_a"},
+        )
+        assert any(v.kind == "dependency" for v in result.violations)
