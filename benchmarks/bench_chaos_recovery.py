@@ -51,15 +51,15 @@ def test_bench_session_layer_overhead(benchmark, drop):
     assert not result.unsettled
     occurred = {en.event for en in result.entries}
     assert scenario.expect_occur <= occurred
-    report = sched.chaos_report()
+    network = sched.metrics_report()["network"]
     if drop == 0.0:
-        assert report.retransmits == 0
+        assert network["retransmits"] == 0
     else:
-        assert report.dropped > 0  # the fabric really was lossy
+        assert network["dropped"] > 0  # the fabric really was lossy
     print(
         f"\n[chaos drop={drop:.1f}] makespan={result.makespan:.1f} "
-        f"messages={report.messages} acks={report.acks_sent} "
-        f"retransmits={report.retransmits}"
+        f"messages={network['messages']} acks={network['acks_sent']} "
+        f"retransmits={network['retransmits']}"
     )
 
 
@@ -78,6 +78,11 @@ def test_bench_crash_recovery(benchmark, drop):
     assert scenario.expect_occur <= occurred
     report = sched.chaos_report()
     assert report.crashes == 1 and report.restarts == 1
+    metrics = sched.metrics_report()
+    assert metrics["faults"] == {"crashes": 1, "restarts": 1}
+    # the network section is NetworkStats.as_dict(): one merged report
+    assert metrics["network"]["messages"] == report.messages
+    assert "recovery_latency" in metrics["histograms"]
     print(
         f"\n[chaos drop={drop:.1f} +crash] makespan={result.makespan:.1f} "
         f"messages={report.messages} retransmits={report.retransmits} "

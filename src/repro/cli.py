@@ -10,18 +10,29 @@ Usage (also via ``python -m repro``):
     repro graph    SPEC.wf            # workflow structure as DOT
     repro run      SPEC.wf [options]  # simulate a run, print timeline
     repro guard    "DEP" EVENT        # one guard (Example-9 style)
+    repro trace check  TRACE.jsonl    # verify a recorded trace offline
+    repro trace export TRACE.jsonl    # convert to chrome://tracing JSON
 
 ``run`` options: ``--scheduler {distributed,centralized,automata}``,
-``--attempt EVENT=TIME`` (repeatable), ``--latency L``, ``--seed N``.
+``--attempt EVENT=TIME`` (repeatable), ``--latency L``, ``--seed N``,
+``--json`` (machine-readable result + metrics + trace on stdout),
+``--trace FILE`` (write the causal event trace as JSONL).
+
+Exit codes: ``run`` exits 0 only when the run is *clean* -- no
+dependency violations and no unsettled bases; 1 when either remains;
+2 on usage errors.  ``trace check`` exits 1 when the trace violates an
+invariant.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 
 from repro.algebra.parser import parse
+from repro.obs import Tracer, check_file, read_jsonl, to_chrome
 from repro.scheduler import (
     AutomataScheduler,
     CentralizedScheduler,
@@ -95,6 +106,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--latency", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON report "
+        "(timeline, metrics, causal trace) instead of text",
+    )
+    p_run.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record the run's causal event trace as JSONL to FILE",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect recorded JSONL event traces"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_check = trace_sub.add_parser(
+        "check", help="verify a trace's causal and safety invariants"
+    )
+    p_check.add_argument("trace_file", help="JSONL trace (from run --trace)")
+    p_export = trace_sub.add_parser(
+        "export", help="convert a trace to chrome://tracing JSON"
+    )
+    p_export.add_argument("trace_file")
+    p_export.add_argument(
+        "-o", "--output", help="write here instead of stdout"
+    )
     return parser
 
 
@@ -165,22 +203,84 @@ def _cmd_run(args) -> int:
             ScriptedAttempt(float(time_text), event_expr.event)
         )
     scheduler_cls = SCHEDULERS[args.scheduler]
+    tracer = Tracer() if (args.json or args.trace) else None
     sched = scheduler_cls(
         workflow.dependencies,
         sites=workflow.sites,
         attributes=workflow.attributes,
         latency=ConstantLatency(args.latency),
         rng=random.Random(args.seed),
+        tracer=tracer,
     )
     scripts = []
     if attempts:
         scripts.append(AgentScript("cli", attempts))
     result = sched.run(scripts)
-    print(result_to_text(result))
-    if result.violations:
-        for violation in result.violations:
-            print(f"violation[{violation.kind}]: {violation.detail}")
-    return 0 if result.ok else 1
+    if args.trace and tracer is not None:
+        tracer.dump(args.trace)
+    if args.json:
+        print(json.dumps(_run_report(result, sched, tracer, args.trace), indent=2))
+    else:
+        print(result_to_text(result))
+        if result.violations:
+            for violation in result.violations:
+                print(f"violation[{violation.kind}]: {violation.detail}")
+    # the exit contract: clean means no violations AND every base settled
+    return 0 if (not result.violations and not result.unsettled) else 1
+
+
+def _run_report(result, sched, tracer, trace_path) -> dict:
+    """The ``run --json`` payload: timeline + metrics + causal trace."""
+    report = {
+        "ok": result.ok,
+        "makespan": result.makespan,
+        "messages": result.messages,
+        "timeline": [
+            {
+                "event": repr(entry.event),
+                "time": entry.time,
+                "attempted_at": entry.attempted_at,
+                "outcome": entry.outcome.value,
+            }
+            for entry in result.entries
+        ],
+        "violations": [
+            {"kind": v.kind, "detail": v.detail} for v in result.violations
+        ],
+        "unsettled": [repr(b) for b in result.unsettled],
+        "metrics": sched.metrics_report(),
+    }
+    if trace_path:
+        report["trace_file"] = str(trace_path)
+    elif tracer is not None:
+        report["trace"] = tracer.records
+    return report
+
+
+def _cmd_trace(args) -> int:
+    if args.trace_command == "check":
+        count, diagnostics = check_file(args.trace_file)
+        if not diagnostics:
+            print(f"{args.trace_file}: {count} records, all invariants hold")
+            return 0
+        print(
+            f"{args.trace_file}: {len(diagnostics)} violation(s) "
+            f"in {count} records",
+            file=sys.stderr,
+        )
+        for diagnostic in diagnostics:
+            print(str(diagnostic), file=sys.stderr)
+        return 1
+    # export
+    chrome = to_chrome(read_jsonl(args.trace_file))
+    text = json.dumps(chrome)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(chrome['traceEvents'])} events to {args.output}")
+    else:
+        print(text)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -192,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
         "graph": _cmd_graph,
         "guard": _cmd_guard,
         "run": _cmd_run,
+        "trace": _cmd_trace,
     }[args.command]
     try:
         return handler(args)

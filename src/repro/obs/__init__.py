@@ -1,0 +1,43 @@
+"""Observability for the distributed scheduler: tracing, metrics, checking.
+
+The paper's execution model (Section 4.3) is defined entirely by
+message flow -- ``[]e``/``<>e`` announcements, guard evaluations, and
+actor state transitions -- which makes a run opaque exactly when it
+misbehaves.  This package turns every run into a self-explaining
+artifact:
+
+* :mod:`repro.obs.tracer` -- causal event tracing.  A :class:`Tracer`
+  stamps every message send/receive/drop/retransmit, actor state
+  transition, guard evaluation, crash/restart, and sync round with a
+  per-site Lamport clock and emits structured JSONL records.  The
+  default :data:`NULL_TRACER` is inert: instrumentation sites guard on
+  ``tracer.active``, so a run without tracing takes the exact same
+  code path as before.
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges (with peaks), and summary histograms, labelled per site and
+  dumpable as JSON from ``DistributedScheduler.metrics_report()``.
+* :mod:`repro.obs.export` -- conversion of a trace to the Chrome
+  ``chrome://tracing`` / Perfetto JSON format (``repro trace export``).
+* :mod:`repro.obs.check` -- the trace-replay invariant checker
+  (``repro trace check``): re-reads a JSONL trace offline and verifies
+  Lamport monotonicity, per-session causal order, trace safety (no
+  base event twice, never both ``e`` and ``~e``), and that every
+  firing is justified by a recorded guard verdict.
+"""
+
+from repro.obs.check import Diagnostic, check_file, check_records
+from repro.obs.export import to_chrome
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, read_jsonl
+
+__all__ = [
+    "Diagnostic",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "check_file",
+    "check_records",
+    "read_jsonl",
+    "to_chrome",
+]

@@ -1,0 +1,203 @@
+"""Offline trace-replay invariant checker (``repro trace check``).
+
+The checker re-reads a JSONL trace produced by
+:class:`repro.obs.tracer.Tracer` and verifies -- without re-running the
+simulation -- that the recorded run is causally and semantically
+coherent:
+
+``schema``
+    every record carries the fixed envelope (``lc``/``t``/``site``/
+    ``cat``/``op``) with sane types, and parses as JSON at all;
+``clock``
+    per site, Lamport stamps are strictly increasing (the tracer's
+    clocks are observer state and survive simulated crashes);
+``causal``
+    every message ``recv`` names a previously-recorded ``send`` with
+    the same message id, endpoints, and kind, the receive stamp
+    strictly exceeds the send stamp, and the recorded ``sent_lc``
+    matches the send record -- i.e. happened-before is respected along
+    every delivered message;
+``channel-order``
+    per directed channel (src, dst), delivered messages arrive in
+    physical send order (the fabric is FIFO per channel; retransmits
+    and duplicates are separate physical transmissions with fresh
+    stamps, so this holds even under chaos);
+``double-fire``
+    trace safety: no base event occurs twice, and never both ``e`` and
+    its complement ``~e`` (Theorem 4.2's no-event-twice /
+    no-event-with-complement conditions, checked on the record of what
+    actually fired);
+``unjustified-fire``
+    every distributed ``fired`` transition is justified by an earlier
+    same-site guard evaluation with verdict ``fire`` (or an explicit
+    ``forced`` transition for nonrejectable events), and every firing
+    was preceded by an ``attempted`` transition for that event.
+
+Each violation is reported as a :class:`Diagnostic` carrying the
+0-based record index (= line number - 1 in the JSONL file), a stable
+code from the list above, and a human-readable detail string.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+_ENVELOPE = ("lc", "t", "site", "cat", "op")
+
+#: actor ops that mean "this event is now part of the trace"
+_OCCURRED_OPS = ("fired", "accepted")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One invariant violation found in a trace."""
+
+    index: int  # 0-based record index (line - 1 in the JSONL file)
+    code: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"record {self.index}: [{self.code}] {self.detail}"
+
+
+def _base(event_repr: str) -> str:
+    """Base event name: ``~e`` and ``e`` share a base (complements)."""
+    return event_repr[1:] if event_repr.startswith("~") else event_repr
+
+
+def check_records(records: Iterable[dict]) -> list[Diagnostic]:
+    """Check all trace invariants; returns diagnostics (empty = clean)."""
+    diags: list[Diagnostic] = []
+    site_clock: dict[str, int] = {}
+    sends: dict[int, tuple[int, dict]] = {}
+    channel_last_sent_lc: dict[tuple[str, str], int] = {}
+    occurred: dict[str, tuple[int, str]] = {}
+    attempted: set[str] = set()
+    guard_fire_ok: set[tuple[str, str]] = set()  # (site, event) justified
+
+    for index, record in enumerate(records):
+        # -- schema ----------------------------------------------------
+        if not isinstance(record, dict):
+            diags.append(Diagnostic(index, "schema", f"not an object: {record!r}"))
+            continue
+        missing = [k for k in _ENVELOPE if k not in record]
+        if missing:
+            diags.append(Diagnostic(
+                index, "schema", f"missing envelope field(s) {missing}"))
+            continue
+        lc, site, cat, op = record["lc"], record["site"], record["cat"], record["op"]
+        if not isinstance(lc, int) or lc < 1:
+            diags.append(Diagnostic(
+                index, "schema", f"lc must be a positive integer, got {lc!r}"))
+            continue
+
+        # -- clock: per-site strict monotonicity -----------------------
+        prev = site_clock.get(site, 0)
+        if lc <= prev:
+            diags.append(Diagnostic(
+                index, "clock",
+                f"site {site!r}: lc {lc} does not exceed previous stamp {prev}"))
+        site_clock[site] = max(prev, lc)
+
+        # -- messages --------------------------------------------------
+        if cat == "message" and op == "send":
+            sends[record.get("mid")] = (index, record)
+        elif cat == "message" and op == "recv":
+            mid = record.get("mid")
+            sent_lc = record.get("sent_lc")
+            entry = sends.get(mid)
+            if entry is None:
+                diags.append(Diagnostic(
+                    index, "causal",
+                    f"recv of mid {mid} has no preceding send record"))
+            else:
+                send_index, send = entry
+                for field in ("src", "dst", "kind"):
+                    if send.get(field) != record.get(field):
+                        diags.append(Diagnostic(
+                            index, "causal",
+                            f"recv of mid {mid} disagrees with send record "
+                            f"{send_index} on {field}: "
+                            f"{record.get(field)!r} != {send.get(field)!r}"))
+                if send["lc"] != sent_lc:
+                    diags.append(Diagnostic(
+                        index, "causal",
+                        f"recv of mid {mid} claims sent_lc={sent_lc} but send "
+                        f"record {send_index} has lc={send['lc']}"))
+            if isinstance(sent_lc, int) and lc <= sent_lc:
+                diags.append(Diagnostic(
+                    index, "causal",
+                    f"recv lc {lc} does not exceed sent_lc {sent_lc} "
+                    f"(happened-before violated along mid {mid})"))
+            channel = (record.get("src"), record.get("dst"))
+            if isinstance(sent_lc, int):
+                last = channel_last_sent_lc.get(channel, 0)
+                if sent_lc <= last:
+                    diags.append(Diagnostic(
+                        index, "channel-order",
+                        f"channel {channel[0]}->{channel[1]}: delivery of "
+                        f"sent_lc={sent_lc} after sent_lc={last} "
+                        f"(fabric FIFO violated)"))
+                channel_last_sent_lc[channel] = max(last, sent_lc)
+
+        # -- guard verdicts justify firings ----------------------------
+        elif cat == "guard" and op == "eval":
+            if record.get("verdict") == "fire":
+                guard_fire_ok.add((site, record.get("event")))
+
+        # -- actor transitions: trace safety ---------------------------
+        elif cat == "actor":
+            event = record.get("event")
+            if op == "attempted":
+                attempted.add(event)
+            elif op == "forced":
+                guard_fire_ok.add((site, event))
+            if op in _OCCURRED_OPS and isinstance(event, str):
+                base = _base(event)
+                if base in occurred:
+                    first_index, first_event = occurred[base]
+                    what = ("its complement " + first_event
+                            if first_event != event else "it already")
+                    diags.append(Diagnostic(
+                        index, "double-fire",
+                        f"{event} {op} but {what} occurred at record "
+                        f"{first_index} (trace safety)"))
+                else:
+                    occurred[base] = (index, event)
+                if event not in attempted:
+                    diags.append(Diagnostic(
+                        index, "unjustified-fire",
+                        f"{event} {op} without a preceding attempted record"))
+                if op == "fired" and (site, event) not in guard_fire_ok:
+                    diags.append(Diagnostic(
+                        index, "unjustified-fire",
+                        f"{event} fired at {site!r} without a preceding guard "
+                        f"verdict 'fire' (or forced transition) at that site"))
+
+    return diags
+
+
+def check_file(path) -> tuple[int, list[Diagnostic]]:
+    """Check a JSONL trace file; returns ``(record_count, diagnostics)``.
+
+    Unparseable lines are reported as ``schema`` diagnostics rather
+    than raising, so a truncated or hand-mangled trace still yields a
+    precise report.
+    """
+    records: list[dict] = []
+    diags: list[Diagnostic] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                diags.append(Diagnostic(
+                    len(records), "schema", f"line {lineno + 1}: invalid JSON ({exc})"))
+    diags.extend(check_records(records))
+    diags.sort(key=lambda d: d.index)
+    return len(records), diags

@@ -1,0 +1,129 @@
+"""A small metrics registry: counters, gauges, summary histograms.
+
+Metrics are named and optionally labelled with the *site* at which
+they were observed, so the report shows both the fleet total and the
+per-site breakdown (the distributed scheduler's whole argument is the
+per-site shape).  Three instrument kinds:
+
+* **counter** -- monotone count (``inc``);
+* **gauge** -- a level with its high-water mark (``gauge_adjust`` /
+  ``gauge_set``), e.g. the parked-queue depth;
+* **histogram** -- summary statistics of observed values (count, sum,
+  min, max, mean), e.g. guard-evaluation latency or time-to-allow.
+
+Counters and gauges are cheap dict updates and are always on.
+Wall-clock timing is not: instrumentation sites only call
+``time.perf_counter`` when ``registry.timed`` (or an attached tracer)
+asks for it, so the default configuration never perturbs the hot
+path.  Everything is deterministic except explicitly-timed values.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_TOTAL = ""  # label key under which the cross-site total is reported
+
+
+class MetricsRegistry:
+    """Counters, gauges, and summary histograms, labelled per site."""
+
+    def __init__(self, timed: bool = False):
+        #: when True, instrumented code records wall-clock timings
+        #: (guard-eval latency); off by default to keep runs exact
+        self.timed = timed
+        self._counters: dict[tuple[str, str], int] = {}
+        self._gauges: dict[tuple[str, str], dict[str, float]] = {}
+        self._histograms: dict[tuple[str, str], dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1, site: str = _TOTAL) -> None:
+        key = (name, site)
+        self._counters[key] = self._counters.get(key, 0) + n
+
+    def gauge_adjust(self, name: str, delta: float, site: str = _TOTAL) -> None:
+        key = (name, site)
+        gauge = self._gauges.setdefault(key, {"value": 0.0, "peak": 0.0})
+        gauge["value"] += delta
+        gauge["peak"] = max(gauge["peak"], gauge["value"])
+
+    def gauge_set(self, name: str, value: float, site: str = _TOTAL) -> None:
+        key = (name, site)
+        gauge = self._gauges.setdefault(key, {"value": 0.0, "peak": 0.0})
+        gauge["value"] = value
+        gauge["peak"] = max(gauge["peak"], value)
+
+    def observe(self, name: str, value: float, site: str = _TOTAL) -> None:
+        key = (name, site)
+        h = self._histograms.get(key)
+        if h is None:
+            self._histograms[key] = {
+                "count": 1, "sum": value, "min": value, "max": value,
+            }
+            return
+        h["count"] += 1
+        h["sum"] += value
+        h["min"] = min(h["min"], value)
+        h["max"] = max(h["max"], value)
+
+    # ------------------------------------------------------------------
+    # reading
+
+    def counter(self, name: str, site: str = _TOTAL) -> int:
+        """Cross-site total unless a specific site is asked for."""
+        if site is not _TOTAL and (name, site) in self._counters:
+            return self._counters[(name, site)]
+        if site is _TOTAL:
+            return sum(v for (n, _s), v in self._counters.items() if n == name)
+        return 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot: totals plus per-site breakdowns."""
+        return {
+            "counters": self._group(self._counters, lambda v: v, sum),
+            "gauges": self._group(
+                self._gauges,
+                lambda v: dict(v),
+                lambda items: {
+                    "value": sum(i["value"] for i in items),
+                    "peak": max(i["peak"] for i in items),
+                },
+            ),
+            "histograms": self._group(
+                self._histograms, self._finish_histogram, self._merge_histograms
+            ),
+        }
+
+    @staticmethod
+    def _finish_histogram(h: dict[str, float]) -> dict[str, float]:
+        out = dict(h)
+        out["mean"] = h["sum"] / h["count"] if h["count"] else 0.0
+        return out
+
+    @classmethod
+    def _merge_histograms(cls, items) -> dict[str, float]:
+        merged = {
+            "count": sum(i["count"] for i in items),
+            "sum": sum(i["sum"] for i in items),
+            "min": min(i["min"] for i in items),
+            "max": max(i["max"] for i in items),
+        }
+        return cls._finish_histogram(merged)
+
+    @staticmethod
+    def _group(store: dict, finish, combine) -> dict[str, Any]:
+        names: dict[str, dict[str, Any]] = {}
+        for (name, site), value in sorted(store.items()):
+            names.setdefault(name, {})[site] = value
+        out: dict[str, Any] = {}
+        for name, by_site in names.items():
+            entry: dict[str, Any] = {"total": combine(list(by_site.values()))}
+            sites = {s: finish(v) for s, v in by_site.items() if s != _TOTAL}
+            if sites:
+                entry["sites"] = sites
+            if _TOTAL in by_site and sites:
+                # unlabelled observations, kept apart from real sites
+                entry["unlabelled"] = finish(by_site[_TOTAL])
+            out[name] = entry
+        return out

@@ -1,0 +1,243 @@
+"""Causal event tracing with per-site Lamport clocks.
+
+Every record is a plain JSON-ready dict with a fixed envelope:
+
+========  ==========================================================
+``lc``    Lamport stamp: the recording site's logical clock *after*
+          the event (each local event ticks the clock; a message
+          receive first merges the sender's stamp)
+``t``     virtual (simulator) time of the event
+``site``  the site at which the event happened
+``cat``   record category: ``message``, ``session``, ``actor``,
+          ``guard``, ``round``, ``fault``, ``sync``, ``monitor``
+``op``    operation within the category (``send``, ``recv``,
+          ``fired``, ``eval``, ``crash``, ...)
+========  ==========================================================
+
+plus category-specific fields (message ``kind``/``mid``/``sent_lc``,
+guard text and verdict, ...).  The stamps make the trace *causal*:
+within a site the clock is strictly monotone, and along any message
+the receive stamp strictly exceeds the send stamp, so the offline
+checker (:mod:`repro.obs.check`) can verify happened-before structure
+without re-running the simulation.
+
+The clocks live in the tracer, not in the simulated sites: they are
+observability infrastructure, so they survive simulated crashes (a
+restarting site keeps appending to the same monotone record stream --
+what crashed is the *protocol* state, which the trace is describing).
+
+Design rule for instrumentation sites: guard every call on
+``tracer.active`` (and never compute record fields outside the guard),
+so the default :data:`NULL_TRACER` adds one attribute read and a
+branch to hot paths -- nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+
+class NullTracer:
+    """The inert default tracer: records nothing, costs a branch.
+
+    Exposes the full :class:`Tracer` surface so unguarded call sites
+    stay correct; ``active`` is False so guarded (hot-path) sites skip
+    even the argument construction.
+    """
+
+    active = False
+    records: list[dict] = []
+
+    def message_send(self, t, src, dst, kind):
+        return 0, 0
+
+    def message_recv(self, t, src, dst, kind, mid, sent_lc):
+        pass
+
+    def message_drop(self, t, src, dst, kind):
+        pass
+
+    def message_dup(self, t, src, dst, kind):
+        pass
+
+    def session(self, t, site, op, **fields):
+        pass
+
+    def actor(self, t, site, event, op, **fields):
+        pass
+
+    def guard_eval(self, t, site, event, guard, residual, verdict, elapsed):
+        pass
+
+    def round_event(self, t, site, event, op, round_id, **fields):
+        pass
+
+    def crash(self, t, site):
+        pass
+
+    def restart(self, t, site):
+        pass
+
+    def sync(self, t, site, op, **fields):
+        pass
+
+    def monitor(self, t, site, op, **fields):
+        pass
+
+    def dump(self, path):  # pragma: no cover - nothing to dump
+        raise ValueError("the null tracer records nothing; pass a Tracer")
+
+
+#: Shared inert instance; schedulers default to this.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """Records Lamport-stamped structured events, in memory, as dicts.
+
+    ``dump``/``dumps`` serialize to JSONL (one record per line);
+    :func:`read_jsonl` reads such a file back for offline checking and
+    export.
+    """
+
+    active = True
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self._clocks: dict[str, int] = {}
+        self._next_mid = 0
+
+    # ------------------------------------------------------------------
+    # clock discipline
+
+    def _tick(self, site: str) -> int:
+        stamp = self._clocks.get(site, 0) + 1
+        self._clocks[site] = stamp
+        return stamp
+
+    def _merge(self, site: str, sent_lc: int) -> int:
+        stamp = max(self._clocks.get(site, 0), sent_lc) + 1
+        self._clocks[site] = stamp
+        return stamp
+
+    def _emit(self, site: str, cat: str, op: str, t: float, lc: int, fields: dict) -> dict:
+        record = {"lc": lc, "t": t, "site": site, "cat": cat, "op": op}
+        record.update(fields)
+        self.records.append(record)
+        return record
+
+    def local(self, t: float, site: str, cat: str, op: str, **fields: Any) -> dict:
+        """Record a purely local event at ``site`` (ticks its clock)."""
+        return self._emit(site, cat, op, t, self._tick(site), fields)
+
+    # ------------------------------------------------------------------
+    # message fabric (called from repro.sim.network)
+
+    def message_send(self, t: float, src: str, dst: str, kind: str) -> tuple[int, int]:
+        """Record a physical transmission; returns ``(mid, send_lc)``.
+
+        The fabric threads both through to the matching delivery so
+        :meth:`message_recv` can name its cause.
+        """
+        self._next_mid += 1
+        mid = self._next_mid
+        lc = self._tick(src)
+        self._emit(src, "message", "send", t, lc, {"kind": kind, "src": src, "dst": dst, "mid": mid})
+        return mid, lc
+
+    def message_recv(self, t: float, src: str, dst: str, kind: str, mid: int, sent_lc: int) -> None:
+        lc = self._merge(dst, sent_lc)
+        self._emit(
+            dst, "message", "recv", t, lc,
+            {"kind": kind, "src": src, "dst": dst, "mid": mid, "sent_lc": sent_lc},
+        )
+
+    def message_drop(self, t: float, src: str, dst: str, kind: str) -> None:
+        self.local(t, src, "message", "drop", kind=kind, src=src, dst=dst)
+
+    def message_dup(self, t: float, src: str, dst: str, kind: str) -> None:
+        self.local(t, src, "message", "dup", kind=kind, src=src, dst=dst)
+
+    # ------------------------------------------------------------------
+    # session layer (repro.sim.reliable)
+
+    def session(self, t: float, site: str, op: str, **fields: Any) -> None:
+        """``op``: retransmit / giveup / dedup / stale / crash_lost / reset."""
+        self.local(t, site, "session", op, **fields)
+
+    # ------------------------------------------------------------------
+    # actors and guards (repro.scheduler)
+
+    def actor(self, t: float, site: str, event: Any, op: str, **fields: Any) -> None:
+        """``op``: attempted / parked / fired / accepted / rejected /
+        forced / dead / recovered."""
+        self.local(t, site, "actor", op, event=repr(event), **fields)
+
+    def guard_eval(
+        self,
+        t: float,
+        site: str,
+        event: Any,
+        guard: Any,
+        residual: Any,
+        verdict: str,
+        elapsed: float,
+    ) -> None:
+        """One guard evaluation: the compiled guard, its current
+        residual under assimilated knowledge, the verdict
+        (``fire``/``park``/``never``), and the wall-clock seconds the
+        evaluation took."""
+        self.local(
+            t, site, "guard", "eval",
+            event=repr(event), guard=repr(guard), residual=repr(residual),
+            verdict=verdict, elapsed=elapsed,
+        )
+
+    def round_event(self, t: float, site: str, event: Any, op: str, round_id: int, **fields: Any) -> None:
+        """Not-yet certificate rounds: ``op`` is start / conclude / abort."""
+        self.local(t, site, "round", op, event=repr(event), round_id=round_id, **fields)
+
+    # ------------------------------------------------------------------
+    # faults and recovery
+
+    def crash(self, t: float, site: str) -> None:
+        self.local(t, site, "fault", "crash")
+
+    def restart(self, t: float, site: str) -> None:
+        self.local(t, site, "fault", "restart")
+
+    def sync(self, t: float, site: str, op: str, **fields: Any) -> None:
+        """Recovery sync rounds: ``op`` is begin / reply / complete."""
+        self.local(t, site, "sync", op, **fields)
+
+    # ------------------------------------------------------------------
+    # requirement monitors
+
+    def monitor(self, t: float, site: str, op: str, **fields: Any) -> None:
+        """``op``: trigger / doomed."""
+        self.local(t, site, "monitor", op, **fields)
+
+    # ------------------------------------------------------------------
+    # serialization
+
+    def dumps(self) -> str:
+        return "\n".join(json.dumps(r, sort_keys=True) for r in self.records) + (
+            "\n" if self.records else ""
+        )
+
+    def dump(self, path) -> None:
+        """Write the trace as JSONL to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+
+
+def read_jsonl(path) -> list[dict]:
+    """Read a JSONL trace back into a list of records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

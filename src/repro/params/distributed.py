@@ -35,12 +35,17 @@ class DistributedParamRunner:
     attributes:
         Per *event-type name* attributes (applied to every ground
         instance of that type).
+    tracer / metrics:
+        Observability hooks, forwarded to the underlying
+        :class:`DistributedScheduler` (see :mod:`repro.obs`).
     """
 
     def __init__(
         self,
         templates: Iterable[Expr | str],
         attributes: dict[str, EventAttributes] | None = None,
+        tracer=None,
+        metrics=None,
     ):
         self.templates: list[Expr] = [
             parse(t) if isinstance(t, str) else t for t in templates
@@ -48,7 +53,9 @@ class DistributedParamRunner:
         self._type_attributes = dict(attributes or {})
         self._seen_values: set = set()
         self._materialized: set = set()
-        self.sched = DistributedScheduler([], attributes={})
+        self.sched = DistributedScheduler(
+            [], attributes={}, tracer=tracer, metrics=metrics
+        )
         # per-name attributes are resolved lazily per ground base
         self.sched.attributes = self._attributes_for  # type: ignore[assignment]
 

@@ -31,6 +31,7 @@ Decision rule on an attempt (Section 4.3's "evaluation"):
 from __future__ import annotations
 
 import enum
+import time
 from typing import TYPE_CHECKING
 
 from repro.algebra.symbols import Event
@@ -171,6 +172,11 @@ class EventActor:
         if self.status is ActorStatus.IDLE or self.status is ActorStatus.REJECTED:
             self.status = ActorStatus.PENDING
             self.attempted_at = attempted_at
+            self.sched.metrics.inc("attempts", site=self.site)
+            if self.sched.tracer.active:
+                self.sched.tracer.actor(
+                    self.sched.sim.now, self.site, self.event, "attempted"
+                )
         # answer promise requests that waited for us to become pending
         deferred, self.deferred_promise_reqs = self.deferred_promise_reqs, []
         for req in deferred:
@@ -182,10 +188,11 @@ class EventActor:
             return
         if self.sched.is_frozen(self.event.base, exclude=self.event):
             return  # some requester holds a certificate on our base
-        if self.guard.region_subsumes(self.knowledge):
+        verdict = self._evaluate_guard(self.knowledge)
+        if verdict == "fire":
             self._fire()
             return
-        if not self.guard.possible_under(self.knowledge):
+        if verdict == "never":
             self._reject()
             return
         if not self.sched.attributes(self.event.base).delayable:
@@ -195,6 +202,36 @@ class EventActor:
             return
         self.sched.note_parked(self.event)
         self._solicit()
+
+    def _evaluate_guard(self, knowledge: dict[Event, int]) -> str:
+        """Decide fire/park/never for the residual guard under
+        ``knowledge`` (Section 4.3's evaluation rule), optionally timed
+        and traced.  The untraced path computes nothing extra."""
+        sched = self.sched
+        timed = sched.tracer.active or sched.metrics.timed
+        if not timed:
+            if self.guard.region_subsumes(knowledge):
+                return "fire"
+            if not self.guard.possible_under(knowledge):
+                return "never"
+            return "park"
+        start = time.perf_counter()
+        if self.guard.region_subsumes(knowledge):
+            verdict = "fire"
+        elif not self.guard.possible_under(knowledge):
+            verdict = "never"
+        else:
+            verdict = "park"
+        elapsed = time.perf_counter() - start
+        if sched.metrics.timed:
+            sched.metrics.observe("guard_eval_seconds", elapsed, site=self.site)
+        if sched.tracer.active:
+            sched.tracer.guard_eval(
+                sched.sim.now, self.site, self.event,
+                guard=self._durable_guard, residual=self.guard,
+                verdict=verdict, elapsed=elapsed,
+            )
+        return verdict
 
     def _fire(self) -> None:
         # Status first: finishing the round serves certificate requests
@@ -210,11 +247,19 @@ class EventActor:
         if not self.sched.attributes(self.event.base).rejectable:
             # Nonrejectable events happen no matter what (Section 3.3);
             # record the forced acceptance as a violation source.
+            if self.sched.tracer.active:
+                self.sched.tracer.actor(
+                    self.sched.sim.now, self.site, self.event, "forced"
+                )
             self.sched.note_forced(self.event)
             self._fire()
             return
         self._finish_round(fired=False)
         self.status = ActorStatus.REJECTED
+        if self.sched.tracer.active:
+            self.sched.tracer.actor(
+                self.sched.sim.now, self.site, self.event, "rejected"
+            )
         self.sched.notify_rejected(self.event)
 
     # ------------------------------------------------------------------
@@ -512,6 +557,15 @@ class EventActor:
         self.round_certified = set()
         self.round_holds = set()
         self.sched.note_round()
+        if self.sched.tracer.active:
+            self.sched.tracer.round_event(
+                self.sched.sim.now, self.site, self.event, "start",
+                self.round_id,
+                targets=[
+                    repr(b)
+                    for b in sorted(self.round_awaiting, key=Event.sort_key)
+                ],
+            )
         for base in sorted(self.round_awaiting, key=Event.sort_key):
             self.sched.send_to_base(
                 self.event,
@@ -560,6 +614,14 @@ class EventActor:
             and not self.sched.is_frozen(self.event.base, exclude=self.event)
             and self.guard.region_subsumes(transient)
         ):
+            if self.sched.tracer.active:
+                # the certificate-backed evaluation justifying this
+                # firing: the transient facts exist only in this instant
+                self.sched.tracer.guard_eval(
+                    self.sched.sim.now, self.site, self.event,
+                    guard=self._durable_guard, residual=self.guard,
+                    verdict="fire", elapsed=0.0,
+                )
             # _fire finishes the round itself, *after* setting
             # OCCURRED, so deferred certificate requests served during
             # the release see the occurrence.
@@ -572,6 +634,12 @@ class EventActor:
         if not self.round_active and not self.round_holds:
             return
         rid = self.round_id
+        if self.sched.tracer.active and self.round_active:
+            op = "conclude" if not self.round_awaiting else "abort"
+            self.sched.tracer.round_event(
+                self.sched.sim.now, self.site, self.event, op, rid,
+                certified=len(self.round_certified),
+            )
         # Release still-awaited bases too, not only confirmed holds: an
         # aborted round may have a certificate -- and its freeze -- in
         # flight, or lost outright with a crashed coordinator session.
@@ -703,6 +771,11 @@ class EventActor:
         solicitation machinery re-acquires whatever is still needed
         once the settled facts are back.
         """
+        if self.sched.tracer.active:
+            self.sched.tracer.actor(
+                self.sched.sim.now, self.site, self.event, "recovered",
+                status=self.status.value,
+            )
         if self.status is ActorStatus.OCCURRED:
             self.learn(
                 self.event.base, C_OCC if self.event.negated else E_OCC

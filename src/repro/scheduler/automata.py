@@ -128,6 +128,8 @@ class AutomataScheduler(CentralizedScheduler):
         latency: LatencyModel | None = None,
         rng: random.Random | None = None,
         decision_service_time: float = 0.0,
+        tracer=None,
+        metrics=None,
     ):
         dependencies = list(dependencies)
         super().__init__(
@@ -137,6 +139,8 @@ class AutomataScheduler(CentralizedScheduler):
             latency=latency,
             rng=rng,
             decision_service_time=decision_service_time,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.automata = [DependencyAutomaton(d) for d in dependencies]
         self._automaton_state = [a.initial for a in self.automata]

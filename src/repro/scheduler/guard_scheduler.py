@@ -45,6 +45,8 @@ from repro.scheduler.messages import (
     SyncRequest,
     TriggerMsg,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.scheduler.monitors import RequirementMonitor
 from repro.sim.clock import Simulator
 from repro.sim.faults import ChaosReport, FaultInjector, FaultPlan
@@ -81,6 +83,17 @@ class DistributedScheduler:
         when the run starts.
     retransmit_timeout / max_retries:
         Session-layer tuning, forwarded to :class:`ReliableNetwork`.
+    tracer:
+        A :class:`repro.obs.Tracer` to record the run as a causal
+        Lamport-stamped event trace.  Defaults to the inert
+        :data:`~repro.obs.NULL_TRACER`: every instrumentation site is
+        guarded on ``tracer.active``, so an untraced run takes the
+        same code path as before.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry`; one is created per run
+        by default and reported by :meth:`metrics_report`.  Pass
+        ``MetricsRegistry(timed=True)`` to also collect wall-clock
+        guard-evaluation latencies.
     """
 
     def __init__(
@@ -99,9 +112,13 @@ class DistributedScheduler:
         fault_plan: FaultPlan | None = None,
         retransmit_timeout: float = 4.0,
         max_retries: int = 20,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.dependencies = list(dependencies)
         self.policy = policy or SchedulerPolicy()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sim = Simulator()
         self.network = Network(
             self.sim,
@@ -109,11 +126,12 @@ class DistributedScheduler:
             rng=rng,
             drop_probability=drop_probability,
             duplicate_probability=duplicate_probability,
+            tracer=self.tracer,
         )
         self.faults: FaultInjector | None = None
         if fault_plan is not None:
             reliable = True  # recovery is built on the session layer
-            self.faults = FaultInjector(self.sim, fault_plan)
+            self.faults = FaultInjector(self.sim, fault_plan, tracer=self.tracer)
         self.reliable = reliable
         #: where protocol messages travel: the raw fabric, or the
         #: exactly-once FIFO session layer on top of it
@@ -139,6 +157,8 @@ class DistributedScheduler:
         self._sites = {e.base: s for e, s in (sites or {}).items()}
         self._attributes = {e.base: a for e, a in (attributes or {}).items()}
         self.result = ExecutionResult()
+        #: signed events currently parked (drives the depth gauge)
+        self._parked_now: set[Event] = set()
 
         table = dict(guards) if guards is not None else workflow_guards(
             self.dependencies
@@ -199,7 +219,11 @@ class DistributedScheduler:
                 frozenset(bases),
                 trigger=self._make_trigger(site),
                 doomed=self._note_doomed,
+                site=site,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
+            monitor.bind_clock(lambda: self.sim.now)
             index = len(self._monitors)
             self._monitors.append((site, monitor))
             self._monitor_specs.append((deps, frozenset(bases)))
@@ -351,12 +375,28 @@ class DistributedScheduler:
 
     def note_parked(self, event: Event) -> None:
         self.result.parked_total += 1
+        site = self.site_of(event.base)
+        self.metrics.inc("parked", site=site)
+        if event not in self._parked_now:
+            self._parked_now.add(event)
+            self.metrics.gauge_adjust("parked_depth", 1, site=site)
+        if self.tracer.active:
+            self.tracer.actor(self.sim.now, site, event, "parked")
+
+    def _unpark(self, event: Event) -> None:
+        if event in self._parked_now:
+            self._parked_now.discard(event)
+            self.metrics.gauge_adjust(
+                "parked_depth", -1, site=self.site_of(event.base)
+            )
 
     def note_promise(self) -> None:
         self.result.promises_granted += 1
+        self.metrics.inc("promises_granted")
 
     def note_round(self) -> None:
         self.result.not_yet_rounds += 1
+        self.metrics.inc("not_yet_rounds")
 
     def note_forced(self, event: Event) -> None:
         self.result.violations.append(
@@ -370,6 +410,8 @@ class DistributedScheduler:
 
     def notify_rejected(self, event: Event) -> None:
         """Permanent rejection: the agent settles the complement."""
+        self._unpark(event)
+        self.metrics.inc("rejected", site=self.site_of(event.base))
         if self.attributes(event.base).auto_complement:
             comp = event.complement
             actor = self.actors.get(comp)
@@ -384,10 +426,23 @@ class DistributedScheduler:
         self.result.entries.append(
             TraceEntry(event, self.sim.now, attempted_at, outcome)
         )
+        self._unpark(event)
+        self.metrics.inc("fired", site=actor.site)
+        self.metrics.observe(
+            "time_to_allow", self.sim.now - attempted_at, site=actor.site
+        )
+        if self.tracer.active:
+            self.tracer.actor(
+                self.sim.now, actor.site, event, "fired",
+                waited=self.sim.now - attempted_at,
+            )
         # complement actor is dead now; release anything it held
         comp = self.actors.get(event.complement)
         if comp is not None:
             comp.status = ActorStatus.DEAD
+            self._unpark(comp.event)
+            if self.tracer.active:
+                self.tracer.actor(self.sim.now, comp.site, comp.event, "dead")
             comp.cancel_protocols()
         # announcements to guard subscribers
         for sub_event in self._subscribers.get(event.base, ()):
@@ -549,6 +604,8 @@ class DistributedScheduler:
         the last sync reply for the site arrives.
         """
         self._recovering[site] = {"started": self.sim.now, "outstanding": 0}
+        if self.tracer.active:
+            self.tracer.sync(self.sim.now, site, "begin")
         restarted = self._site_actors(site)
         for actor in restarted:
             actor.recover()
@@ -578,8 +635,15 @@ class DistributedScheduler:
         record = self._recovering.get(site)
         if record is not None and record["outstanding"] <= 0:
             # nothing to resync: recovery is instantaneous
-            self._recovery_latencies.append(self.sim.now - record["started"])
-            del self._recovering[site]
+            self._finish_recovery(site, record)
+
+    def _finish_recovery(self, site: str, record: dict) -> None:
+        latency = self.sim.now - record["started"]
+        self._recovery_latencies.append(latency)
+        del self._recovering[site]
+        self.metrics.observe("recovery_latency", latency, site=site)
+        if self.tracer.active:
+            self.tracer.sync(self.sim.now, site, "complete", latency=latency)
 
     def send_sync(self, requester: Event, base: Event) -> None:
         """Route a recovery :class:`SyncRequest` to ``base``'s coordinator."""
@@ -593,13 +657,14 @@ class DistributedScheduler:
     def note_sync_reply(self, requester: Event) -> None:
         """A sync reply landed; close out the site's recovery window."""
         site = self.site_of(requester.base)
+        if self.tracer.active:
+            self.tracer.sync(self.sim.now, site, "reply", event=repr(requester))
         record = self._recovering.get(site)
         if record is None:
             return
         record["outstanding"] -= 1
         if record["outstanding"] <= 0:
-            self._recovery_latencies.append(self.sim.now - record["started"])
-            del self._recovering[site]
+            self._finish_recovery(site, record)
 
     def _recover_monitors(self, site: str) -> None:
         for index, (monitor_site, _monitor) in enumerate(self._monitors):
@@ -611,7 +676,11 @@ class DistributedScheduler:
                 bases,
                 trigger=self._make_trigger(site),
                 doomed=self._note_doomed,
+                site=site,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
+            fresh.bind_clock(lambda: self.sim.now)
             self._monitors[index] = (site, fresh)
             self._resync_monitor(site, fresh, deps)
 
@@ -670,6 +739,22 @@ class DistributedScheduler:
         return ChaosReport.collect(
             self.network.stats, self.faults, self._recovery_latencies
         )
+
+    def metrics_report(self) -> dict:
+        """JSON-ready metrics: the registry plus the network counters.
+
+        The ``network`` section is :meth:`NetworkStats.as_dict` --
+        messages by kind, retransmissions, session-layer accounting --
+        and the rest is the per-site registry (parked depth, guard-eval
+        latency, time-to-allow, ...)."""
+        report = self.metrics.as_dict()
+        report["network"] = self.network.stats.as_dict()
+        if self.faults is not None:
+            report["faults"] = {
+                "crashes": self.faults.crash_count,
+                "restarts": self.faults.restart_count,
+            }
+        return report
 
     # ------------------------------------------------------------------
     # driving a run

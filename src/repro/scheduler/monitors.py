@@ -30,6 +30,7 @@ from repro.algebra.expressions import Expr, Top, Zero
 from repro.algebra.normal_form import to_normal_form
 from repro.algebra.residuation import residuate
 from repro.algebra.symbols import Event
+from repro.obs.tracer import NULL_TRACER
 from repro.temporal.guards import accepting_paths
 
 
@@ -71,6 +72,9 @@ class RequirementMonitor:
     doomed:
         Callback invoked with (dependency, residual) when a dependency
         loses all accepting completions.
+    site / tracer / metrics:
+        Optional observability context: the site this monitor runs at,
+        and where to record residuation steps and trigger decisions.
     """
 
     def __init__(
@@ -79,6 +83,9 @@ class RequirementMonitor:
         triggerable: frozenset[Event],
         trigger: Callable[[Event], None],
         doomed: Callable[[Expr, Expr], None] | None = None,
+        site: str = "monitor",
+        tracer=None,
+        metrics=None,
     ):
         self._residuals: dict[Expr, Expr] = {
             dep: to_normal_form(dep) for dep in dependencies
@@ -86,8 +93,16 @@ class RequirementMonitor:
         self._triggerable = frozenset(b.base for b in triggerable)
         self._trigger = trigger
         self._doomed = doomed
+        self._site = site
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics
+        self._now = lambda: 0.0
         self._settled: set[Event] = set()
         self._already_triggered: set[Event] = set()
+
+    def bind_clock(self, now: Callable[[], float]) -> None:
+        """Attach the simulator clock so trace records carry real times."""
+        self._now = now
 
     def observe(self, event: Event) -> None:
         """Assimilate an occurrence and fire any newly-required triggers.
@@ -101,6 +116,10 @@ class RequirementMonitor:
         self._settled.add(event.base)
         for dep in list(self._residuals):
             self._residuals[dep] = residuate(self._residuals[dep], event)
+        if self._metrics is not None:
+            self._metrics.inc(
+                "residuation_steps", n=len(self._residuals), site=self._site
+            )
         self.evaluate()
 
     def evaluate(self) -> None:
@@ -108,6 +127,11 @@ class RequirementMonitor:
         for dep, residual in self._residuals.items():
             required = required_events(residual, settled)
             if required is None:
+                if self._tracer.active:
+                    self._tracer.monitor(
+                        self._now(), self._site, "doomed",
+                        dependency=repr(dep), residual=repr(residual),
+                    )
                 if self._doomed is not None:
                     self._doomed(dep, residual)
                 continue
@@ -116,6 +140,12 @@ class RequirementMonitor:
                     continue  # complements settle via agent policy
                 if ev.base in self._triggerable and ev not in self._already_triggered:
                     self._already_triggered.add(ev)
+                    if self._tracer.active:
+                        self._tracer.monitor(
+                            self._now(), self._site, "trigger", event=repr(ev)
+                        )
+                    if self._metrics is not None:
+                        self._metrics.inc("triggered", site=self._site)
                     self._trigger(ev)
 
     def residual(self, dependency: Expr) -> Expr:

@@ -37,6 +37,8 @@ from repro.scheduler.events import (
     TraceEntry,
     Violation,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import Simulator
 from repro.sim.network import LatencyModel, Network
 from repro.temporal.guards import accepting_paths
@@ -209,12 +211,17 @@ class CentralizedScheduler:
         latency: LatencyModel | None = None,
         rng: random.Random | None = None,
         decision_service_time: float = 0.0,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.dependencies = list(dependencies)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sim = Simulator()
         service = {CENTER: decision_service_time} if decision_service_time else None
         self.network = Network(
-            self.sim, latency=latency, rng=rng, service_times=service
+            self.sim, latency=latency, rng=rng, service_times=service,
+            tracer=self.tracer,
         )
         self._sites = {e.base: s for e, s in (sites or {}).items()}
         self._attributes = {e.base: a for e, a in (attributes or {}).items()}
@@ -283,6 +290,10 @@ class CentralizedScheduler:
             return
         newly_seen = event not in self._seen_attempts
         self._seen_attempts.add(event)
+        if newly_seen:
+            self.metrics.inc("attempts", site=CENTER)
+            if self.tracer.active:
+                self.tracer.actor(self.sim.now, CENTER, event, "attempted")
         if self._acceptable(event):
             self._occur(event, attempted_at, AttemptOutcome.ACCEPTED)
             return
@@ -290,6 +301,8 @@ class CentralizedScheduler:
             self.result.violations.append(
                 Violation("forced", f"nonrejectable {event!r} accepted against state")
             )
+            if self.tracer.active:
+                self.tracer.actor(self.sim.now, CENTER, event, "forced")
             self._occur(event, attempted_at, AttemptOutcome.FORCED)
             return
         if not self.attributes(event.base).delayable:
@@ -300,16 +313,27 @@ class CentralizedScheduler:
             if event not in self._parked:
                 self._parked[event] = attempted_at
                 self.result.parked_total += 1
+                self.metrics.inc("parked", site=CENTER)
+                self.metrics.gauge_adjust("parked_depth", 1, site=CENTER)
+                if self.tracer.active:
+                    self.tracer.actor(self.sim.now, CENTER, event, "parked")
             if newly_seen:
                 # a new pending event enlarges the attainable set and
                 # may legitimize earlier parked attempts
                 self._after_state_change()
             return
         # permanently unacceptable
-        self._parked.pop(event, None)
+        self._unpark(event)
         self._reject(event)
 
+    def _unpark(self, event: Event) -> None:
+        if self._parked.pop(event, None) is not None:
+            self.metrics.gauge_adjust("parked_depth", -1, site=CENTER)
+
     def _reject(self, event: Event) -> None:
+        self.metrics.inc("rejected", site=CENTER)
+        if self.tracer.active:
+            self.tracer.actor(self.sim.now, CENTER, event, "rejected")
         if self.attributes(event.base).auto_complement and not event.negated:
             comp = event.complement
             if comp.base not in self._settled:
@@ -317,13 +341,23 @@ class CentralizedScheduler:
 
     def _occur(self, event: Event, attempted_at: float, outcome) -> None:
         self._settled[event.base] = event
-        self._parked.pop(event, None)
-        self._parked.pop(event.complement, None)
+        self._unpark(event)
+        self._unpark(event.complement)
         for dep in list(self.residuals):
             self.residuals[dep] = residuate(self.residuals[dep], event)
+        self.metrics.inc("residuation_steps", n=len(self.residuals), site=CENTER)
+        self.metrics.inc("accepted", site=CENTER)
+        self.metrics.observe(
+            "time_to_allow", self.sim.now - attempted_at, site=CENTER
+        )
         self.result.entries.append(
             TraceEntry(event, self.sim.now, attempted_at, outcome)
         )
+        if self.tracer.active:
+            self.tracer.actor(
+                self.sim.now, CENTER, event, "accepted",
+                waited=self.sim.now - attempted_at, outcome=outcome.value,
+            )
         # tell the owning agent (round trip completes)
         self.network.send(
             CENTER,
@@ -344,7 +378,7 @@ class CentralizedScheduler:
                 self._occur(parked_event, attempted_at, AttemptOutcome.ACCEPTED)
                 return  # _occur re-enters _after_state_change
             if not self._recoverable(parked_event):
-                self._parked.pop(parked_event, None)
+                self._unpark(parked_event)
                 self._reject(parked_event)
                 return
         self._run_triggers()
@@ -451,6 +485,12 @@ class CentralizedScheduler:
                 continue
             return base
         return None
+
+    def metrics_report(self) -> dict:
+        """JSON-ready metrics: the registry plus the network counters."""
+        report = self.metrics.as_dict()
+        report["network"] = self.network.stats.as_dict()
+        return report
 
     def _finalize(self, verify: bool) -> None:
         self.result.makespan = self.sim.now

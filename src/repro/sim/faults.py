@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import Simulator
 from repro.sim.network import NetworkStats
 
@@ -99,9 +100,10 @@ class FaultInjector:
         registration order.
     """
 
-    def __init__(self, sim: Simulator, plan: FaultPlan | None = None):
+    def __init__(self, sim: Simulator, plan: FaultPlan | None = None, tracer=None):
         self.sim = sim
         self.plan = plan or FaultPlan()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._down: dict[str, float | None] = {}  # site -> restart time
         self._on_crash: list[Callable[[str], None]] = []
         self._on_restart: list[Callable[[str], None]] = []
@@ -131,6 +133,8 @@ class FaultInjector:
         self._down[crash.site] = crash.restart_at
         self.crash_count += 1
         self.crash_log.append((crash.site, self.sim.now, crash.restart_at))
+        if self.tracer.active:
+            self.tracer.crash(self.sim.now, crash.site)
         for hook in self._on_crash:
             hook(crash.site)
         if crash.restart_at is not None:
@@ -141,6 +145,8 @@ class FaultInjector:
     def _restart(self, site: str) -> None:
         self._down.pop(site, None)
         self.restart_count += 1
+        if self.tracer.active:
+            self.tracer.restart(self.sim.now, site)
         for hook in self._on_restart:
             hook(site)
 

@@ -20,7 +20,31 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import Simulator
+
+#: Every message kind that legitimately crosses the fabric: the
+#: scheduler protocol messages (repro.scheduler.messages), the
+#: reliable-session acks, runtime reconfiguration, and the generic
+#: ``msg`` kind reserved for diagnostics and tests.
+KNOWN_KINDS = frozenset({
+    "announce",
+    "promise_request",
+    "promise_grant",
+    "promise_refuse",
+    "not_yet_request",
+    "not_yet_reply",
+    "release",
+    "sync_request",
+    "sync_reply",
+    "recovered",
+    "attempt",
+    "decision",
+    "trigger",
+    "ack",
+    "reconfigure",
+    "msg",
+})
 
 
 class LatencyModel:
@@ -86,6 +110,11 @@ class NetworkStats:
     session_resets: int = 0     # channel resets performed at restarts
 
     def record(self, kind: str, src: str, dst: str, latency: float) -> None:
+        if kind not in KNOWN_KINDS:
+            raise ValueError(
+                f"unknown message kind {kind!r}; known kinds: "
+                f"{sorted(KNOWN_KINDS)}"
+            )
         self.messages += 1
         if src == dst:
             self.intra_site += 1
@@ -94,6 +123,27 @@ class NetworkStats:
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
         self.per_site_handled[dst] = self.per_site_handled.get(dst, 0) + 1
         self.total_latency += latency
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot of all counters (for metrics reports)."""
+        return {
+            "messages": self.messages,
+            "intra_site": self.intra_site,
+            "inter_site": self.inter_site,
+            "by_kind": dict(self.by_kind),
+            "per_site_handled": dict(self.per_site_handled),
+            "total_latency": self.total_latency,
+            "max_queue_wait": self.max_queue_wait,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "retransmits": self.retransmits,
+            "retransmit_giveups": self.retransmit_giveups,
+            "acks_sent": self.acks_sent,
+            "dedup_discards": self.dedup_discards,
+            "crash_lost": self.crash_lost,
+            "stale_session": self.stale_session,
+            "session_resets": self.session_resets,
+        }
 
 
 class Network:
@@ -122,6 +172,7 @@ class Network:
         service_times: dict[str, float] | None = None,
         drop_probability: float = 0.0,
         duplicate_probability: float = 0.0,
+        tracer=None,
     ):
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
@@ -133,6 +184,8 @@ class Network:
         self.service_times = dict(service_times or {})
         self.drop_probability = drop_probability
         self.duplicate_probability = duplicate_probability
+        #: observability hook; the inert default keeps this a no-op
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = NetworkStats()
         #: chronological record of every delivered message:
         #: (send_time, deliver_time, src, dst, kind) -- the raw
@@ -160,10 +213,14 @@ class Network:
         if src != dst and self.drop_probability:
             if self.rng.random() < self.drop_probability:
                 self.stats.dropped += 1
+                if self.tracer.active:
+                    self.tracer.message_drop(self.sim.now, src, dst, kind)
                 return
         if src != dst and self.duplicate_probability:
             if self.rng.random() < self.duplicate_probability:
                 self.stats.duplicated += 1
+                if self.tracer.active:
+                    self.tracer.message_dup(self.sim.now, src, dst, kind)
                 self.send(src, dst, kind, payload, handler)
         if src == dst:
             raw_latency = 0.0
@@ -186,7 +243,19 @@ class Network:
             deliver_at = arrival
         self.stats.record(kind, src, dst, deliver_at - self.sim.now)
         self.journal.append((self.sim.now, deliver_at, src, dst, kind))
-        self.sim.schedule_at(deliver_at, lambda: handler(payload))
+        if self.tracer.active:
+            # stamp the physical transmission; the delivery records its
+            # receive against the same message id and send stamp
+            tracer, sim = self.tracer, self.sim
+            mid, send_lc = tracer.message_send(sim.now, src, dst, kind)
+
+            def deliver() -> None:
+                tracer.message_recv(sim.now, src, dst, kind, mid, send_lc)
+                handler(payload)
+
+            self.sim.schedule_at(deliver_at, deliver)
+        else:
+            self.sim.schedule_at(deliver_at, lambda: handler(payload))
 
     def site_load(self) -> dict[str, int]:
         """Messages handled per site -- the bottleneck metric of SC1."""

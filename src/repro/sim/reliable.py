@@ -125,6 +125,9 @@ class ReliableNetwork:
             # a down site sends nothing; whatever state produced this
             # message is volatile and dies with the crash
             self.stats.crash_lost += 1
+            if self.net.tracer.active:
+                self.net.tracer.session(
+                    self.sim.now, src, "crash_lost", dst=dst, kind=kind)
             return
         if src == dst:
             # intra-site hand-off: reliable by definition, but a down
@@ -181,10 +184,19 @@ class ReliableNetwork:
         if pending.retries >= self.max_retries:
             del self._unacked[key][seq]
             self.stats.retransmit_giveups += 1
+            if self.net.tracer.active:
+                self.net.tracer.session(
+                    self.sim.now, src, "giveup",
+                    dst=key[1], kind=pending.kind, seq=seq,
+                    retries=pending.retries)
             return
         pending.retries += 1
         pending.interval = min(pending.interval * self.backoff, self.max_interval)
         self.stats.retransmits += 1
+        if self.net.tracer.active:
+            self.net.tracer.session(
+                self.sim.now, src, "retransmit",
+                dst=key[1], kind=pending.kind, seq=seq, retry=pending.retries)
         self._transmit(key, epoch, seq, pending)
         self._arm_timer(key, epoch, seq, pending)
 
@@ -196,6 +208,9 @@ class ReliableNetwork:
     ) -> None:
         if self.faults is not None and self.faults.is_down(site):
             self.stats.crash_lost += 1
+            if self.net.tracer.active:
+                self.net.tracer.session(
+                    self.sim.now, site, "crash_lost", dst=site)
             return
         handler(payload)
 
@@ -211,14 +226,24 @@ class ReliableNetwork:
         _src, dst = key
         if self.faults is not None and self.faults.is_down(dst):
             self.stats.crash_lost += 1
+            if self.net.tracer.active:
+                self.net.tracer.session(
+                    self.sim.now, dst, "crash_lost", src=_src, kind=kind, seq=seq)
             return  # no ack: the sender keeps retransmitting
         if epoch != self._epoch.get(key, 0):
             self.stats.stale_session += 1
+            if self.net.tracer.active:
+                self.net.tracer.session(
+                    self.sim.now, dst, "stale", src=_src, kind=kind, seq=seq,
+                    epoch=epoch)
             return  # pre-restart straggler
         expected = self._expected.get(key, 1)
         buffer = self._buffer.setdefault(key, {})
         if seq < expected or seq in buffer:
             self.stats.dedup_discards += 1
+            if self.net.tracer.active:
+                self.net.tracer.session(
+                    self.sim.now, dst, "dedup", src=_src, kind=kind, seq=seq)
             self._send_ack(key, epoch)
             return
         buffer[seq] = (payload, handler)
@@ -295,6 +320,10 @@ class ReliableNetwork:
             self._expected.pop(key, None)
             self._buffer.pop(key, None)
         self.stats.session_resets += 1
+        if self.net.tracer.active:
+            self.net.tracer.session(
+                self.sim.now, site, "reset", sessions=len(keys),
+                requeued=sum(len(p) for _k, p in backlog))
         for (src, dst), pendings in backlog:
             for pending in pendings:
                 self.stats.retransmits += 1

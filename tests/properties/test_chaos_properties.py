@@ -13,17 +13,23 @@ and asserts:
   loses nothing for good).
 
 Each generated schedule is deterministic: the simulator is seeded and
-Hypothesis's ``ci`` profile is derandomized, so failures replay.
+Hypothesis's ``ci`` profile is derandomized, so failures replay.  Every
+chaos run is traced (:mod:`repro.obs`); when a property fails, the
+falsifying run's causal trace is dumped as JSONL under
+``$CHAOS_TRACE_DIR`` (default ``chaos-traces/``) for offline replay
+with ``repro trace check`` / ``repro trace export``.
 """
 
+import os
 import random
 
-from hypothesis import given, settings
+from hypothesis import given, note, settings
 from hypothesis import strategies as st
 
 from repro.algebra.expressions import Zero
 from repro.algebra.residuation import residuate_trace
 from repro.algebra.traces import Trace
+from repro.obs import Tracer, check_records
 from repro.scheduler.guard_scheduler import DistributedScheduler
 from repro.sim import FaultPlan, SiteCrash
 from repro.workloads.scenarios import make_mutex_scenario, make_travel_booking
@@ -36,7 +42,7 @@ SCENARIOS = {
 }
 
 
-def run_chaos(scenario, drop, dup, plan, seed):
+def run_chaos(scenario, drop, dup, plan, seed, tracer=None):
     sched = DistributedScheduler(
         scenario.workflow.dependencies,
         sites=scenario.workflow.sites,
@@ -46,9 +52,33 @@ def run_chaos(scenario, drop, dup, plan, seed):
         duplicate_probability=dup,
         reliable=True,
         fault_plan=plan,
+        tracer=tracer,
     )
     result = sched.run(scenario.scripts, verify=False)
     return sched, result
+
+
+def _dump_failure(tracer, name, seed):
+    directory = os.environ.get("CHAOS_TRACE_DIR", "chaos-traces")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}-seed{seed}.jsonl")
+    tracer.dump(path)
+    note(f"falsifying trace written to {path}")
+    return path
+
+
+def check_with_trace(tracer, name, seed, check):
+    """Run ``check()``; a failure dumps the run's causal trace and
+    carries the dump path in the assertion message.
+
+    The dump is keyed by scenario and seed (deterministic, so shrink
+    iterations overwrite rather than accumulate)."""
+    try:
+        check()
+    except AssertionError as exc:
+        raise AssertionError(
+            f"{exc} [trace: {_dump_failure(tracer, name, seed)}]"
+        ) from exc
 
 
 def scenario_sites(scenario):
@@ -101,14 +131,23 @@ class TestChaosSafety:
     @given(chaos_cases(allow_permanent=True))
     def test_trace_valid_under_arbitrary_faults(self, case):
         name, scenario, plan, drop, dup, seed = case
-        sched, result = run_chaos(scenario, drop, dup, plan, seed)
-        assert_trace_safe(scenario, result)
-        # a granted promise may only be outstanding if its site died
-        # for good; otherwise every obligation was honoured
-        if not plan or all(c.restart_at is not None for c in plan.crashes):
-            assert not [
-                v for v in result.violations if v.kind == "promise"
-            ], result.violations
+        tracer = Tracer()
+        sched, result = run_chaos(scenario, drop, dup, plan, seed, tracer)
+
+        def check():
+            assert_trace_safe(scenario, result)
+            # the recorded causal trace satisfies the offline checker's
+            # invariants under the same arbitrary fault schedules
+            diags = check_records(tracer.records)
+            assert diags == [], "\n".join(str(d) for d in diags)
+            # a granted promise may only be outstanding if its site died
+            # for good; otherwise every obligation was honoured
+            if not plan or all(c.restart_at is not None for c in plan.crashes):
+                assert not [
+                    v for v in result.violations if v.kind == "promise"
+                ], result.violations
+
+        check_with_trace(tracer, name, seed, check)
 
     @settings(max_examples=100, deadline=None)
     @given(chaos_cases(allow_permanent=True))
@@ -136,15 +175,20 @@ class TestChaosLiveness:
     def test_reaches_maximal_trace(self, case):
         name, scenario, plan, drop, dup, seed = case
         _, clean = run_chaos(scenario, 0.0, 0.0, None, seed)
-        _, chaotic = run_chaos(scenario, drop, dup, plan, seed)
-        assert_trace_safe(scenario, chaotic)
-        assert set(chaotic.unsettled) == set(clean.unsettled)
-        occurred = {e.event for e in chaotic.entries}
-        assert scenario.expect_occur <= occurred, (
-            name,
-            scenario.expect_occur - occurred,
-        )
-        assert not (scenario.expect_absent & occurred)
+        tracer = Tracer()
+        _, chaotic = run_chaos(scenario, drop, dup, plan, seed, tracer)
+
+        def check():
+            assert_trace_safe(scenario, chaotic)
+            assert set(chaotic.unsettled) == set(clean.unsettled)
+            occurred = {e.event for e in chaotic.entries}
+            assert scenario.expect_occur <= occurred, (
+                name,
+                scenario.expect_occur - occurred,
+            )
+            assert not (scenario.expect_absent & occurred)
+
+        check_with_trace(tracer, name, seed, check)
 
 
 class TestChaosRegressions:

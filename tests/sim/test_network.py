@@ -90,9 +90,25 @@ class TestServiceQueue:
         sim, net = _rig(ConstantLatency(1.0))
         done = []
         for i in range(3):
-            net.send("a", "b", "x", i, lambda p: done.append(sim.now))
+            net.send("a", "b", "msg", i, lambda p: done.append(sim.now))
         sim.run()
         assert done == [1.0, 1.0, 1.0]
+
+
+class TestKindValidation:
+    def test_unknown_kind_is_rejected(self):
+        sim, net = _rig()
+        with pytest.raises(ValueError, match="unknown message kind 'typo'"):
+            net.send("a", "b", "typo", None, lambda p: None)
+
+    def test_known_kinds_are_accepted(self):
+        from repro.sim.network import KNOWN_KINDS
+
+        sim, net = _rig()
+        for kind in sorted(KNOWN_KINDS):
+            net.send("a", "b", kind, None, lambda p: None)
+        sim.run()
+        assert net.stats.messages == len(KNOWN_KINDS)
 
 
 class TestAccounting:
@@ -106,3 +122,23 @@ class TestAccounting:
         assert net.site_load() == {"b": 3, "c": 1}
         assert net.max_site_load() == 3
         assert net.stats.messages == 4
+
+    def test_as_dict_snapshots_every_counter(self):
+        import dataclasses
+        import json
+
+        sim, net = _rig()
+        net.send("a", "b", "announce", None, lambda p: None)
+        sim.run()
+        snapshot = net.stats.as_dict()
+        # one key per dataclass field -- adding a counter without
+        # exporting it is a bug
+        assert set(snapshot) == {
+            f.name for f in dataclasses.fields(net.stats)
+        }
+        assert snapshot["messages"] == 1
+        assert snapshot["by_kind"] == {"announce": 1}
+        json.dumps(snapshot)
+        # a snapshot, not a view
+        snapshot["by_kind"]["announce"] = 99
+        assert net.stats.by_kind["announce"] == 1

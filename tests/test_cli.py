@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -97,3 +99,109 @@ class TestRun:
         assert main(["run", spec_file]) == 0
         out = capsys.readouterr().out
         assert "~e" in out
+
+
+# a spec that cannot settle on its own: both events are manual, so a
+# run with no attempts ends with unsatisfied dependencies -> exit 1
+UNSAT_SPEC = """
+workflow unsat
+dep e . f
+attr e manual
+attr f manual
+"""
+
+
+class TestRunJson:
+    def test_json_report_shape(self, spec_file, capsys):
+        assert main(["run", spec_file, "--attempt", "e=0", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["violations"] == []
+        assert report["unsettled"] == []
+        events = {entry["event"] for entry in report["timeline"]}
+        assert {"e", "f"} <= events
+        for entry in report["timeline"]:
+            assert set(entry) == {"event", "time", "attempted_at", "outcome"}
+        assert report["metrics"]["counters"]["fired"]["total"] == len(
+            report["timeline"]
+        )
+        assert report["metrics"]["network"]["messages"] == report["messages"]
+        # no --trace: the causal trace is inlined
+        assert report["trace"], "expected an inline trace"
+        assert {"lc", "t", "site", "cat", "op"} <= set(report["trace"][0])
+
+    def test_unsettled_run_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "unsat.wf"
+        path.write_text(UNSAT_SPEC)
+        assert main(["run", str(path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert set(report["unsettled"]) == {"e", "f"}
+
+    def test_trace_flag_writes_jsonl(self, spec_file, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        code = main([
+            "run", spec_file, "--attempt", "e=0",
+            "--json", "--trace", str(trace),
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        # with --trace the report points at the file instead of inlining
+        assert report["trace_file"] == str(trace)
+        assert "trace" not in report
+        lines = trace.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)
+
+    def test_trace_without_json_still_writes(self, spec_file, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["run", spec_file, "--attempt", "e=0", "--trace", str(trace)]
+        ) == 0
+        assert "ok=True" in capsys.readouterr().out
+        assert trace.exists()
+
+
+class TestTrace:
+    @pytest.fixture
+    def trace_file(self, spec_file, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["run", spec_file, "--attempt", "e=0", "--trace", str(path)]
+        ) == 0
+        capsys.readouterr()  # swallow the run's own output
+        return path
+
+    def test_check_clean_trace(self, trace_file, capsys):
+        assert main(["trace", "check", str(trace_file)]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_check_corrupted_trace(self, trace_file, capsys):
+        records = [
+            json.loads(line)
+            for line in trace_file.read_text().splitlines() if line
+        ]
+        # delete every guard evaluation: firings lose their justification
+        kept = [r for r in records if r["cat"] != "guard"]
+        assert len(kept) < len(records)
+        trace_file.write_text(
+            "\n".join(json.dumps(r) for r in kept) + "\n"
+        )
+        assert main(["trace", "check", str(trace_file)]) == 1
+        err = capsys.readouterr().err
+        assert "[unjustified-fire]" in err
+        assert "record " in err
+
+    def test_export_to_stdout(self, trace_file, capsys):
+        assert main(["trace", "export", str(trace_file)]) == 0
+        chrome = json.loads(capsys.readouterr().out)
+        assert chrome["traceEvents"]
+        phases = {event["ph"] for event in chrome["traceEvents"]}
+        assert "M" in phases and "i" in phases
+
+    def test_export_to_file(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "export", str(trace_file), "-o", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert json.loads(out.read_text())["traceEvents"]
