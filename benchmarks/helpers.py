@@ -11,9 +11,15 @@ from __future__ import annotations
 
 import random
 
+from repro.algebra.expressions import clear_intern_tables
 from repro.algebra.normal_form import to_normal_form
 from repro.algebra.residuation import residuate
-from repro.temporal.guards import guard, guard_formula
+from repro.temporal.cubes import clear_simplify_cache
+from repro.temporal.guards import (
+    clear_synthesis_caches,
+    guard,
+    guard_formula,
+)
 
 
 def clear_symbolic_caches() -> None:
@@ -22,6 +28,9 @@ def clear_symbolic_caches() -> None:
     to_normal_form.cache_clear()
     guard.cache_clear()
     guard_formula.cache_clear()
+    clear_synthesis_caches()
+    clear_simplify_cache()
+    clear_intern_tables()
 
 
 def run_scenario(scenario, scheduler_cls, **kwargs):

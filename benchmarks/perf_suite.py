@@ -1,0 +1,413 @@
+"""PF1: the perf-regression harness for the symbolic kernel.
+
+Runs three workload families and emits a machine-readable
+``BENCH_PERF.json``:
+
+* **synthesis** -- cold-cache guard synthesis on SC3's widening
+  staircase (``~e + a0 . a1 ... a(k-1)``, k in {2, 4, 6}) and the
+  whole-workflow guard table of a merged travel workload;
+* **guard evaluation** -- ``holds_at`` / ``simplify_under`` /
+  ``region_subsumes`` throughput on a compiled guard (the actor loop's
+  hot operations);
+* **end-to-end** -- SC1's N=16 merged travel instances on the
+  distributed scheduler (raw fabric, plus the announcement-batching
+  variant when the scheduler supports it) and an SC5-style chaos run
+  (reliable sessions, drop/dup, one crash/restart).
+
+Timings are reported both raw and *normalized* by a pure-Python
+calibration spin, so a checked-in baseline from one machine can gate
+another machine's run: ``--baseline FILE`` fails (exit 1) when any
+workload's normalized time regresses by more than ``--tolerance``
+(default 25%), or when any deterministic observable (virtual makespan,
+message counts, cube counts) changed at all -- the optimizations this
+harness guards are required to be semantics-preserving.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_suite.py              # full
+    PYTHONPATH=src python benchmarks/perf_suite.py --quick      # CI
+    PYTHONPATH=src python benchmarks/perf_suite.py \
+        --baseline BENCH_PERF.json --tolerance 0.25             # gate
+    PYTHONPATH=src python benchmarks/perf_suite.py \
+        --compare benchmarks/baselines/perf_before.json         # PF1
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import random
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for path in (_ROOT, os.path.join(_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.algebra.expressions import Atom, Choice, Seq  # noqa: E402
+from repro.algebra.symbols import Event  # noqa: E402
+from repro.algebra.traces import Trace  # noqa: E402
+from repro.scheduler.guard_scheduler import DistributedScheduler  # noqa: E402
+from repro.sim.faults import FaultPlan, SiteCrash  # noqa: E402
+from repro.sim.network import ConstantLatency  # noqa: E402
+from repro.temporal.guards import guard, workflow_guards  # noqa: E402
+
+from benchmarks.helpers import (  # noqa: E402
+    clear_symbolic_caches,
+    merged_travel_instances,
+)
+
+SCHEMA = 1
+
+#: Deterministic observables: compared exactly against the baseline.
+#: A mismatch means the "optimization" changed semantics, not speed.
+EXACT_FIELDS = (
+    "cubes",
+    "literals",
+    "makespan",
+    "messages",
+    "announce_messages",
+    "settled",
+    "table_size",
+)
+
+
+def _best_of(fn, rounds: int) -> tuple[float, object]:
+    """Minimum wall time over ``rounds`` calls (noise-robust)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def calibrate(rounds: int) -> float:
+    """A fixed pure-Python spin; the unit for normalized timings."""
+
+    def spin():
+        acc = 0
+        for i in range(400_000):
+            acc += i * i
+        return acc
+
+    seconds, _ = _best_of(spin, rounds)
+    return seconds
+
+
+def wide_dependency(k: int):
+    """SC3's staircase: ``~e + a0 . a1 . ... . a(k-1)``."""
+    e = Event("e")
+    atoms = [Atom(Event(f"a{i}")) for i in range(k)]
+    return Choice.of([Atom(~e), Seq.of(atoms)]), e
+
+
+def bench_synthesis(rounds: int) -> dict:
+    out: dict[str, dict] = {}
+    for k in (2, 4, 6):
+        dep, e = wide_dependency(k)
+
+        def cold():
+            clear_symbolic_caches()
+            return guard(dep, e)
+
+        seconds, g = _best_of(cold, rounds)
+        out[f"synthesis_cold_k{k}"] = {
+            "seconds": seconds,
+            "cubes": g.cube_count(),
+            "literals": g.literal_count(),
+        }
+    workflow, _scripts = merged_travel_instances(4)
+
+    def table():
+        clear_symbolic_caches()
+        return workflow_guards(workflow.dependencies)
+
+    seconds, guards = _best_of(table, rounds)
+    out["synthesis_table_travel4"] = {
+        "seconds": seconds,
+        "table_size": len(guards),
+        "cubes": sum(g.cube_count() for g in guards.values()),
+    }
+    return out
+
+
+def bench_guard_eval(evals: int, rounds: int) -> dict:
+    from repro.temporal.cubes import C_OCC, E_OCC
+
+    dep, e = wide_dependency(6)
+    g = guard(dep, e)
+    events = [Event(f"a{i}") for i in range(6)]
+    trace = Trace(events + [e])
+    indices = list(range(len(trace) + 1))
+
+    def eval_loop():
+        hits = 0
+        for i in range(evals):
+            hits += g.holds_at(trace, indices[i % len(indices)])
+        return hits
+
+    seconds, _ = _best_of(eval_loop, rounds)
+    result = {
+        "holds_at": {
+            "seconds": seconds,
+            "evals": evals,
+            "evals_per_second": evals / seconds if seconds else 0.0,
+        }
+    }
+
+    # the actor loop's per-announcement work: one fact arrives, the
+    # residual guard is recomputed, then fire/park/never is decided
+    knowledge_steps = [
+        {events[j]: E_OCC for j in range(i)} for i in range(len(events))
+    ]
+    knowledge_steps += [
+        {**step, Event("e"): C_OCC} for step in knowledge_steps
+    ]
+
+    def simplify_loop():
+        count = 0
+        for i in range(evals):
+            step = knowledge_steps[i % len(knowledge_steps)]
+            residual = g.simplify_under(step)
+            count += residual.cube_count()
+            residual.region_subsumes(step)
+            residual.possible_under(step)
+        return count
+
+    seconds, _ = _best_of(simplify_loop, rounds)
+    result["simplify_under"] = {
+        "seconds": seconds,
+        "evals": evals,
+        "evals_per_second": evals / seconds if seconds else 0.0,
+    }
+    return result
+
+
+def _supports_batching() -> bool:
+    params = inspect.signature(DistributedScheduler.__init__).parameters
+    return "batch_announcements" in params
+
+
+def _run_sc1(count: int, batch: bool) -> tuple[float, object, object]:
+    workflow, scripts = merged_travel_instances(count)
+    kwargs = {}
+    if batch:
+        kwargs["batch_announcements"] = True
+    start = time.perf_counter()
+    sched = DistributedScheduler(
+        workflow.dependencies,
+        sites=workflow.sites,
+        attributes=workflow.attributes,
+        latency=ConstantLatency(1.0),
+        rng=random.Random(1),
+        **kwargs,
+    )
+    result = sched.run(scripts)
+    elapsed = time.perf_counter() - start
+    assert result.ok, result.violations
+    return elapsed, result, sched
+
+
+def bench_end_to_end(rounds: int) -> dict:
+    out: dict[str, dict] = {}
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        elapsed, result, _sched = _run_sc1(16, batch=False)
+        best = min(best, elapsed)
+    out["sc1_n16"] = {
+        "seconds": best,
+        "makespan": result.makespan,
+        "messages": result.messages,
+        "announce_messages": result.messages_by_kind.get("announce", 0),
+        "settled": len(result.entries),
+    }
+    if _supports_batching():
+        best = float("inf")
+        for _ in range(rounds):
+            elapsed, bresult, _sched = _run_sc1(16, batch=True)
+            best = min(best, elapsed)
+        out["sc1_n16_batched"] = {
+            "seconds": best,
+            "makespan": bresult.makespan,
+            "messages": bresult.messages,
+            "announce_messages": bresult.messages_by_kind.get("announce", 0),
+            "settled": len(bresult.entries),
+        }
+        # batching must not change what happened, only how many
+        # envelopes carried it
+        assert bresult.makespan == result.makespan, (
+            bresult.makespan, result.makespan)
+        assert [
+            (repr(e.event), e.time) for e in bresult.entries
+        ] == [(repr(e.event), e.time) for e in result.entries]
+        assert bresult.messages < result.messages, (
+            "announcement batching did not reduce the SC1 message count: "
+            f"{bresult.messages} vs {result.messages}"
+        )
+    return out
+
+
+def bench_chaos(rounds: int) -> dict:
+    from repro.workloads.scenarios import make_travel_booking
+
+    scenario = make_travel_booking("failure")
+    plan = FaultPlan.of([SiteCrash("airline", at=2.0, restart_at=10.0)])
+
+    def run():
+        sched = DistributedScheduler(
+            scenario.workflow.dependencies,
+            sites=scenario.workflow.sites,
+            attributes=scenario.workflow.attributes,
+            rng=random.Random(7),
+            drop_probability=0.3,
+            duplicate_probability=0.3,
+            reliable=True,
+            fault_plan=plan,
+        )
+        result = sched.run(scenario.scripts, verify=False)
+        return result, sched
+
+    seconds, (result, sched) = _best_of(run, rounds)
+    return {
+        "sc5_chaos": {
+            "seconds": seconds,
+            "makespan": result.makespan,
+            "messages": result.messages,
+            "settled": len(result.entries),
+            "retransmits": sched.network.stats.retransmits,
+        }
+    }
+
+
+def collect(quick: bool) -> dict:
+    rounds = 2 if quick else 5
+    evals = 2_000 if quick else 20_000
+    calibration = calibrate(rounds=3)
+    workloads: dict[str, dict] = {}
+    workloads.update(bench_synthesis(rounds))
+    workloads.update(bench_guard_eval(evals, rounds))
+    workloads.update(bench_end_to_end(rounds))
+    workloads.update(bench_chaos(rounds))
+    for record in workloads.values():
+        if "seconds" in record:
+            record["normalized"] = record["seconds"] / calibration
+    features = {"batching": _supports_batching()}
+    try:
+        from repro.algebra.expressions import intern_stats  # noqa: F401
+
+        features["interning"] = True
+    except ImportError:
+        features["interning"] = False
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "calibration_seconds": calibration,
+        "workloads": workloads,
+        "features": features,
+    }
+
+
+def check_regression(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Normalized-time and exact-observable comparison; returns failures."""
+    failures: list[str] = []
+    base_workloads = baseline.get("workloads", {})
+    for name, base in sorted(base_workloads.items()):
+        now = current["workloads"].get(name)
+        if now is None:
+            failures.append(f"{name}: workload missing from current run")
+            continue
+        base_norm = base.get("normalized")
+        now_norm = now.get("normalized")
+        if base_norm and now_norm and now_norm > base_norm * (1.0 + tolerance):
+            failures.append(
+                f"{name}: normalized time {now_norm:.3f} exceeds baseline "
+                f"{base_norm:.3f} by more than {tolerance:.0%}"
+            )
+        for field in EXACT_FIELDS:
+            if field in base and field in now and base[field] != now[field]:
+                failures.append(
+                    f"{name}.{field}: {now[field]!r} != baseline "
+                    f"{base[field]!r} (semantics drift)"
+                )
+    return failures
+
+
+def compare_table(current: dict, before: dict) -> str:
+    """The PF1 before/after table (markdown) with speedups."""
+    lines = [
+        "| workload | before (s) | after (s) | speedup |",
+        "|---|---|---|---|",
+    ]
+    for name, base in sorted(before.get("workloads", {}).items()):
+        now = current["workloads"].get(name)
+        if now is None or "seconds" not in base or "seconds" not in now:
+            continue
+        speedup = base["seconds"] / now["seconds"] if now["seconds"] else 0.0
+        lines.append(
+            f"| {name} | {base['seconds']:.6f} | {now['seconds']:.6f} "
+            f"| {speedup:.2f}x |"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions/evaluations (CI smoke); workload sizes "
+        "are unchanged so deterministic observables stay comparable",
+    )
+    parser.add_argument("--output", default="BENCH_PERF.json")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="fail (exit 1) on >tolerance normalized-time regression or "
+        "any deterministic-observable drift against this JSON",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument(
+        "--compare", metavar="FILE",
+        help="print a before/after speedup table against this JSON",
+    )
+    args = parser.parse_args(argv)
+
+    report = collect(quick=args.quick)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    for name, record in sorted(report["workloads"].items()):
+        if "seconds" in record:
+            print(f"  {name}: {record['seconds']:.6f}s "
+                  f"(normalized {record['normalized']:.3f})")
+
+    status = 0
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as handle:
+            before = json.load(handle)
+        print()
+        print(compare_table(report, before))
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_regression(report, baseline, args.tolerance)
+        if failures:
+            print(f"\nPERF REGRESSION vs {args.baseline}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"\nno regression vs {args.baseline} "
+                  f"(tolerance {args.tolerance:.0%})")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,13 +24,65 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.algebra.symbols import Event, alphabet_of
+from repro.algebra.symbols import (
+    Event,
+    alphabet_of,
+    clear_event_intern_table,
+    event_intern_stats,
+)
+
+# Hash-consing: every expression node is interned here, keyed by its
+# structural identity, so constructing the same expression twice yields
+# the same object.  Equality then short-circuits on identity, the hash
+# is computed once per node (and is O(children), not O(tree), because
+# child hashes are themselves cached), and derived views -- events(),
+# alphabet(), bases(), the canonical sort key -- are computed once and
+# memoized on the node.
+_INTERN: dict = {}
+
+
+class _Counters:
+    hits = 0
+    misses = 0
+
+
+def _init_node(node: "Expr", node_hash: int) -> None:
+    object.__setattr__(node, "_hash", node_hash)
+    object.__setattr__(node, "_events", None)
+    object.__setattr__(node, "_alpha", None)
+    object.__setattr__(node, "_bases", None)
+    object.__setattr__(node, "_skey", None)
+
+
+def intern_stats() -> dict:
+    """Sizes and hit/miss counters of the expression and event intern
+    tables (exposed through ``metrics_report()`` and ``run --json``)."""
+    return {
+        "exprs": {
+            "size": len(_INTERN),
+            "hits": _Counters.hits,
+            "misses": _Counters.misses,
+        },
+        "events": event_intern_stats(),
+    }
+
+
+def clear_intern_tables() -> None:
+    """Drop interned expressions and events (cold-cache benchmarking).
+
+    Nodes constructed earlier stay valid -- equality falls back to
+    structural comparison and all hashes are structural -- they just
+    stop being ``is``-identical to nodes built afterwards."""
+    _INTERN.clear()
+    _Counters.hits = 0
+    _Counters.misses = 0
+    clear_event_intern_table()
 
 
 class Expr:
     """Base class for event expressions.  Instances are immutable."""
 
-    __slots__ = ()
+    __slots__ = ("_hash", "_events", "_alpha", "_bases", "_skey")
 
     # -- operator sugar ----------------------------------------------
 
@@ -56,17 +108,32 @@ class Expr:
 
     def events(self) -> frozenset[Event]:
         """All event symbols literally mentioned in the expression."""
-        out: set[Event] = set()
-        self._collect_events(out)
-        return frozenset(out)
+        cached = self._events
+        if cached is None:
+            out: set[Event] = set()
+            self._collect_events(out)
+            cached = frozenset(out)
+            object.__setattr__(self, "_events", cached)
+        return cached
 
     def alphabet(self) -> frozenset[Event]:
         """The paper's ``Gamma_E``: mentioned events and their complements."""
-        return alphabet_of(self.events())
+        cached = self._alpha
+        if cached is None:
+            cached = alphabet_of(self.events())
+            object.__setattr__(self, "_alpha", cached)
+        return cached
 
     def bases(self) -> frozenset[Event]:
         """Positive base events mentioned (directly or via complements)."""
-        return frozenset(e.base for e in self.events())
+        cached = self._bases
+        if cached is None:
+            cached = frozenset(e.base for e in self.events())
+            object.__setattr__(self, "_bases", cached)
+        return cached
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def _collect_events(self, out: set[Event]) -> None:
         raise NotImplementedError
@@ -94,6 +161,15 @@ class Zero(Expr):
     """The expression ``0`` with empty denotation (Example 1)."""
 
     __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        inst = cls._instance
+        if inst is None:
+            inst = super().__new__(cls)
+            _init_node(inst, hash("Zero"))
+            cls._instance = inst
+        return inst
 
     def _collect_events(self, out: set[Event]) -> None:
         return None
@@ -101,8 +177,7 @@ class Zero(Expr):
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Zero)
 
-    def __hash__(self) -> int:
-        return hash("Zero")
+    __hash__ = Expr.__hash__
 
     def __repr__(self) -> str:
         return "0"
@@ -112,6 +187,15 @@ class Top(Expr):
     """The expression ``T`` denoting all of ``U_E`` (Semantics 5)."""
 
     __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        inst = cls._instance
+        if inst is None:
+            inst = super().__new__(cls)
+            _init_node(inst, hash("Top"))
+            cls._instance = inst
+        return inst
 
     def _collect_events(self, out: set[Event]) -> None:
         return None
@@ -119,8 +203,7 @@ class Top(Expr):
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Top)
 
-    def __hash__(self) -> int:
-        return hash("Top")
+    __hash__ = Expr.__hash__
 
     def __repr__(self) -> str:
         return "T"
@@ -135,10 +218,23 @@ class Atom(Expr):
 
     __slots__ = ("event",)
 
-    def __init__(self, event: Event):
+    def __new__(cls, event: Event):
+        key = ("Atom", event)
+        found = _INTERN.get(key)
+        if found is not None:
+            _Counters.hits += 1
+            return found
         if not isinstance(event, Event):
             raise TypeError(f"Atom requires an Event, got {event!r}")
+        _Counters.misses += 1
+        self = super().__new__(cls)
         object.__setattr__(self, "event", event)
+        _init_node(self, hash(key))
+        _INTERN[key] = self
+        return self
+
+    def __init__(self, event: Event):
+        pass  # fully constructed (or found interned) in __new__
 
     def __setattr__(self, key, value):  # pragma: no cover
         raise AttributeError("Atom is immutable")
@@ -154,10 +250,11 @@ class Atom(Expr):
         return Atom(self.event.complement)
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Atom) and other.event == self.event
 
-    def __hash__(self) -> int:
-        return hash(("Atom", self.event))
+    __hash__ = Expr.__hash__
 
     def __repr__(self) -> str:
         return repr(self.event)
@@ -177,8 +274,22 @@ class Seq(Expr):
 
     __slots__ = ("parts",)
 
+    def __new__(cls, parts: tuple[Expr, ...]):
+        parts = tuple(parts)
+        key = ("Seq", parts)
+        found = _INTERN.get(key)
+        if found is not None:
+            _Counters.hits += 1
+            return found
+        _Counters.misses += 1
+        self = super().__new__(cls)
+        object.__setattr__(self, "parts", parts)
+        _init_node(self, hash(key))
+        _INTERN[key] = self
+        return self
+
     def __init__(self, parts: tuple[Expr, ...]):
-        object.__setattr__(self, "parts", tuple(parts))
+        pass  # fully constructed (or found interned) in __new__
 
     def __setattr__(self, key, value):  # pragma: no cover
         raise AttributeError("Seq is immutable")
@@ -224,10 +335,11 @@ class Seq(Expr):
         return Seq.of([p.substitute(binding) for p in self.parts])
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Seq) and other.parts == self.parts
 
-    def __hash__(self) -> int:
-        return hash(("Seq", self.parts))
+    __hash__ = Expr.__hash__
 
     def __repr__(self) -> str:
         return " . ".join(_wrap(p, for_seq=True) for p in self.parts)
@@ -244,8 +356,22 @@ class Choice(Expr):
 
     __slots__ = ("parts",)
 
+    def __new__(cls, parts: tuple[Expr, ...]):
+        parts = tuple(parts)
+        key = ("Choice", parts)
+        found = _INTERN.get(key)
+        if found is not None:
+            _Counters.hits += 1
+            return found
+        _Counters.misses += 1
+        self = super().__new__(cls)
+        object.__setattr__(self, "parts", parts)
+        _init_node(self, hash(key))
+        _INTERN[key] = self
+        return self
+
     def __init__(self, parts: tuple[Expr, ...]):
-        object.__setattr__(self, "parts", tuple(parts))
+        pass  # fully constructed (or found interned) in __new__
 
     def __setattr__(self, key, value):  # pragma: no cover
         raise AttributeError("Choice is immutable")
@@ -283,10 +409,11 @@ class Choice(Expr):
         return Choice.of([p.substitute(binding) for p in self.parts])
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Choice) and other.parts == self.parts
 
-    def __hash__(self) -> int:
-        return hash(("Choice", self.parts))
+    __hash__ = Expr.__hash__
 
     def __repr__(self) -> str:
         return " + ".join(_wrap(p, for_seq=False) for p in self.parts)
@@ -301,8 +428,22 @@ class Conj(Expr):
 
     __slots__ = ("parts",)
 
+    def __new__(cls, parts: tuple[Expr, ...]):
+        parts = tuple(parts)
+        key = ("Conj", parts)
+        found = _INTERN.get(key)
+        if found is not None:
+            _Counters.hits += 1
+            return found
+        _Counters.misses += 1
+        self = super().__new__(cls)
+        object.__setattr__(self, "parts", parts)
+        _init_node(self, hash(key))
+        _INTERN[key] = self
+        return self
+
     def __init__(self, parts: tuple[Expr, ...]):
-        object.__setattr__(self, "parts", tuple(parts))
+        pass  # fully constructed (or found interned) in __new__
 
     def __setattr__(self, key, value):  # pragma: no cover
         raise AttributeError("Conj is immutable")
@@ -345,10 +486,11 @@ class Conj(Expr):
         return Conj.of([p.substitute(binding) for p in self.parts])
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, Conj) and other.parts == self.parts
 
-    def __hash__(self) -> int:
-        return hash(("Conj", self.parts))
+    __hash__ = Expr.__hash__
 
     def __repr__(self) -> str:
         return " | ".join(_wrap(p, for_seq=False, for_conj=True) for p in self.parts)
@@ -367,20 +509,29 @@ def _sorted_unique(parts: list[Expr]) -> list[Expr]:
 
 
 def _struct_key(expr: Expr) -> tuple:
-    """A total structural order on expressions for canonical layout."""
+    """A total structural order on expressions for canonical layout.
+
+    Memoized on the node (children are interned, so a key is computed
+    once per distinct subexpression, not once per occurrence)."""
+    skey = expr._skey
+    if skey is not None:
+        return skey
     if isinstance(expr, Zero):
-        return (0,)
-    if isinstance(expr, Top):
-        return (1,)
-    if isinstance(expr, Atom):
-        return (2, expr.event.sort_key())
-    if isinstance(expr, Seq):
-        return (3, tuple(_struct_key(p) for p in expr.parts))
-    if isinstance(expr, Conj):
-        return (4, tuple(_struct_key(p) for p in expr.parts))
-    if isinstance(expr, Choice):
-        return (5, tuple(_struct_key(p) for p in expr.parts))
-    raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover
+        skey = (0,)
+    elif isinstance(expr, Top):
+        skey = (1,)
+    elif isinstance(expr, Atom):
+        skey = (2, expr.event.sort_key())
+    elif isinstance(expr, Seq):
+        skey = (3, tuple(_struct_key(p) for p in expr.parts))
+    elif isinstance(expr, Conj):
+        skey = (4, tuple(_struct_key(p) for p in expr.parts))
+    elif isinstance(expr, Choice):
+        skey = (5, tuple(_struct_key(p) for p in expr.parts))
+    else:  # pragma: no cover
+        raise TypeError(f"unknown expression: {expr!r}")
+    object.__setattr__(expr, "_skey", skey)
+    return skey
 
 
 def _wrap(expr: Expr, for_seq: bool, for_conj: bool = False) -> str:

@@ -67,37 +67,75 @@ def residuate(expr: Expr, event: Event) -> Expr:
     return _residuate_nf(to_normal_form(expr), event)
 
 
+def residuate_nf(expr: Expr, event: Event) -> Expr:
+    """``expr / event`` for an ``expr`` already in normal form.
+
+    Skips the normalization (and the ``residuate`` memo-key overhead)
+    for callers that iterate residuation over normal forms -- the
+    residual of a normal form is again a normal form, so the guard
+    synthesizer's closure walk stays inside this function's domain.
+    """
+    return _residuate_nf(expr, event)
+
+
 def _residuate_nf(expr: Expr, event: Event) -> Expr:
+    # dispatch ordered by dynamic frequency: the recursion spends most
+    # of its calls on the atoms and sequences at the leaves
+    if isinstance(expr, Atom):
+        return _residuate_atom(expr, event)
+    if isinstance(expr, Seq):
+        return _residuate_seq(expr, event)
+    if isinstance(expr, Choice):  # Rule 4
+        parts = [_residuate_nf(p, event) for p in expr.parts]
+        if all(new is old for new, old in zip(parts, expr.parts)):
+            return expr  # every summand untouched; already canonical
+        return Choice.of(parts)
+    if isinstance(expr, Conj):  # Rule 5
+        parts = [_residuate_nf(p, event) for p in expr.parts]
+        if all(new is old for new, old in zip(parts, expr.parts)):
+            return expr
+        return Conj.of(parts)
     if isinstance(expr, Zero):  # Rule 1
         return ZERO
     if isinstance(expr, Top):  # Rule 2
         return TOP
-    if isinstance(expr, Choice):  # Rule 4
-        return Choice.of([_residuate_nf(p, event) for p in expr.parts])
-    if isinstance(expr, Conj):  # Rule 5
-        return Conj.of([_residuate_nf(p, event) for p in expr.parts])
-    if isinstance(expr, Atom):
-        return _residuate_sequence((expr.event,), event)
-    if isinstance(expr, Seq):
-        atoms = tuple(p.event for p in expr.parts)
-        return _residuate_sequence(atoms, event)
     raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover
 
 
-def _residuate_sequence(atoms: tuple[Event, ...], event: Event) -> Expr:
-    """Rules 3, 6, 7, 8 on a sequence of atoms (an atom is a unit sequence)."""
-    if event.complement in atoms:
-        # Rule 8: the complement of the occurring event is required by
-        # the sequence but can never occur now.
-        return ZERO
-    if atoms[0] == event:
-        # Rule 3: the head obligation is discharged.
-        return Seq.of([Atom(a) for a in atoms[1:]]) if len(atoms) > 1 else TOP
-    if event in atoms:
-        # Rule 7: the event was required strictly later in the order.
-        return ZERO
+def _residuate_atom(expr: Atom, event: Event) -> Expr:
+    """Rules 3, 6, 8 on a single atom (a unit sequence)."""
+    a = expr.event
+    if a == event:
+        return TOP  # Rule 3
+    if a == event.complement:
+        return ZERO  # Rule 8
+    return expr  # Rule 6
+
+
+def _residuate_seq(expr: Seq, event: Event) -> Expr:
+    """Rules 3, 6, 7, 8 on a sequence of atoms.
+
+    One scan: a complement occurrence anywhere (Rule 8) or a non-head
+    occurrence (Rule 7) kills the sequence, a head occurrence with no
+    later complement discharges it (Rule 3), and a foreign event leaves
+    it untouched (Rule 6)."""
+    complement = event.complement
+    occurs_later = False
+    parts = expr.parts
+    for pos, p in enumerate(parts):
+        a = p.event
+        if a == complement:
+            return ZERO  # Rule 8
+        if pos and a == event:
+            occurs_later = True  # Rule 7, unless the head matches too
+    if parts[0].event == event:
+        # Rule 3: the head obligation is discharged.  The tail atoms
+        # are reused from the interned sequence, not rebuilt.
+        return Seq.of(parts[1:])
+    if occurs_later:
+        return ZERO  # Rule 7
     # Rule 6: the event is foreign to this sequence.
-    return Seq.of([Atom(a) for a in atoms])
+    return expr
 
 
 def residuate_trace(expr: Expr, trace: Trace | Iterable[Event]) -> Expr:

@@ -51,6 +51,14 @@ class Event:
     operator yields the complement, and ``~~e is`` equivalent to ``e``
     (the paper identifies the double complement with the event).
 
+    Instances are *hash-consed*: constructing the same (name, polarity,
+    params) combination returns the one interned object, so equality is
+    usually settled by the identity fast path, the hash is computed
+    once, and complements resolve to a cached pointer.  Structural
+    equality is kept as a fallback so objects that straddle an intern
+    table reset (benchmarks clear the tables to measure cold costs)
+    still compare correctly.
+
     Parameters
     ----------
     name:
@@ -61,19 +69,36 @@ class Event:
         Optional tuple of parameters (values or :class:`Variable`).
     """
 
-    __slots__ = ("name", "negated", "params", "_hash")
+    __slots__ = ("name", "negated", "params", "_hash", "_comp", "_skey")
 
-    def __init__(self, name: str, negated: bool = False, params: tuple = ()):
+    _intern: dict = {}
+    _hits = 0
+    _misses = 0
+
+    def __new__(cls, name: str, negated: bool = False, params: tuple = ()):
+        key = (name, bool(negated), tuple(params))
+        table = cls._intern
+        found = table.get(key)
+        if found is not None:
+            cls._hits += 1
+            return found
         if not name:
             raise ValueError("event name must be non-empty")
         if any(ch in "~+|.()[], " for ch in name):
             raise ValueError(f"event name contains reserved characters: {name!r}")
+        cls._misses += 1
+        self = super().__new__(cls)
         object.__setattr__(self, "name", name)
-        object.__setattr__(self, "negated", bool(negated))
-        object.__setattr__(self, "params", tuple(params))
-        object.__setattr__(
-            self, "_hash", hash(("Event", name, bool(negated), tuple(params)))
-        )
+        object.__setattr__(self, "negated", key[1])
+        object.__setattr__(self, "params", key[2])
+        object.__setattr__(self, "_hash", hash(("Event",) + key))
+        object.__setattr__(self, "_comp", None)
+        object.__setattr__(self, "_skey", None)
+        table[key] = self
+        return self
+
+    def __init__(self, name: str, negated: bool = False, params: tuple = ()):
+        pass  # fully constructed (or found interned) in __new__
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Event is immutable")
@@ -90,7 +115,11 @@ class Event:
     @property
     def complement(self) -> "Event":
         """The complement event; the paper's overline."""
-        return Event(self.name, not self.negated, self.params)
+        comp = self._comp
+        if comp is None:
+            comp = Event(self.name, not self.negated, self.params)
+            object.__setattr__(self, "_comp", comp)
+        return comp
 
     def __invert__(self) -> "Event":
         return self.complement
@@ -141,6 +170,8 @@ class Event:
     # -- identity ----------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return (
             isinstance(other, Event)
             and other.name == self.name
@@ -153,7 +184,11 @@ class Event:
 
     def sort_key(self) -> tuple:
         """A total order used for canonical forms and tie-breaking."""
-        return (self.name, tuple(repr(p) for p in self.params), self.negated)
+        skey = self._skey
+        if skey is None:
+            skey = (self.name, tuple(repr(p) for p in self.params), self.negated)
+            object.__setattr__(self, "_skey", skey)
+        return skey
 
     def __lt__(self, other: "Event") -> bool:
         return self.sort_key() < other.sort_key()
@@ -166,6 +201,25 @@ class Event:
             )
             body = f"{body}[{inner}]"
         return f"~{body}" if self.negated else body
+
+
+def event_intern_stats() -> dict:
+    """Hit/miss counters and size of the :class:`Event` intern table."""
+    return {
+        "size": len(Event._intern),
+        "hits": Event._hits,
+        "misses": Event._misses,
+    }
+
+
+def clear_event_intern_table() -> None:
+    """Drop interned events (benchmarks use this to measure cold costs).
+
+    Previously constructed events stay valid: equality falls back to
+    structural comparison, and hashes were computed from structure."""
+    Event._intern.clear()
+    Event._hits = 0
+    Event._misses = 0
 
 
 def events(names: str | Iterable[str]) -> tuple[Event, ...]:

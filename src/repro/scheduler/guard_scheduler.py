@@ -50,7 +50,7 @@ from repro.obs.tracer import NULL_TRACER
 from repro.scheduler.monitors import RequirementMonitor
 from repro.sim.clock import Simulator
 from repro.sim.faults import ChaosReport, FaultInjector, FaultPlan
-from repro.sim.network import LatencyModel, Network
+from repro.sim.network import BatchingChannel, LatencyModel, Network
 from repro.sim.reliable import ReliableNetwork
 from repro.temporal.cubes import GuardExpr
 from repro.temporal.guards import workflow_guards
@@ -83,6 +83,12 @@ class DistributedScheduler:
         when the run starts.
     retransmit_timeout / max_retries:
         Session-layer tuning, forwarded to :class:`ReliableNetwork`.
+    batch_announcements:
+        Coalesce the announcement fan-out: announcements issued to the
+        same site within one virtual instant travel as a single
+        envelope (:class:`~repro.sim.network.BatchingChannel`).  Off
+        by default; purely a message-count optimization -- the settled
+        timeline is unchanged.
     tracer:
         A :class:`repro.obs.Tracer` to record the run as a causal
         Lamport-stamped event trace.  Defaults to the inert
@@ -112,6 +118,7 @@ class DistributedScheduler:
         fault_plan: FaultPlan | None = None,
         retransmit_timeout: float = 4.0,
         max_retries: int = 20,
+        batch_announcements: bool = False,
         tracer=None,
         metrics: MetricsRegistry | None = None,
     ):
@@ -145,6 +152,10 @@ class DistributedScheduler:
             if reliable
             else self.network
         )
+        if batch_announcements:
+            # coalesce the announcement fan-out: one envelope per
+            # (src, dst) pair per virtual instant (see BatchingChannel)
+            self.channel = BatchingChannel(self.channel, self.sim)
         if self.faults is not None:
             self.faults.on_crash(self._crash_site)
             # restart order matters: sessions first, then the actors'
@@ -745,10 +756,16 @@ class DistributedScheduler:
 
         The ``network`` section is :meth:`NetworkStats.as_dict` --
         messages by kind, retransmissions, session-layer accounting --
-        and the rest is the per-site registry (parked depth, guard-eval
-        latency, time-to-allow, ...)."""
+        the ``kernel`` section snapshots the symbolic kernel's caches
+        (intern tables, residual closures, guard memos; see
+        :func:`repro.temporal.guards.kernel_stats`), and the rest is
+        the per-site registry (parked depth, guard-eval latency,
+        time-to-allow, ...)."""
+        from repro.temporal.guards import kernel_stats
+
         report = self.metrics.as_dict()
         report["network"] = self.network.stats.as_dict()
+        report["kernel"] = kernel_stats()
         if self.faults is not None:
             report["faults"] = {
                 "crashes": self.faults.crash_count,
@@ -815,12 +832,52 @@ class DistributedScheduler:
         """Alternate escalation and settlement until the trace is
         maximal or neither makes progress."""
         for _ in range(max_rounds):
+            if self._sweep_orphan_freezes():
+                self.sim.run()
             self._escalation_rounds(max_rounds)
             if not self._settle_one():
                 return
         self.result.violations.append(
             Violation("settlement", "settlement did not converge")
         )
+
+    def _sweep_orphan_freezes(self) -> bool:
+        """Void freezes that no live round can ever release.
+
+        At quiescence no message is in flight, so a freeze is released
+        only by its requester's round concluding -- but the certificate
+        (or the release) can be lost for good: the coordinator's reply
+        dies with its site's sender session when that site crashes, or
+        retransmission gives up.  The requester then never learns it
+        holds the freeze, and the base stays locked forever.  A freeze
+        is provably orphaned when its requester has no active round
+        with the recorded id that still involves the base; sweeping
+        those is safe exactly because nothing is in flight that could
+        still release them.  Returns True when anything was released.
+        """
+        released = False
+        for base in sorted(self._frozen, key=Event.sort_key):
+
+            def orphaned(holder: tuple[Event, int], base=base) -> bool:
+                requester, round_id = holder
+                actor = self.actors.get(requester)
+                if actor is None:
+                    return True
+                if not actor.round_active or actor.round_id != round_id:
+                    return True
+                return base not in (actor.round_holds | actor.round_awaiting)
+
+            victims = {
+                h for h in self._frozen.get(base, ()) if orphaned(h)
+            }
+            if victims:
+                released = True
+                self.metrics.inc(
+                    "orphan_freezes_released", len(victims),
+                    site=self.site_of(base),
+                )
+                self._release_holds(base, lambda h: h in victims)
+        return released
 
     def _escalation_rounds(self, max_rounds: int) -> None:
         """At quiescence, let parked actors demand promises (which may

@@ -27,6 +27,7 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
+        self._live: set[int] = set()
         self._cancelled: set[int] = set()
         self.processed = 0
 
@@ -42,6 +43,7 @@ class Simulator:
             raise ValueError(f"negative delay: {delay}")
         self._sequence += 1
         heapq.heappush(self._heap, (self.now + delay, self._sequence, callback))
+        self._live.add(self._sequence)
         return self._sequence
 
     def cancel(self, handle: int) -> None:
@@ -50,14 +52,18 @@ class Simulator:
         Cancellation is lazy: the heap entry stays until its time
         comes, then is discarded without firing or advancing the
         clock, so a cancelled timer never stretches the makespan.
-        Cancelling an already-fired or unknown handle is a no-op.
+        Cancelling an already-fired or unknown handle is a no-op (and
+        leaves no residue: only handles still in the heap are marked,
+        so ``_cancelled`` cannot grow without bound on long runs).
         """
-        self._cancelled.add(handle)
+        if handle in self._live:
+            self._cancelled.add(handle)
 
     def _purge_head(self) -> None:
         while self._heap and self._heap[0][1] in self._cancelled:
             _, seq, _ = heapq.heappop(self._heap)
             self._cancelled.discard(seq)
+            self._live.discard(seq)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` at an absolute virtual time."""
@@ -73,7 +79,8 @@ class Simulator:
         self._purge_head()
         if not self._heap:
             return False
-        time, _seq, callback = heapq.heappop(self._heap)
+        time, seq, callback = heapq.heappop(self._heap)
+        self._live.discard(seq)
         self.now = time
         self.processed += 1
         callback()

@@ -93,23 +93,33 @@ def closure(mask: int) -> int:
     return out
 
 
+_LITERAL_MASKS = {"box": BOX_MASK, "dia": DIA_MASK, "notyet": NOTYET_MASK}
+_LITERAL_CACHE: dict = {}
+
+
 def literal(kind: str, event: Event) -> "GuardExpr":
     """Build a single-literal guard: ``kind`` is ``box``/``dia``/``notyet``.
 
     The event may be a complement; the literal is stored against the
-    positive base with a flipped mask.
+    positive base with a flipped mask.  Literals are pure values and
+    synthesis requests the same ones over and over, so they are cached.
 
     >>> from repro.algebra.symbols import Event
     >>> literal("notyet", Event("f"))
     !f
     """
-    masks = {"box": BOX_MASK, "dia": DIA_MASK, "notyet": NOTYET_MASK}
-    if kind not in masks:
+    key = (kind, event)
+    found = _LITERAL_CACHE.get(key)
+    if found is not None:
+        return found
+    mask = _LITERAL_MASKS.get(kind)
+    if mask is None:
         raise ValueError(f"unknown literal kind: {kind!r}")
-    mask = masks[kind]
     if event.negated:
         mask = flip(mask)
-    return GuardExpr(frozenset({((event.base, mask),)}))
+    found = _canonical_guard(frozenset({((event.base, mask),)}))
+    _LITERAL_CACHE[key] = found
+    return found
 
 
 Cube = tuple[tuple[Event, int], ...]
@@ -137,10 +147,13 @@ class GuardExpr:
     equality (full semantic equality is :meth:`equivalent`).
     """
 
-    __slots__ = ("cubes",)
+    __slots__ = ("cubes", "_hash", "_bases", "_sbases")
 
     def __init__(self, cubes: frozenset[Cube]):
         object.__setattr__(self, "cubes", _absorb(cubes))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_bases", None)
+        object.__setattr__(self, "_sbases", None)
 
     def __setattr__(self, key, value):  # pragma: no cover
         raise AttributeError("GuardExpr is immutable")
@@ -156,38 +169,77 @@ class GuardExpr:
         return not self.cubes
 
     def bases(self) -> frozenset[Event]:
-        return frozenset(base for cube in self.cubes for base, _ in cube)
+        cached = self._bases
+        if cached is None:
+            cached = frozenset(base for cube in self.cubes for base, _ in cube)
+            object.__setattr__(self, "_bases", cached)
+        return cached
+
+    def _sorted_bases(self) -> tuple[Event, ...]:
+        cached = self._sbases
+        if cached is None:
+            cached = tuple(sorted(self.bases(), key=Event.sort_key))
+            object.__setattr__(self, "_sbases", cached)
+        return cached
 
     # -- boolean algebra ----------------------------------------------
 
     def __and__(self, other: "GuardExpr") -> "GuardExpr":
+        # Exact short-circuits: 0 annihilates, T is the unit, and the
+        # product of a canonical set with itself is itself (idempotent,
+        # and ``_absorb`` of a canonical set is the identity).
+        if not self.cubes or not other.cubes:
+            return FALSE_GUARD
+        if () in self.cubes:
+            return other
+        if () in other.cubes:
+            return self
+        if self.cubes == other.cubes:
+            return self
+        if len(self.cubes) == 1 and len(other.cubes) == 1:
+            # the product of two cubes is one cube (or dead), already
+            # canonical -- identical to the general path, absorb-free
+            (left,) = self.cubes
+            (right,) = other.cubes
+            cube = _cube_product(left, right)
+            if cube is None:
+                return FALSE_GUARD
+            return _canonical_guard(frozenset({cube}))
         out: set[Cube] = set()
         for left in self.cubes:
-            left_map = dict(left)
             for right in other.cubes:
-                merged = dict(left_map)
-                dead = False
-                for base, mask in right:
-                    combined = merged.get(base, FULL) & mask
-                    if combined == EMPTY:
-                        dead = True
-                        break
-                    merged[base] = combined
-                if dead:
-                    continue
-                cube = _make_cube(merged)
+                cube = _cube_product(left, right)
                 if cube is not None:
                     out.add(cube)
         return GuardExpr(frozenset(out))
 
     def __or__(self, other: "GuardExpr") -> "GuardExpr":
+        # Exact short-circuits: 0 is the unit, T absorbs, and when one
+        # canonical cube set contains the other, absorption of the
+        # union returns the larger set unchanged.
+        if not self.cubes:
+            return other
+        if not other.cubes:
+            return self
+        if () in self.cubes or () in other.cubes:
+            return TRUE_GUARD
+        if self.cubes >= other.cubes:
+            return self
+        if other.cubes >= self.cubes:
+            return other
         return GuardExpr(self.cubes | other.cubes)
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         return isinstance(other, GuardExpr) and other.cubes == self.cubes
 
     def __hash__(self) -> int:
-        return hash(("GuardExpr", self.cubes))
+        cached = self._hash
+        if cached is None:
+            cached = hash(("GuardExpr", self.cubes))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     # -- semantics ----------------------------------------------------
 
@@ -209,9 +261,11 @@ class GuardExpr:
         currently be in (bases absent from the map are unconstrained).
         This is the "guard is certainly true now" test of Section 4.3.
         """
-        bases = set(self.bases())
-        constrained = {b: m for b, m in knowledge.items()}
-        return _subset_check(self.cubes, sorted(bases, key=Event.sort_key), constrained)
+        if not self.cubes:
+            return False
+        if () in self.cubes:
+            return True
+        return _subset_check(self.cubes, list(self._sorted_bases()), knowledge)
 
     def possible_under(self, knowledge: Mapping[Event, int]) -> bool:
         """Can the guard still become true, given knowledge closures?
@@ -237,7 +291,20 @@ class GuardExpr:
         ``T`` and ``!e`` to ``0``; ``[]e``/``<>e`` reduce to ``0`` and
         ``!e`` to ``T`` when ``[]~e`` or ``<>~e`` is received; ``[]e``
         and ``!e`` are unaffected by ``<>e``".
+
+        Memoized on ``(guard, knowledge)``: actors re-simplify their
+        guard on every assimilated fact, and distributed instances of
+        the same workflow shape pass through the same (guard,
+        knowledge) states, so the hit rate is high.
         """
+        if not knowledge or not self.cubes or () in self.cubes:
+            return self
+        key = (self, tuple(sorted(knowledge.items(), key=_knowledge_sort)))
+        cached = _SIMPLIFY_CACHE.get(key)
+        if cached is not None:
+            _SimplifyStats.hits += 1
+            return cached
+        _SimplifyStats.misses += 1
         out: set[Cube] = set()
         for cube in self.cubes:
             entries: dict[Event, int] = {}
@@ -259,7 +326,11 @@ class GuardExpr:
             cube2 = _make_cube(entries)
             if cube2 is not None:
                 out.add(cube2)
-        return GuardExpr(frozenset(out))
+        result = GuardExpr(frozenset(out))
+        if len(_SIMPLIFY_CACHE) >= _SIMPLIFY_LIMIT:
+            _SIMPLIFY_CACHE.clear()
+        _SIMPLIFY_CACHE[key] = result
+        return result
 
     def equivalent(self, other: "GuardExpr") -> bool:
         """Exact region equality over the union of mentioned bases."""
@@ -307,6 +378,47 @@ class GuardExpr:
         return sum(len(cube) for cube in self.cubes)
 
 
+def _canonical_guard(cubes: frozenset[Cube]) -> GuardExpr:
+    """Build a :class:`GuardExpr` from an already-canonical cube set,
+    skipping ``_absorb`` (callers guarantee a fixpoint, e.g. a single
+    non-empty cube)."""
+    self = object.__new__(GuardExpr)
+    object.__setattr__(self, "cubes", cubes)
+    object.__setattr__(self, "_hash", None)
+    object.__setattr__(self, "_bases", None)
+    object.__setattr__(self, "_sbases", None)
+    return self
+
+
+def _knowledge_sort(item: tuple[Event, int]) -> tuple:
+    return item[0].sort_key()
+
+
+_SIMPLIFY_CACHE: dict = {}
+_SIMPLIFY_LIMIT = 65536
+
+
+class _SimplifyStats:
+    hits = 0
+    misses = 0
+
+
+def simplify_cache_stats() -> dict:
+    """Hit/miss counters of the ``simplify_under`` memo table."""
+    return {
+        "size": len(_SIMPLIFY_CACHE),
+        "hits": _SimplifyStats.hits,
+        "misses": _SimplifyStats.misses,
+    }
+
+
+def clear_simplify_cache() -> None:
+    _SIMPLIFY_CACHE.clear()
+    _SimplifyStats.hits = 0
+    _SimplifyStats.misses = 0
+    _LITERAL_CACHE.clear()
+
+
 def guard_or(items: Iterable[GuardExpr]) -> GuardExpr:
     out = FALSE_GUARD
     for item in items:
@@ -325,10 +437,19 @@ def guard_and(items: Iterable[GuardExpr]) -> GuardExpr:
 
 
 def _absorb(cubes: frozenset[Cube]) -> frozenset[Cube]:
-    """Drop subsumed cubes and merge cubes differing in one event only."""
+    """Drop subsumed cubes and merge cubes differing in one event only.
+
+    Runs the absorption/merge passes to a fixpoint over a sorted view,
+    so the result is deterministic.  The pairwise primitives walk the
+    sorted cube tuples directly (two pointers) instead of building dict
+    views; the pass structure -- and therefore the fixpoint reached --
+    is unchanged.
+    """
     work = set(cubes)
     if () in work:
         return frozenset({()})
+    if len(work) <= 1:
+        return frozenset(work)
     changed = True
     while changed:
         changed = False
@@ -339,6 +460,10 @@ def _absorb(cubes: frozenset[Cube]) -> frozenset[Cube]:
                 continue
             for b in items:
                 if a is b or b not in work:
+                    continue
+                # b's region can only contain a's when b constrains a
+                # subset of a's bases (a missing base reads as FULL)
+                if len(b) > len(a):
                     continue
                 if _cube_subsumes(b, a):
                     work.discard(a)
@@ -351,6 +476,9 @@ def _absorb(cubes: frozenset[Cube]) -> frozenset[Cube]:
                 continue
             for b in items[i + 1:]:
                 if b not in work:
+                    continue
+                # at most one differing key bounds the support sizes
+                if len(a) - len(b) > 1 or len(b) - len(a) > 1:
                     continue
                 merged = _cube_merge(a, b)
                 if merged is not None and merged != a and merged != b:
@@ -367,31 +495,104 @@ def _absorb(cubes: frozenset[Cube]) -> frozenset[Cube]:
     return frozenset(work)
 
 
+def _cube_product(left: Cube, right: Cube) -> Cube | None:
+    """Intersect two canonical cubes; ``None`` when the result is empty.
+
+    A merge-join over the sorted entries: shared bases intersect their
+    masks (an ``EMPTY`` intersection kills the cube), one-sided bases
+    carry over.  Masks never become ``FULL`` (both inputs store only
+    non-``FULL`` masks and intersection only shrinks), so the result is
+    canonical without re-sorting.
+    """
+    if not left:
+        return right
+    if not right:
+        return left
+    out: list[tuple[Event, int]] = []
+    i = j = 0
+    nl, nr = len(left), len(right)
+    while i < nl and j < nr:
+        bl, ml = left[i]
+        br, mr = right[j]
+        if bl is br or bl == br:
+            combined = ml & mr
+            if combined == EMPTY:
+                return None
+            out.append((bl, combined))
+            i += 1
+            j += 1
+        elif bl.sort_key() < br.sort_key():
+            out.append(left[i])
+            i += 1
+        else:
+            out.append(right[j])
+            j += 1
+    out.extend(left[i:])
+    out.extend(right[j:])
+    return tuple(out)
+
+
 def _cube_subsumes(big: Cube, small: Cube) -> bool:
-    """True when ``big``'s region contains ``small``'s region."""
-    big_map = dict(big)
-    small_map = dict(small)
-    for base, mask in big_map.items():
-        if small_map.get(base, FULL) & ~mask & FULL:
+    """True when ``big``'s region contains ``small``'s region.
+
+    Requires ``small``'s mask within ``big``'s for every base ``big``
+    constrains (a base missing from ``small`` reads as ``FULL`` and
+    always escapes a non-``FULL`` constraint)."""
+    j = 0
+    ns = len(small)
+    for base, mask in big:
+        key = base.sort_key()
+        while j < ns and small[j][0].sort_key() < key:
+            j += 1
+        if j >= ns or small[j][0] != base:
             return False
+        if small[j][1] & ~mask & FULL:
+            return False
+        j += 1
     return True
 
 
 def _cube_merge(a: Cube, b: Cube) -> Cube | None:
-    """Union two cubes when they differ in at most one base's mask."""
-    a_map, b_map = dict(a), dict(b)
-    keys = set(a_map) | set(b_map)
-    diff_key = None
-    for key in keys:
-        if a_map.get(key, FULL) != b_map.get(key, FULL):
-            if diff_key is not None:
+    """Union two cubes when they differ in at most one base's mask.
+
+    A base present on one side only counts as a difference against the
+    other side's implicit ``FULL``; the merged mask is then ``FULL``
+    and drops out of the cube."""
+    out: list[tuple[Event, int]] = []
+    diffs = 0
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        ba, ma = a[i]
+        bb, mb = b[j]
+        if ba is bb or ba == bb:
+            if ma == mb:
+                out.append((ba, ma))
+            else:
+                diffs += 1
+                if diffs > 1:
+                    return None
+                union = ma | mb
+                if union != FULL:
+                    out.append((ba, union))
+            i += 1
+            j += 1
+        elif ba.sort_key() < bb.sort_key():
+            diffs += 1
+            if diffs > 1:
                 return None
-            diff_key = key
-    if diff_key is None:
+            i += 1  # union with implicit FULL -> unconstrained
+        else:
+            diffs += 1
+            if diffs > 1:
+                return None
+            j += 1
+    diffs += (na - i) + (nb - j)
+    if diffs > 1:
+        return None
+    if diffs == 0:
         return a
-    merged = dict(a_map)
-    merged[diff_key] = a_map.get(diff_key, FULL) | b_map.get(diff_key, FULL)
-    return _make_cube(merged)
+    return tuple(out)
 
 
 def _point_in(cubes: frozenset[Cube], worlds: Mapping[Event, int]) -> bool:

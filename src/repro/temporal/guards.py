@@ -38,7 +38,7 @@ from repro.algebra.expressions import (
     Zero,
 )
 from repro.algebra.normal_form import to_normal_form
-from repro.algebra.residuation import residuate
+from repro.algebra.residuation import residuate, residuate_nf
 from repro.algebra.symbols import Event
 from repro.temporal.cubes import (
     FALSE_GUARD,
@@ -65,9 +65,152 @@ def _alphabet(expr: Expr) -> tuple[Event, ...]:
     return tuple(sorted(expr.alphabet(), key=Event.sort_key))
 
 
+class _Closure:
+    """The residual closure of one normal-form dependency.
+
+    ``transitions[S]`` lists ``(f, to_normal_form(S/f))`` for every
+    ``f`` in ``Gamma_S``, in canonical alphabet order.  ``order`` lists
+    the states by ascending base count; because residuating by ``f``
+    always eliminates ``f``'s base (Rules 3/7/8 of residuation, plus
+    ``Seq.of`` collapsing repeated events to ``0``), every transition
+    strictly decreases the base set, the closure is a finite DAG, and a
+    guard column can be filled in one bottom-up pass with every
+    successor already solved.  ``columns[e]`` memoizes the per-event
+    pass so all events of a workflow share one closure.
+    """
+
+    __slots__ = ("root", "transitions", "order", "columns")
+
+    def __init__(self, root: Expr):
+        self.root = root
+        self.transitions: dict[Expr, tuple[tuple[Event, Expr], ...]] = {}
+        stack = [root]
+        while stack:
+            state = stack.pop()
+            if state in self.transitions:
+                continue
+            # states are normal forms and residuation is NF-stable, so
+            # the successor needs no re-normalization
+            succs = tuple(
+                (f, residuate_nf(state, f)) for f in _alphabet(state)
+            )
+            self.transitions[state] = succs
+            for _, succ in succs:
+                if succ not in self.transitions:
+                    stack.append(succ)
+        # Stable sort over deterministic discovery order; ties need no
+        # further break because equal-base-count states never depend on
+        # each other.
+        self.order = tuple(
+            sorted(self.transitions, key=lambda s: len(s.bases()))
+        )
+        self.columns: dict[Event, dict[Expr, GuardExpr]] = {}
+
+    def column(self, event: Event) -> dict[Expr, GuardExpr]:
+        """``G(S, event)`` for every closure state, one iterative pass.
+
+        Folds mirror Definition 2's recursive reading exactly (same
+        alphabet order, same term order), so the results are
+        bit-identical to the recursion they replace.
+        """
+        col = self.columns.get(event)
+        if col is not None:
+            return col
+        base = event.base
+        col = {}
+        for state in self.order:
+            others = tuple(
+                (f, succ) for f, succ in self.transitions[state] if f.base != base
+            )
+            first = eventually_guard(residuate_nf(state, event))
+            for f, _ in others:
+                first = first & literal("notyet", f)
+            terms = [first]
+            for f, succ in others:
+                terms.append(literal("box", f) & col[succ])
+            col[state] = guard_or(terms)
+        self.columns[event] = col
+        _SynthStats.columns += 1
+        return col
+
+
+_CLOSURES: dict[Expr, _Closure] = {}
+
+
+class _SynthStats:
+    closure_hits = 0
+    closure_misses = 0
+    columns = 0
+
+
+def _closure_for(dep_nf: Expr) -> _Closure:
+    closure = _CLOSURES.get(dep_nf)
+    if closure is None:
+        _SynthStats.closure_misses += 1
+        closure = _Closure(dep_nf)
+        _CLOSURES[dep_nf] = closure
+    else:
+        _SynthStats.closure_hits += 1
+    return closure
+
+
+def synthesis_stats() -> dict:
+    """Closure-table counters (exposed via ``metrics_report()``)."""
+    return {
+        "closures": len(_CLOSURES),
+        "closure_states": sum(len(c.transitions) for c in _CLOSURES.values()),
+        "closure_hits": _SynthStats.closure_hits,
+        "closure_misses": _SynthStats.closure_misses,
+        "columns": _SynthStats.columns,
+    }
+
+
+def clear_synthesis_caches() -> None:
+    """Drop closure tables (benchmarks measure cold synthesis)."""
+    _CLOSURES.clear()
+    _EVENTUALLY_CACHE.clear()
+    _SynthStats.closure_hits = 0
+    _SynthStats.closure_misses = 0
+    _SynthStats.columns = 0
+
+
+def kernel_stats() -> dict:
+    """One JSON-ready snapshot of every symbolic-kernel cache.
+
+    Aggregates the intern tables (hash-consing), the residual-closure
+    synthesis counters, the ``simplify_under`` memo, and the lru memo
+    tables of the kernel entry points.  Surfaced per run through
+    ``DistributedScheduler.metrics_report()`` and ``repro run --json``.
+    """
+    from repro.algebra.expressions import intern_stats
+    from repro.temporal.cubes import simplify_cache_stats
+
+    def lru_counts(fn) -> dict:
+        info = fn.cache_info()
+        return {"size": info.currsize, "hits": info.hits, "misses": info.misses}
+
+    return {
+        "interning": intern_stats(),
+        "synthesis": synthesis_stats(),
+        "simplify": simplify_cache_stats(),
+        "memo": {
+            "residuate": lru_counts(residuate),
+            "to_normal_form": lru_counts(to_normal_form),
+            "guard": lru_counts(guard),
+            "guard_formula": lru_counts(guard_formula),
+        },
+    }
+
+
 @lru_cache(maxsize=65536)
 def guard(dependency: Expr, event: Event) -> GuardExpr:
     """Compute ``G(D, e)`` as a cube guard (Definition 2).
+
+    Definition 2 reads as a recursion over residuals; here it is
+    evaluated over the dependency's residual closure: the closure is
+    computed once per dependency and shared by every event, and each
+    event's guards for *all* closure states are derived in a single
+    bottom-up pass (see :class:`_Closure`).
 
     >>> from repro.algebra.parser import parse
     >>> from repro.algebra.symbols import Event
@@ -77,16 +220,24 @@ def guard(dependency: Expr, event: Event) -> GuardExpr:
     ([]e + <>~e)
     """
     dep = to_normal_form(dependency)
-    others = tuple(
-        f for f in _alphabet(dep) if f.base != event.base
-    )
-    first = eventually_guard(residuate(dep, event))
-    for f in others:
-        first = first & literal("notyet", f)
-    terms = [first]
-    for f in others:
-        terms.append(literal("box", f) & guard(residuate(dep, f), event))
-    return guard_or(terms)
+    return _closure_for(dep).column(event)[dep]
+
+
+def guard_table(dependency: Expr) -> dict[Event, GuardExpr]:
+    """``G(D, e)`` for every ``e`` in ``Gamma_D``, sharing one closure.
+
+    >>> from repro.algebra.parser import parse
+    >>> sorted(map(repr, guard_table(parse("~e + f")).values()))
+    ['<>f', '<>~e', 'T', 'T']
+    """
+    dep = to_normal_form(dependency)
+    closure = _closure_for(dep)
+    return {
+        e: closure.column(e)[dep] for e in _alphabet(dependency)
+    }
+
+
+_EVENTUALLY_CACHE: dict[Expr, GuardExpr] = {}
 
 
 def eventually_guard(expr: Expr) -> GuardExpr:
@@ -96,20 +247,27 @@ def eventually_guard(expr: Expr) -> GuardExpr:
     event expressions is stable (monotone in the index) on maximal
     traces; a sequence of atoms is replaced by the conjunction of the
     atoms' eventualities per the paper's Section 4.2 insight.
+
+    Memoized per (interned) node: closure states share subexpressions,
+    so the same eventualities recur across states and columns.
     """
+    cached = _EVENTUALLY_CACHE.get(expr)
+    if cached is not None:
+        return cached
     if isinstance(expr, Top):
-        return TRUE_GUARD
-    if isinstance(expr, Zero):
-        return FALSE_GUARD
-    if isinstance(expr, Atom):
-        return literal("dia", expr.event)
-    if isinstance(expr, Choice):
-        return guard_or(eventually_guard(p) for p in expr.parts)
-    if isinstance(expr, Conj):
-        return guard_and(eventually_guard(p) for p in expr.parts)
-    if isinstance(expr, Seq):
-        return guard_and(eventually_guard(p) for p in expr.parts)
-    raise TypeError(f"unknown expression: {expr!r}")  # pragma: no cover
+        result = TRUE_GUARD
+    elif isinstance(expr, Zero):
+        result = FALSE_GUARD
+    elif isinstance(expr, Atom):
+        result = literal("dia", expr.event)
+    elif isinstance(expr, Choice):
+        result = guard_or(eventually_guard(p) for p in expr.parts)
+    elif isinstance(expr, (Conj, Seq)):
+        result = guard_and(eventually_guard(p) for p in expr.parts)
+    else:  # pragma: no cover
+        raise TypeError(f"unknown expression: {expr!r}")
+    _EVENTUALLY_CACHE[expr] = result
+    return result
 
 
 @lru_cache(maxsize=65536)

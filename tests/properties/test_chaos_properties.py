@@ -159,7 +159,9 @@ class TestChaosSafety:
         assert report.restarts == sum(
             1 for c in plan.crashes if c.restart_at is not None
         )
-        assert report.dropped >= 0 and report.messages > 0
+        # when every site crashes at t=0 the run's only send can be
+        # eaten by the drop dice, so count attempts, not deliveries
+        assert report.messages + report.dropped > 0
         if drop == 0.0 and not plan:
             assert report.retransmits == 0
         assert len(report.recovery_latencies) <= report.restarts
@@ -199,6 +201,11 @@ class TestChaosRegressions:
         ("travel_success", 0.3, 0.3, (("car_rental", 1.0, 6.0),), 11),
         ("mutex_t2", 0.2, 0.3, (("task2", 1.0, 9.0),), 3),
         ("mutex_t1", 0.3, 0.0, (("task1", 0.5, 4.0), ("task2", 5.0, 8.0)), 19),
+        # orphaned freeze: task1 crashes while its coordinator's
+        # not-yet reply is in its send queue, so the requester never
+        # learns of the freeze it holds and never releases it; the
+        # quiescence orphan-freeze sweep voids it
+        ("mutex_t1", 0.2, 0.2, (("task2", 0.5, 1.5), ("task1", 3.0, 3.5)), 7973),
     ]
 
     def test_pinned_schedules_settle_clean(self):

@@ -1,0 +1,195 @@
+"""The performance kernel is an optimization, not a semantics change.
+
+Two families of properties guard the hash-consed symbolic kernel and
+the announcement-batching fabric:
+
+* **interning**: constructing an expression is observationally the
+  same as structural construction -- the same value is the same
+  object, hashes and equality agree with a structural rebuild, and
+  objects that straddle an intern-table reset (benchmarks clear the
+  tables) still compare structurally;
+* **batching**: a scheduler run with ``batch_announcements=True`` is
+  indistinguishable from the unbatched run in every virtual
+  observable -- settled timeline, unsettled bases, violations --
+  under fuzzed crash/restart schedules, while sending no more (and,
+  whenever announcements coalesce, strictly fewer) messages.
+
+The batching comparison pins ``drop = dup = 0`` and constant latency:
+then the fabric draws nothing from the rng, so batched and unbatched
+runs consume identical random streams and any divergence is a real
+semantics change, not noise.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import (
+    Atom,
+    Choice,
+    Conj,
+    Expr,
+    Seq,
+    TOP,
+    ZERO,
+    clear_intern_tables,
+    intern_stats,
+)
+from repro.algebra.parser import parse
+from repro.algebra.residuation import residuate
+from repro.algebra.symbols import Event
+from repro.scheduler.guard_scheduler import DistributedScheduler
+from repro.sim import FaultPlan, SiteCrash
+from repro.sim.network import ConstantLatency
+from repro.workloads.scenarios import (
+    make_mutex_scenario,
+    make_order_fulfillment,
+    make_travel_booking,
+)
+
+from .strategies import expressions, signed_events
+from .test_chaos_properties import fault_schedules, scenario_sites
+
+
+def rebuild(expr: Expr) -> Expr:
+    """Structurally reconstruct ``expr`` from fresh components."""
+    if expr is ZERO or expr is TOP:
+        return expr
+    if isinstance(expr, Atom):
+        ev = expr.event
+        return Atom(Event(ev.name, negated=ev.negated, params=ev.params))
+    parts = [rebuild(p) for p in expr.parts]
+    if isinstance(expr, Seq):
+        return Seq.of(parts)
+    if isinstance(expr, Choice):
+        return Choice.of(parts)
+    assert isinstance(expr, Conj)
+    return Conj.of(parts)
+
+
+class TestInterning:
+    """Hash-consed construction == structural construction."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(expressions())
+    def test_reconstruction_is_identity(self, expr):
+        assert rebuild(expr) is expr
+
+    @settings(max_examples=200, deadline=None)
+    @given(expressions())
+    def test_parse_of_repr_is_identity(self, expr):
+        assert parse(repr(expr)) is expr
+
+    @settings(max_examples=100, deadline=None)
+    @given(expressions(), signed_events())
+    def test_residuation_unaffected_by_interning(self, expr, event):
+        direct = residuate(expr, event)
+        assert residuate(rebuild(expr), event) is direct
+
+    @settings(max_examples=50, deadline=None)
+    @given(expressions())
+    def test_structural_equality_across_table_reset(self, expr):
+        """An object from a cleared intern epoch still equals (and
+        hashes with) its reconstruction -- the structural fallback the
+        benchmarks rely on when they clear the tables mid-process."""
+        source = repr(expr)
+        expected_hash = hash(expr)
+        clear_intern_tables()
+        try:
+            fresh = parse(source)
+            assert fresh == expr
+            assert hash(fresh) == expected_hash
+            assert len({fresh, expr}) == 1
+        finally:
+            # the cleared table now interns the *fresh* objects; drop
+            # them too so later tests start from a consistent epoch
+            clear_intern_tables()
+
+    def test_interning_is_counted(self):
+        clear_intern_tables()
+        e = Event("count_probe")
+        assert Event("count_probe") is e
+        a = Atom(e)
+        assert Atom(e) is a
+        stats = intern_stats()
+        assert stats["events"]["hits"] >= 1
+        assert stats["exprs"]["hits"] >= 1
+        clear_intern_tables()
+
+
+SCENARIOS = {
+    "travel_success": lambda: make_travel_booking("success"),
+    "travel_failure": lambda: make_travel_booking("failure"),
+    "mutex_t1": lambda: make_mutex_scenario("t1"),
+    "order_bounce": lambda: make_order_fulfillment(False),
+}
+
+
+def run_deterministic(scenario, plan, seed, batch):
+    """A run whose only randomness is the seeded scheduler rng.
+
+    No drops, no duplicates, constant latency: the fabric never draws
+    from the rng, so the batched and unbatched runs see identical
+    random streams and must produce identical virtual observables.
+    """
+    sched = DistributedScheduler(
+        scenario.workflow.dependencies,
+        sites=scenario.workflow.sites,
+        attributes=scenario.workflow.attributes,
+        latency=ConstantLatency(1.0),
+        rng=random.Random(seed),
+        reliable=True,
+        fault_plan=plan,
+        batch_announcements=batch,
+    )
+    result = sched.run(scenario.scripts, verify=False)
+    return sched, result
+
+
+def observables(result):
+    return {
+        "timeline": [(repr(e.event), e.time) for e in result.entries],
+        "makespan": result.makespan,
+        "unsettled": sorted(map(repr, result.unsettled)),
+        "violations": sorted(v.kind for v in result.violations),
+    }
+
+
+@st.composite
+def batching_cases(draw):
+    name = draw(st.sampled_from(sorted(SCENARIOS)))
+    scenario = SCENARIOS[name]()
+    plan = draw(fault_schedules(scenario_sites(scenario), False))
+    seed = draw(st.integers(0, 2**16))
+    return name, scenario, plan, seed
+
+
+class TestBatchingEquivalence:
+    """``batch_announcements=True`` changes message counts, nothing
+    else."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(batching_cases())
+    def test_batched_run_is_observably_identical(self, case):
+        name, scenario, plan, seed = case
+        _, plain = run_deterministic(scenario, plan, seed, batch=False)
+        sched, batched = run_deterministic(scenario, plan, seed, batch=True)
+        assert observables(batched) == observables(plain), name
+        assert batched.messages <= plain.messages
+
+    def test_batching_reduces_fanout_messages(self):
+        """A workflow with co-located subscribers must actually
+        coalesce (guards against the wrapper silently degrading to
+        pass-through)."""
+        scenario = make_travel_booking("success")
+        _, plain = run_deterministic(scenario, None, 0, batch=False)
+        sched, batched = run_deterministic(scenario, None, 0, batch=True)
+        assert observables(batched) == observables(plain)
+        assert batched.messages < plain.messages
+        stats = sched.network.stats
+        assert stats.announce_batches > 0
+        # every coalesced announcement saves at least its own envelope
+        # (and, inter-site, its ack)
+        saved = stats.announce_batched - stats.announce_batches
+        assert plain.messages - batched.messages >= saved

@@ -84,3 +84,61 @@ class TestSimulator:
         assert sim.step()
         assert sim.pending == 0
         assert not sim.step()
+
+
+class TestCancellation:
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_cancelled_timer_does_not_stretch_makespan(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(100.0, lambda: None)
+        sim.cancel(handle)
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        sim.cancel(handle)
+        assert fired == [1]
+        sim.schedule(1.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_cancel_of_fired_handle_leaves_no_residue(self):
+        """Regression: cancelling an already-fired handle used to park
+        its sequence number in ``_cancelled`` forever (the entry never
+        reappears in the heap, so ``_purge_head`` never discarded it),
+        leaking memory over long chaos runs that cancel ack timers
+        after they fired."""
+        sim = Simulator()
+        for _ in range(100):
+            handle = sim.schedule(0.0, lambda: None)
+            sim.run()
+            sim.cancel(handle)  # too late: already fired
+        assert not sim._cancelled
+        assert not sim._live
+
+    def test_cancel_of_pending_handle_is_purged_on_pop(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            sim.cancel(handle)
+        sim.run()
+        assert not sim._cancelled
+        assert not sim._live
+
+    def test_unknown_handle_is_ignored(self):
+        sim = Simulator()
+        sim.cancel(12345)
+        assert not sim._cancelled
