@@ -12,16 +12,25 @@ Usage (also via ``python -m repro``):
     repro guard    "DEP" EVENT        # one guard (Example-9 style)
     repro trace check  TRACE.jsonl    # verify a recorded trace offline
     repro trace export TRACE.jsonl    # convert to chrome://tracing JSON
+    repro explain  TRACE.jsonl EVENT  # why did/didn't EVENT fire?
+    repro prom lint METRICS.prom      # validate Prometheus text output
 
 ``run`` options: ``--scheduler {distributed,centralized,automata}``,
 ``--attempt EVENT=TIME`` (repeatable), ``--latency L``, ``--seed N``,
 ``--json`` (machine-readable result + metrics + trace on stdout),
-``--trace FILE`` (write the causal event trace as JSONL).
+``--trace FILE`` (write the causal event trace as JSONL),
+``--no-settle`` (leave unattempted bases unsettled -- parked events
+stay parked for ``explain`` to dissect), and, on the distributed
+scheduler only: ``--snapshot-every N`` (consistent global snapshots on
+a virtual-time cadence), ``--snapshot-out FILE`` (write them as JSON),
+``--prom FILE`` (write metrics in Prometheus text format).
 
 Exit codes: ``run`` exits 0 only when the run is *clean* -- no
 dependency violations and no unsettled bases; 1 when either remains;
 2 on usage errors.  ``trace check`` exits 1 when the trace violates an
-invariant.
+invariant (an empty or truncated trace is reported, not a traceback);
+``explain`` exits 1 when the event never appears in the trace; file
+errors exit 2.
 """
 
 from __future__ import annotations
@@ -117,6 +126,50 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record the run's causal event trace as JSONL to FILE",
     )
+    p_run.add_argument(
+        "--no-settle",
+        action="store_true",
+        help="skip the settlement phase: unattempted bases stay "
+        "unsettled and parked events stay parked (useful with "
+        "``repro explain``)",
+    )
+    p_run.add_argument(
+        "--snapshot-every",
+        type=float,
+        metavar="N",
+        help="take a consistent global snapshot every N virtual time "
+        "units (distributed scheduler only)",
+    )
+    p_run.add_argument(
+        "--snapshot-out",
+        metavar="FILE",
+        help="write the snapshots as a JSON document to FILE",
+    )
+    p_run.add_argument(
+        "--prom",
+        metavar="FILE",
+        help="write the run's metrics in Prometheus text format to FILE",
+    )
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="decision provenance for one event, from a recorded trace",
+    )
+    p_explain.add_argument("trace_file", help="JSONL trace (from run --trace)")
+    p_explain.add_argument("event", help='e.g. "c_buy" or "~c_buy"')
+    p_explain.add_argument(
+        "--json", action="store_true",
+        help="machine-readable explanation instead of text",
+    )
+
+    p_prom = sub.add_parser(
+        "prom", help="work with Prometheus text-format metric files"
+    )
+    prom_sub = p_prom.add_subparsers(dest="prom_command", required=True)
+    p_prom_lint = prom_sub.add_parser(
+        "lint", help="validate a Prometheus text exposition file"
+    )
+    p_prom_lint.add_argument("prom_file")
 
     p_trace = sub.add_parser(
         "trace", help="inspect recorded JSONL event traces"
@@ -203,7 +256,14 @@ def _cmd_run(args) -> int:
             ScriptedAttempt(float(time_text), event_expr.event)
         )
     scheduler_cls = SCHEDULERS[args.scheduler]
-    tracer = Tracer() if (args.json or args.trace) else None
+    snapshotting = args.snapshot_every is not None or args.snapshot_out
+    if snapshotting and args.scheduler != "distributed":
+        print(
+            "--snapshot-every/--snapshot-out need --scheduler distributed",
+            file=sys.stderr,
+        )
+        return 2
+    tracer = Tracer() if (args.json or args.trace or snapshotting) else None
     sched = scheduler_cls(
         workflow.dependencies,
         sites=workflow.sites,
@@ -212,16 +272,41 @@ def _cmd_run(args) -> int:
         rng=random.Random(args.seed),
         tracer=tracer,
     )
+    if args.snapshot_every is not None:
+        if args.snapshot_every <= 0:
+            print("--snapshot-every must be positive", file=sys.stderr)
+            return 2
+        sched.schedule_snapshots(args.snapshot_every)
     scripts = []
     if attempts:
         scripts.append(AgentScript("cli", attempts))
-    result = sched.run(scripts)
+    result = sched.run(scripts, settle=not args.no_settle)
+    snapshots = []
+    if snapshotting:
+        snapshots = [s.as_dict() for s in sched.snapshots.snapshots]
+        if args.snapshot_out:
+            with open(args.snapshot_out, "w", encoding="utf-8") as handle:
+                json.dump(snapshots, handle, indent=2)
     if args.trace and tracer is not None:
         tracer.dump(args.trace)
+    if args.prom:
+        from repro.obs.prom import write_prometheus
+
+        write_prometheus(sched.metrics_report(), args.prom)
     if args.json:
-        print(json.dumps(_run_report(result, sched, tracer, args.trace), indent=2))
+        report = _run_report(result, sched, tracer, args.trace)
+        if snapshotting:
+            report["snapshots"] = {
+                "taken": len(snapshots),
+                "complete": sum(1 for s in snapshots if s["complete"]),
+                "file": args.snapshot_out,
+            }
+        print(json.dumps(report, indent=2))
     else:
         print(result_to_text(result))
+        if snapshotting:
+            complete = sum(1 for s in snapshots if s["complete"])
+            print(f"snapshots: {complete}/{len(snapshots)} complete")
         if result.violations:
             for violation in result.violations:
                 print(f"violation[{violation.kind}]: {violation.detail}")
@@ -259,7 +344,18 @@ def _run_report(result, sched, tracer, trace_path) -> dict:
 
 def _cmd_trace(args) -> int:
     if args.trace_command == "check":
-        count, diagnostics = check_file(args.trace_file)
+        try:
+            count, diagnostics = check_file(args.trace_file)
+        except OSError as exc:
+            print(f"{args.trace_file}: cannot read: {exc}", file=sys.stderr)
+            return 2
+        if count == 0 and not diagnostics:
+            print(
+                f"{args.trace_file}: empty trace (no records); nothing "
+                "to verify -- was the run traced?",
+                file=sys.stderr,
+            )
+            return 1
         if not diagnostics:
             print(f"{args.trace_file}: {count} records, all invariants hold")
             return 0
@@ -272,7 +368,22 @@ def _cmd_trace(args) -> int:
             print(str(diagnostic), file=sys.stderr)
         return 1
     # export
-    chrome = to_chrome(read_jsonl(args.trace_file))
+    try:
+        records = read_jsonl(args.trace_file)
+    except OSError as exc:
+        print(f"{args.trace_file}: cannot read: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"{args.trace_file}: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(
+            f"{args.trace_file}: empty trace (no records); nothing to "
+            "export",
+            file=sys.stderr,
+        )
+        return 1
+    chrome = to_chrome(records)
     text = json.dumps(chrome)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -281,6 +392,64 @@ def _cmd_trace(args) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.obs.provenance import explain_records
+
+    try:
+        records = read_jsonl(args.trace_file)
+    except OSError as exc:
+        print(f"{args.trace_file}: cannot read: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"{args.trace_file}: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(
+            f"{args.trace_file}: empty trace (no records); nothing to "
+            "explain",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        explanation = explain_records(records, args.event)
+    except KeyError:
+        print(
+            f"{args.event!r} never appears in {args.trace_file} "
+            "(no actor or guard records); check the event name",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2))
+    else:
+        print(explanation.render())
+    return 0
+
+
+def _cmd_prom(args) -> int:
+    from repro.obs.prom import lint_prometheus
+
+    try:
+        with open(args.prom_file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"{args.prom_file}: cannot read: {exc}", file=sys.stderr)
+        return 2
+    problems = lint_prometheus(text)
+    if not problems:
+        samples = sum(
+            1
+            for line in text.splitlines()
+            if line.strip() and not line.startswith("#")
+        )
+        print(f"{args.prom_file}: {samples} samples, format OK")
+        return 0
+    print(f"{args.prom_file}: {len(problems)} problem(s)", file=sys.stderr)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -293,6 +462,8 @@ def main(argv: list[str] | None = None) -> int:
         "guard": _cmd_guard,
         "run": _cmd_run,
         "trace": _cmd_trace,
+        "explain": _cmd_explain,
+        "prom": _cmd_prom,
     }[args.command]
     try:
         return handler(args)

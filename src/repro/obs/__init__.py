@@ -23,21 +23,58 @@ artifact:
   Lamport monotonicity, per-session causal order, trace safety (no
   base event twice, never both ``e`` and ``~e``), and that every
   firing is justified by a recorded guard verdict.
+* :mod:`repro.obs.provenance` -- decision provenance: *why* is an
+  event parked/fired/dead?  ``DistributedScheduler.explain(event)``
+  (live) and ``repro explain TRACE EVENT`` (offline) classify every
+  guard literal against the actor's knowledge, name the announcements
+  that justified it, and compute minimal unblocking announcement sets.
+* :mod:`repro.obs.snapshot` -- consistent global snapshots via a
+  Chandy--Lamport marker flood over the scheduler's own channel
+  (``scheduler.snapshot()`` / ``repro run --snapshot-every N``), plus
+  :func:`~repro.obs.snapshot.check_snapshot` validating each cut
+  against the causal trace.
+* :mod:`repro.obs.prom` -- Prometheus text-format export of
+  ``metrics_report()`` (``repro run --prom FILE``) and a format linter
+  (``repro prom lint``).
 """
 
 from repro.obs.check import Diagnostic, check_file, check_records
 from repro.obs.export import to_chrome
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import lint_prometheus, render_prometheus, write_prometheus
+from repro.obs.provenance import (
+    NULL_PROVENANCE,
+    Explanation,
+    Fact,
+    NullProvenance,
+    ProvenanceLog,
+    explain_records,
+    minimal_unblocking_sets,
+)
+from repro.obs.snapshot import Snapshot, SnapshotCoordinator, check_snapshot
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, read_jsonl
 
 __all__ = [
     "Diagnostic",
+    "Explanation",
+    "Fact",
     "MetricsRegistry",
+    "NULL_PROVENANCE",
     "NULL_TRACER",
+    "NullProvenance",
     "NullTracer",
+    "ProvenanceLog",
+    "Snapshot",
+    "SnapshotCoordinator",
     "Tracer",
     "check_file",
     "check_records",
+    "check_snapshot",
+    "explain_records",
+    "lint_prometheus",
+    "minimal_unblocking_sets",
     "read_jsonl",
+    "render_prometheus",
     "to_chrome",
+    "write_prometheus",
 ]

@@ -1,0 +1,307 @@
+"""Prometheus text-format export of a run's metrics report.
+
+:func:`render_prometheus` turns :meth:`DistributedScheduler.
+metrics_report` (the registry plus network/kernel/fault sections) into
+the `Prometheus exposition text format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ --
+``# TYPE`` headers, one sample per line, per-site breakdowns as a
+``site`` label.  :func:`write_prometheus` writes it atomically to a
+file (the *textfile collector* pattern: a node-exporter style agent
+scrapes the file; no HTTP listener is needed inside the simulator).
+
+:func:`lint_prometheus` is a small validator for the subset of the
+format this module emits, used by tests and ``repro prom lint`` so CI
+can assert the artifact really parses -- names and labels well-formed,
+every sample under a matching ``# TYPE``, no family interleaving, no
+duplicate samples.
+
+Counters map to ``<prefix><name>_total``, gauges to ``<prefix><name>``
+plus ``<prefix><name>_peak``, histograms to Prometheus *summary*-style
+``_count``/``_sum`` pairs plus ``_min``/``_max`` gauges (the registry
+keeps aggregates, not buckets).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Any, Iterable
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+_TYPES = frozenset({"counter", "gauge", "summary", "histogram", "untyped"})
+
+
+def _sanitize(name: str) -> str:
+    """Coerce an arbitrary metric/section name into a legal name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Family:
+    """One metric family: a TYPE header plus its samples.
+
+    A sample may carry a ``suffix`` appended to the family name --
+    Prometheus summaries expose their parts as ``<name>_sum`` and
+    ``<name>_count`` samples under the family's single TYPE header.
+    """
+
+    def __init__(self, name: str, kind: str, help_text: str = ""):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: list[tuple[str, dict[str, str], float]] = []
+
+    def add(self, value: float, suffix: str = "", **labels: str) -> None:
+        self.samples.append((suffix, labels, value))
+
+    def lines(self) -> Iterable[str]:
+        if self.help:
+            yield f"# HELP {self.name} {self.help}"
+        yield f"# TYPE {self.name} {self.kind}"
+        for suffix, labels, value in self.samples:
+            name = self.name + suffix
+            if labels:
+                rendered = ",".join(
+                    f'{k}="{_escape_label(str(v))}"'
+                    for k, v in sorted(labels.items())
+                )
+                yield f"{name}{{{rendered}}} {_fmt(value)}"
+            else:
+                yield f"{name} {_fmt(value)}"
+
+
+def _labelled_family(
+    fam: _Family,
+    entry: dict[str, Any],
+    pick,
+    suffix_value=None,
+) -> None:
+    """Emit a registry entry's total + per-site samples into ``fam``."""
+    fam.add(pick(entry["total"]))
+    for site, value in sorted(entry.get("sites", {}).items()):
+        fam.add(pick(value), site=site)
+    if "unlabelled" in entry:
+        fam.add(pick(entry["unlabelled"]), site="_unlabelled")
+
+
+def render_prometheus(report: dict[str, Any], prefix: str = "repro_") -> str:
+    """Render a :meth:`metrics_report` dict as Prometheus text format."""
+    families: list[_Family] = []
+
+    for name, entry in sorted(report.get("counters", {}).items()):
+        fam = _Family(
+            f"{prefix}{_sanitize(name)}_total", "counter",
+            f"scheduler counter {name}",
+        )
+        _labelled_family(fam, entry, lambda v: v)
+        families.append(fam)
+
+    for name, entry in sorted(report.get("gauges", {}).items()):
+        base = f"{prefix}{_sanitize(name)}"
+        value_fam = _Family(base, "gauge", f"scheduler gauge {name}")
+        peak_fam = _Family(
+            f"{base}_peak", "gauge", f"high-water mark of {name}"
+        )
+        _labelled_family(value_fam, entry, lambda v: v["value"])
+        _labelled_family(peak_fam, entry, lambda v: v["peak"])
+        families.extend([value_fam, peak_fam])
+
+    for name, entry in sorted(report.get("histograms", {}).items()):
+        base = f"{prefix}{_sanitize(name)}"
+        summary = _Family(base, "summary", f"scheduler histogram {name}")
+        min_fam = _Family(f"{base}_min", "gauge")
+        max_fam = _Family(f"{base}_max", "gauge")
+
+        def emit(values: dict[str, float], **labels: str) -> None:
+            summary.add(values["sum"], suffix="_sum", **labels)
+            summary.add(values["count"], suffix="_count", **labels)
+            min_fam.add(values["min"], **labels)
+            max_fam.add(values["max"], **labels)
+
+        emit(entry["total"])
+        for site, values in sorted(entry.get("sites", {}).items()):
+            emit(values, site=site)
+        if "unlabelled" in entry:
+            emit(entry["unlabelled"], site="_unlabelled")
+        families.extend([summary, min_fam, max_fam])
+
+    net = report.get("network", {})
+    if net:
+        for key in sorted(net):
+            value = net[key]
+            if isinstance(value, dict):
+                continue  # by_kind etc. handled below
+            fam = _Family(
+                f"{prefix}network_{_sanitize(key)}",
+                "counter" if isinstance(value, int) else "gauge",
+                f"network fabric counter {key}",
+            )
+            fam.add(value)
+            families.append(fam)
+        for section, label in (
+            ("by_kind", "kind"),
+            ("retransmits_by_kind", "kind"),
+            ("per_site_handled", "site"),
+        ):
+            table = net.get(section, {})
+            if not table:
+                continue
+            fam = _Family(
+                f"{prefix}network_{_sanitize(section)}", "counter",
+                f"network messages broken down by {label}",
+            )
+            for key, value in sorted(table.items()):
+                fam.add(value, **{label: key})
+            families.append(fam)
+
+    def flatten(node: Any, path: str) -> list[tuple[str, float]]:
+        if isinstance(node, (int, float)) and not isinstance(node, bool):
+            return [(path, node)]
+        if isinstance(node, dict):
+            return [
+                pair
+                for key in sorted(node)
+                for pair in flatten(node[key], f"{path}_{_sanitize(key)}")
+            ]
+        return []
+
+    for name, value in flatten(report.get("kernel", {}), "kernel"):
+        fam = _Family(
+            f"{prefix}{name}", "gauge",
+            f"symbolic kernel statistic {name[len('kernel_'):]}",
+        )
+        fam.add(value)
+        families.append(fam)
+
+    faults = report.get("faults", {})
+    for key in sorted(faults):
+        fam = _Family(
+            f"{prefix}faults_{_sanitize(key)}_total", "counter",
+            f"injected fault count: {key}",
+        )
+        fam.add(faults[key])
+        families.append(fam)
+
+    out: list[str] = []
+    for fam in families:
+        out.extend(fam.lines())
+    return "\n".join(out) + "\n"
+
+
+def write_prometheus(
+    report: dict[str, Any], path: str, prefix: str = "repro_"
+) -> str:
+    """Atomically write the rendered report to ``path`` (textfile
+    collector pattern: write-then-rename so a scraper never reads a
+    half-written file).  Returns the rendered text."""
+    text = render_prometheus(report, prefix=prefix)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+    return text
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Validate Prometheus text exposition; returns human-readable
+    problems (empty list = clean).
+
+    Checks the subset the exporter emits: legal metric/label names,
+    numeric values, every sample preceded by a ``# TYPE`` for its
+    family (summary samples may use the ``_sum``/``_count`` suffixes),
+    no family declared twice, no duplicate samples.
+    """
+    problems: list[str] = []
+    declared: dict[str, str] = {}
+    current: str | None = None
+    seen_samples: set[str] = set()
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                problems.append(f"line {number}: malformed TYPE line")
+                continue
+            _, _, name, kind = parts
+            if not _NAME_RE.match(name):
+                problems.append(f"line {number}: bad metric name {name!r}")
+            if kind not in _TYPES:
+                problems.append(f"line {number}: unknown type {kind!r}")
+            if name in declared:
+                problems.append(
+                    f"line {number}: family {name!r} declared twice"
+                )
+            declared[name] = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {number}: unparsable sample: {line!r}")
+            continue
+        name = match.group("name")
+        family = name
+        if current and declared.get(current) in ("summary", "histogram"):
+            for suffix in ("_sum", "_count", "_bucket"):
+                if name == current + suffix:
+                    family = current
+                    break
+        if family not in declared:
+            problems.append(
+                f"line {number}: sample {name!r} has no TYPE declaration"
+            )
+        elif family != current:
+            problems.append(
+                f"line {number}: sample {name!r} interleaves family "
+                f"{current!r}"
+            )
+        labels = match.group("labels")
+        if labels is not None:
+            for pair in labels.split(","):
+                if not pair:
+                    problems.append(f"line {number}: empty label pair")
+                    continue
+                pair_match = _LABEL_PAIR_RE.match(pair)
+                if pair_match is None:
+                    problems.append(
+                        f"line {number}: malformed label {pair!r}"
+                    )
+        value = match.group("value")
+        try:
+            float(value)
+        except ValueError:
+            if value not in ("+Inf", "-Inf", "NaN"):
+                problems.append(
+                    f"line {number}: non-numeric value {value!r}"
+                )
+        key = f"{name}{{{labels or ''}}}"
+        if key in seen_samples:
+            problems.append(f"line {number}: duplicate sample {key}")
+        seen_samples.add(key)
+    return problems

@@ -1,0 +1,694 @@
+"""Decision provenance: *why* did an event fire, park, or die?
+
+The paper's point (Sections 4.2--4.3) is that every scheduling verdict
+is derivable: an event fires exactly when its synthesized guard
+``G(D, e)`` -- a union of cubes over four-world literals -- subsumes the
+actor's assimilated knowledge.  This module keeps the proof instead of
+throwing it away:
+
+* :func:`explain_region` classifies every literal of every cube as
+  ``satisfied`` / ``pending`` / ``blocked`` under a knowledge map and
+  reproduces the fire/park/never verdict literal-by-literal;
+* :func:`minimal_unblocking_sets` answers "what must happen for ``e``
+  to become enabled?" -- the smallest sets of future facts
+  (``[]`` announcements, ``<>`` promises, not-yet certificates) whose
+  delivery would flip a parked verdict to fire.  The search is
+  *semantic*: candidate sets are verified by applying the facts to the
+  knowledge and re-checking region subsumption, because cube absorption
+  (:func:`repro.temporal.cubes._absorb` merges cubes differing in one
+  base) makes per-literal counting overestimate -- one announcement can
+  complete a guard whose literals all look pending;
+* :class:`ProvenanceLog` records, per ``(actor, base)``, the message
+  that justified each knowledge refinement (source kind, originating
+  signed event and site, virtual time, Lamport stamp);
+* :func:`explain_actor` assembles the above into a live
+  :class:`Explanation` for ``DistributedScheduler.explain(event)``;
+  :func:`explain_records` does the same offline from a recorded causal
+  trace (``repro explain <trace> <event>``), using the structured
+  ``cubes``/``knowledge`` fields the tracer attaches to guard
+  evaluations.
+
+Everything region-level operates on *string* base names (cube tuples
+``((name, mask), ...)``, knowledge ``{name: mask}``) so the live and
+offline paths share one implementation; the live path converts via
+``repr``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.temporal.cubes import (
+    C_OCC,
+    DIA_COMP_MASK,
+    DIA_MASK,
+    E_OCC,
+    FULL,
+    P_C,
+    P_E,
+    classify_mask,
+    closure,
+    mask_text,
+)
+
+#: Transient worlds a not-yet certificate pins (neither polarity occurred).
+NOT_YET_MASK = P_E | P_C
+
+StrCube = tuple[tuple[str, int], ...]
+
+
+# ----------------------------------------------------------------------
+# string-keyed region operations (mirror GuardExpr's, over names)
+
+def _points(names: list[str]):
+    if not names:
+        yield {}
+        return
+    head, rest = names[0], names[1:]
+    for sub in _points(rest):
+        for world in (E_OCC, C_OCC, P_E, P_C):
+            point = dict(sub)
+            point[head] = world
+            yield point
+
+
+def _point_in(cubes: Iterable[StrCube], worlds: Mapping[str, int]) -> bool:
+    return any(
+        all(worlds.get(name, 0) & mask for name, mask in cube)
+        for cube in cubes
+    )
+
+
+def region_subsumes(cubes: Iterable[StrCube], knowledge: Mapping[str, int]) -> bool:
+    """Every world point consistent with ``knowledge`` is inside the
+    cube union -- the fire rule of Section 4.3, over string keys."""
+    cubes = list(cubes)
+    if not cubes:
+        return False
+    if () in cubes:
+        return True
+    names = sorted({name for cube in cubes for name, _mask in cube})
+    for worlds in _points(names):
+        consistent = all(
+            worlds[name] & knowledge.get(name, FULL) for name in names
+        )
+        if consistent and not _point_in(cubes, worlds):
+            return False
+    return True
+
+
+def region_possible(cubes: Iterable[StrCube], knowledge: Mapping[str, int]) -> bool:
+    """Some cube is still reachable under the knowledge closure."""
+    return any(
+        all(closure(knowledge.get(name, FULL)) & mask for name, mask in cube)
+        for cube in cubes
+    )
+
+
+def region_verdict(cubes: Iterable[StrCube], knowledge: Mapping[str, int]) -> str:
+    """``fire`` / ``never`` / ``park`` -- EventActor's decision rule."""
+    cubes = list(cubes)
+    if region_subsumes(cubes, knowledge):
+        return "fire"
+    if not region_possible(cubes, knowledge):
+        return "never"
+    return "park"
+
+
+# ----------------------------------------------------------------------
+# unblocking facts
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """A future fact an actor could assimilate.
+
+    ``kind`` is ``announce`` (a ``[]`` occurrence announcement of the
+    signed ``event``), ``promise`` (a ``<>`` grant), or ``certificate``
+    (a transient not-yet agreement on ``event``'s base).
+    """
+
+    kind: str
+    event: str
+
+    @property
+    def base(self) -> str:
+        return self.event[1:] if self.event.startswith("~") else self.event
+
+    @property
+    def negated(self) -> bool:
+        return self.event.startswith("~")
+
+    @property
+    def mask(self) -> int:
+        if self.kind == "announce":
+            return C_OCC if self.negated else E_OCC
+        if self.kind == "promise":
+            return DIA_COMP_MASK if self.negated else DIA_MASK
+        return NOT_YET_MASK
+
+    def describe(self) -> str:
+        if self.kind == "certificate":
+            return f"not-yet certificate on {self.base}"
+        return f"{self.kind} {mask_text(self.base, self.mask)}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "event": self.event,
+                "fact": mask_text(self.base, self.mask)}
+
+
+def apply_facts(
+    knowledge: Mapping[str, int], facts: Iterable[Fact]
+) -> dict[str, int] | None:
+    """Knowledge after assimilating ``facts``; None when contradictory."""
+    out = dict(knowledge)
+    for fact in facts:
+        known = out.get(fact.base, FULL) & fact.mask
+        if known == 0:
+            return None
+        out[fact.base] = known
+    return out
+
+
+def _candidate_facts(
+    pending: Mapping[str, int], include_non_announce: bool
+) -> list[Fact]:
+    """Facts consistent with (and strictly tightening) the knowledge of
+    the bases behind still-pending literals."""
+    out: list[Fact] = []
+    for name in sorted(pending):
+        known = pending[name]
+        kinds = [("announce", name), ("announce", "~" + name)]
+        if include_non_announce:
+            kinds += [
+                ("certificate", name),
+                ("promise", name),
+                ("promise", "~" + name),
+            ]
+        for kind, event in kinds:
+            fact = Fact(kind, event)
+            new = known & fact.mask
+            if new == 0 or new == known:
+                continue  # contradictory, or already implied
+            out.append(fact)
+    return out
+
+
+def minimal_unblocking_sets(
+    cubes: Iterable[StrCube],
+    knowledge: Mapping[str, int],
+    max_size: int = 3,
+    max_sets: int = 3,
+) -> list[tuple[Fact, ...]]:
+    """Smallest sets of future facts whose delivery flips park to fire.
+
+    Verified semantically: a candidate set is accepted exactly when the
+    knowledge *after* assimilating it is subsumed by the cube region --
+    the same test :meth:`EventActor.try_fire` runs -- so "deliver the
+    set and the event fires" holds by construction.  Announcement-only
+    sets are preferred; promises/certificates are searched only when no
+    announcement set of size ``<= max_size`` exists.  Returns up to
+    ``max_sets`` sets of the smallest achievable size (empty when the
+    verdict is not ``park`` or no such small set exists).
+    """
+    cubes = [tuple(cube) for cube in cubes]
+    if region_verdict(cubes, knowledge) != "park":
+        return []
+    # bases of not-yet-satisfied literals of still-possible cubes
+    pending: dict[str, int] = {}
+    for cube in cubes:
+        if not all(
+            closure(knowledge.get(n, FULL)) & m for n, m in cube
+        ):
+            continue
+        for name, lit_mask in cube:
+            known = knowledge.get(name, FULL)
+            if closure(known) & ~lit_mask & FULL:
+                pending[name] = known
+    for include_non_announce in (False, True):
+        universe = _candidate_facts(pending, include_non_announce)
+        if len(universe) > 16:
+            universe = universe[:16]
+        for size in range(1, max_size + 1):
+            found: list[tuple[Fact, ...]] = []
+            for combo in itertools.combinations(universe, size):
+                applied = apply_facts(knowledge, combo)
+                if applied is None:
+                    continue
+                if region_subsumes(cubes, applied):
+                    found.append(combo)
+            if found:
+                found.sort(key=lambda c: (
+                    sum(1 for f in c if f.kind != "announce"), c,
+                ))
+                return found[:max_sets]
+    return []
+
+
+# ----------------------------------------------------------------------
+# literal-level classification
+
+def explain_region(
+    cubes: Iterable[StrCube],
+    knowledge: Mapping[str, int],
+    max_size: int = 3,
+) -> dict:
+    """Literal-by-literal account of a guard region under knowledge.
+
+    Returns ``{"verdict", "cubes", "unblocking"}`` where each cube
+    report carries a status (``satisfied`` / ``open`` / ``dead``) and
+    its literals' statuses (:func:`repro.temporal.cubes.classify_mask`),
+    and ``unblocking`` is :func:`minimal_unblocking_sets` (nonempty only
+    for parked verdicts)."""
+    cubes = sorted(tuple(cube) for cube in cubes)
+    reports = []
+    for cube in cubes:
+        literals = []
+        blocked = False
+        satisfied = True
+        for name, lit_mask in sorted(cube):
+            known = knowledge.get(name, FULL)
+            status = classify_mask(known, lit_mask)
+            blocked = blocked or status == "blocked"
+            satisfied = satisfied and status == "satisfied"
+            literals.append({
+                "base": name,
+                "mask": lit_mask,
+                "literal": mask_text(name, lit_mask),
+                "known": known,
+                "status": status,
+            })
+        reports.append({
+            "status": "dead" if blocked else (
+                "satisfied" if satisfied else "open"
+            ),
+            "literals": literals,
+        })
+    return {
+        "verdict": region_verdict(cubes, knowledge),
+        "cubes": reports,
+        "unblocking": [
+            list(combo)
+            for combo in minimal_unblocking_sets(
+                cubes, knowledge, max_size=max_size
+            )
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# justification log (live runs)
+
+class NullProvenance:
+    """Inert default: records nothing, costs one attribute read."""
+
+    active = False
+
+    def learned(self, actor, base, mask, source, origin) -> None:
+        pass
+
+    def facts_for(self, owner: str, base: str) -> list[dict]:
+        return []
+
+
+#: Shared inert instance; schedulers default to this when untraced.
+NULL_PROVENANCE = NullProvenance()
+
+
+class ProvenanceLog(NullProvenance):
+    """Per-(actor, base) journal of knowledge refinements.
+
+    Lives in the observer (like the tracer's clocks): it survives
+    simulated crashes because it describes what the run *did*, not
+    protocol state."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], list[dict]] = {}
+
+    def learned(self, actor, base, mask, source, origin) -> None:
+        sched = actor.sched
+        origin_site = None
+        if origin is not None:
+            origin_site = sched.site_of(origin.base)
+        self._entries.setdefault(
+            (repr(actor.event), repr(base)), []
+        ).append({
+            "mask": mask,
+            "source": source or "unknown",
+            "origin": repr(origin) if origin is not None else None,
+            "origin_site": origin_site,
+            "t": sched.sim.now,
+            "lc": sched.tracer.clock(actor.site) if sched.tracer.active else None,
+        })
+
+    def facts_for(self, owner: str, base: str) -> list[dict]:
+        return list(self._entries.get((owner, base), ()))
+
+
+# ----------------------------------------------------------------------
+# assembled explanations
+
+@dataclass
+class Explanation:
+    """The full answer to "why is ``event`` in this state?"."""
+
+    event: str
+    site: str | None
+    status: str
+    verdict: str | None
+    guard: str
+    residual: str | None
+    knowledge: dict[str, int]
+    cubes: list[dict]
+    unblocking: list[list[Fact]]
+    justifications: list[dict] = field(default_factory=list)
+    lifecycle: list[dict] = field(default_factory=list)
+    frozen_by: list[str] = field(default_factory=list)
+    attempted_at: float | None = None
+
+    def unsatisfied_literals(self) -> list[str]:
+        """Literal texts still pending in some non-dead cube."""
+        out: list[str] = []
+        for cube in self.cubes:
+            if cube["status"] != "open":
+                continue
+            for lit in cube["literals"]:
+                if lit["status"] == "pending" and lit["literal"] not in out:
+                    out.append(lit["literal"])
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "event": self.event,
+            "site": self.site,
+            "status": self.status,
+            "verdict": self.verdict,
+            "guard": self.guard,
+            "residual": self.residual,
+            "knowledge": dict(self.knowledge),
+            "cubes": self.cubes,
+            "unblocking": [
+                [fact.to_dict() for fact in combo]
+                for combo in self.unblocking
+            ],
+            "justifications": self.justifications,
+            "lifecycle": self.lifecycle,
+            "frozen_by": self.frozen_by,
+            "attempted_at": self.attempted_at,
+        }
+
+    def render(self) -> str:
+        lines = [f"{self.event}: {self._headline()}"]
+        if self.site is not None:
+            lines[0] += f" @ {self.site}"
+        if self.attempted_at is not None and not any(
+            entry["op"] == "attempted" for entry in self.lifecycle
+        ):
+            lines.append(f"  attempted at t={self.attempted_at:g}")
+        for entry in self.lifecycle:
+            stamp = f" lc={entry['lc']}" if entry.get("lc") is not None else ""
+            lines.append(
+                f"  {entry['op']} at t={entry['t']:g}"
+                f" @ {entry.get('site', '?')}{stamp}"
+            )
+        lines.append(f"  guard:    {self.guard}")
+        if self.residual is not None and self.residual != self.guard:
+            lines.append(f"  residual: {self.residual}")
+        if self.knowledge:
+            facts = ", ".join(
+                mask_text(name, mask)
+                for name, mask in sorted(self.knowledge.items())
+            )
+            lines.append(f"  knowledge: {facts}")
+        for index, cube in enumerate(self.cubes, start=1):
+            parts = " & ".join(
+                f"{lit['literal']}[{lit['status']}]"
+                for lit in cube["literals"]
+            ) or "T"
+            lines.append(f"  cube {index} [{cube['status']}]: {parts}")
+        if self.frozen_by:
+            lines.append(
+                "  base frozen by outstanding certificate round(s) of: "
+                + ", ".join(self.frozen_by)
+            )
+        for justification in self.justifications:
+            origin = justification.get("origin") or justification["base"]
+            where = justification.get("origin_site")
+            stamp = justification.get("lc")
+            detail = f"  learned {justification['fact']} via {justification['source']}"
+            if where is not None:
+                detail += f" from {origin} @ {where}"
+            detail += f" at t={justification['t']:g}"
+            if stamp is not None:
+                detail += f" (lc={stamp})"
+            lines.append(detail)
+        if self.verdict == "park":
+            if self.unblocking:
+                for combo in self.unblocking:
+                    lines.append(
+                        "  to enable: "
+                        + " and ".join(fact.describe() for fact in combo)
+                    )
+            else:
+                lines.append(
+                    "  to enable: no small unblocking set found "
+                    "(multiple coordinated facts required)"
+                )
+        return "\n".join(lines)
+
+    def _headline(self) -> str:
+        if self.status == "occurred":
+            return "fired (guard satisfied)"
+        if self.status == "dead":
+            return "dead (complement occurred)"
+        if self.status == "rejected":
+            return "rejected permanently (guard unreachable)"
+        if self.verdict == "park":
+            return "parked (guard undetermined)"
+        if self.verdict == "never":
+            return "unfireable (guard unreachable)"
+        if self.verdict == "fire" and self.frozen_by:
+            return "enabled but frozen (certificate round in progress)"
+        return f"status={self.status}" + (
+            f", verdict={self.verdict}" if self.verdict else ""
+        )
+
+
+def _str_cubes(guard) -> list[StrCube]:
+    return [
+        tuple(sorted((repr(base), mask) for base, mask in cube))
+        for cube in guard.cubes
+    ]
+
+
+def _str_knowledge(knowledge) -> dict[str, int]:
+    return {repr(base): mask for base, mask in knowledge.items()}
+
+
+def _live_justifications(sched, actor, knowledge: dict[str, int]) -> list[dict]:
+    """One entry per settled fact the actor knows, from the provenance
+    log when one is attached, else reconstructed from the settlement
+    record (origin site and fire time; no Lamport stamp)."""
+    out: list[dict] = []
+    owner = repr(actor.event)
+    for name, mask in sorted(knowledge.items()):
+        if mask not in (E_OCC, C_OCC):
+            continue
+        fact_text = mask_text(name, mask)
+        entries = sched.provenance.facts_for(owner, name)
+        entries = [e for e in entries if e["mask"] in (E_OCC, C_OCC)]
+        if entries:
+            entry = entries[0]
+            out.append({
+                "base": name, "fact": fact_text,
+                "source": entry["source"], "origin": entry["origin"],
+                "origin_site": entry["origin_site"],
+                "t": entry["t"], "lc": entry["lc"],
+            })
+            continue
+        signed = None
+        for base, settled in sched._settled.items():
+            if repr(base) == name:
+                signed = settled
+                break
+        if signed is None:
+            continue
+        fired_at = next(
+            (e.time for e in sched.result.entries if e.event == signed),
+            None,
+        )
+        out.append({
+            "base": name, "fact": fact_text, "source": "settlement",
+            "origin": repr(signed), "origin_site": sched.site_of(signed.base),
+            "t": fired_at if fired_at is not None else sched.sim.now,
+            "lc": None,
+        })
+    return out
+
+
+def explain_actor(sched, actor) -> Explanation:
+    """Live explanation of one actor's state (``scheduler.explain``).
+
+    Classification runs against the *durable* guard -- the residual has
+    already dropped satisfied literals, and the point is to show them,
+    with their justifications.  Knowledge tightening is monotone, so the
+    durable guard under current knowledge yields the same verdict the
+    residual did."""
+    knowledge = _str_knowledge(actor.knowledge)
+    cubes = _str_cubes(actor._durable_guard)
+    region = explain_region(cubes, knowledge)
+    status = actor.status.value
+    verdict = region["verdict"] if status in ("idle", "pending") else None
+    base = actor.event.base
+    frozen_by = sorted(
+        repr(requester)
+        for requester, _round_id in sched._frozen.get(base, ())
+        if requester != actor.event
+    )
+    fired_at = None
+    if actor.status.value == "occurred":
+        fired_at = next(
+            (e.time for e in sched.result.entries if e.event == actor.event),
+            None,
+        )
+    lifecycle = []
+    if fired_at is not None:
+        lifecycle.append({
+            "op": "fired", "t": fired_at, "site": actor.site, "lc": None,
+        })
+    parked_since = sched._parked_at.get(actor.event)
+    if parked_since is not None:
+        lifecycle.append({
+            "op": "parked", "t": parked_since, "site": actor.site, "lc": None,
+        })
+    return Explanation(
+        event=repr(actor.event),
+        site=actor.site,
+        status=status,
+        verdict=verdict,
+        guard=repr(actor._durable_guard),
+        residual=repr(actor.guard),
+        knowledge=knowledge,
+        cubes=region["cubes"],
+        unblocking=[list(c) for c in region["unblocking"]] if verdict == "park" else [],
+        justifications=_live_justifications(sched, actor, knowledge),
+        lifecycle=sorted(lifecycle, key=lambda e: e["t"]),
+        frozen_by=frozen_by,
+        attempted_at=actor.attempted_at,
+    )
+
+
+# ----------------------------------------------------------------------
+# offline explanation from a recorded trace
+
+_LIFECYCLE_OPS = (
+    "attempted", "parked", "fired", "accepted", "rejected", "forced",
+    "dead", "recovered",
+)
+
+
+def _signed_fired(records: list[dict]) -> dict[str, dict]:
+    """First fired/forced actor record per signed event name."""
+    out: dict[str, dict] = {}
+    for record in records:
+        if record.get("cat") != "actor":
+            continue
+        if record.get("op") not in ("fired", "accepted", "forced"):
+            continue
+        out.setdefault(record.get("event"), record)
+    return out
+
+
+def explain_records(records: list[dict], event_name: str) -> Explanation:
+    """Offline explanation of ``event_name`` from trace ``records``.
+
+    Uses the last guard evaluation's structured ``cubes``/``knowledge``
+    fields to replay the literal-level verdict; raises ``KeyError`` when
+    the trace never mentions the event."""
+    lifecycle = [
+        {
+            "op": r["op"], "t": r["t"], "site": r["site"], "lc": r["lc"],
+        }
+        for r in records
+        if r.get("cat") == "actor"
+        and r.get("event") == event_name
+        and r.get("op") in _LIFECYCLE_OPS
+    ]
+    evals = [
+        r for r in records
+        if r.get("cat") == "guard"
+        and r.get("op") == "eval"
+        and r.get("event") == event_name
+    ]
+    if not lifecycle and not evals:
+        raise KeyError(
+            f"trace has no record of event {event_name!r}"
+        )
+    status = "attempted"
+    for entry in lifecycle:
+        if entry["op"] in ("fired", "accepted", "forced"):
+            status = "occurred"
+        elif entry["op"] == "dead":
+            status = "dead"
+        elif entry["op"] == "rejected" and status != "occurred":
+            status = "rejected"
+        elif entry["op"] == "parked" and status == "attempted":
+            status = "pending"
+    last = evals[-1] if evals else None
+    structured = last is not None and "cubes" in last and "knowledge" in last
+    site = lifecycle[-1]["site"] if lifecycle else (
+        last["site"] if last else None
+    )
+    attempted = next(
+        (e["t"] for e in lifecycle if e["op"] == "attempted"), None
+    )
+    if structured:
+        cubes = [
+            tuple(sorted((name, mask) for name, mask in cube))
+            for cube in last["cubes"]
+        ]
+        knowledge = {
+            name: mask for name, mask in last["knowledge"].items()
+        }
+        region = explain_region(cubes, knowledge)
+        verdict = last.get("verdict", region["verdict"])
+        cubes_report = region["cubes"]
+        unblocking = region["unblocking"] if verdict == "park" and status == "pending" else []
+    else:
+        knowledge = {}
+        verdict = last.get("verdict") if last else None
+        cubes_report = []
+        unblocking = []
+    fired = _signed_fired(records)
+    justifications = []
+    for name, mask in sorted(knowledge.items()):
+        if mask not in (E_OCC, C_OCC):
+            continue
+        signed = name if mask == E_OCC else "~" + name
+        origin = fired.get(signed)
+        justifications.append({
+            "base": name,
+            "fact": mask_text(name, mask),
+            "source": "announce",
+            "origin": signed,
+            "origin_site": origin["site"] if origin else None,
+            "t": origin["t"] if origin else 0.0,
+            "lc": origin["lc"] if origin else None,
+        })
+    return Explanation(
+        event=event_name,
+        site=site,
+        status="pending" if status == "attempted" and verdict == "park" else status,
+        verdict=verdict if status in ("attempted", "pending") else None,
+        guard=last.get("guard", "?") if last else "?",
+        residual=last.get("residual") if last else None,
+        knowledge=knowledge,
+        cubes=cubes_report,
+        unblocking=[list(c) for c in unblocking],
+        justifications=justifications,
+        lifecycle=lifecycle,
+        attempted_at=attempted,
+    )

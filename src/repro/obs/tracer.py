@@ -67,8 +67,15 @@ class NullTracer:
     def actor(self, t, site, event, op, **fields):
         pass
 
-    def guard_eval(self, t, site, event, guard, residual, verdict, elapsed):
+    def guard_eval(self, t, site, event, guard, residual, verdict, elapsed,
+                   cubes=None, knowledge=None):
         pass
+
+    def snapshot(self, t, site, op, snap_id, **fields):
+        return 0
+
+    def clock(self, site):
+        return 0
 
     def round_event(self, t, site, event, op, round_id, **fields):
         pass
@@ -183,16 +190,31 @@ class Tracer(NullTracer):
         residual: Any,
         verdict: str,
         elapsed: float,
+        cubes: list | None = None,
+        knowledge: dict | None = None,
     ) -> None:
         """One guard evaluation: the compiled guard, its current
         residual under assimilated knowledge, the verdict
         (``fire``/``park``/``never``), and the wall-clock seconds the
-        evaluation took."""
-        self.local(
-            t, site, "guard", "eval",
-            event=repr(event), guard=repr(guard), residual=repr(residual),
-            verdict=verdict, elapsed=elapsed,
-        )
+        evaluation took.
+
+        ``cubes`` and ``knowledge``, when supplied, are the *structured*
+        form of the decision -- the durable guard's cubes as
+        ``[[base, mask], ...]`` lists and the knowledge as a
+        ``{base: mask}`` dict (base names as strings, masks as the
+        four-world integers of :mod:`repro.temporal.cubes`).  They let
+        ``repro explain <trace> <event>`` replay the literal-level
+        verdict offline without re-running the scheduler."""
+        fields: dict[str, Any] = {
+            "event": repr(event), "guard": repr(guard),
+            "residual": repr(residual), "verdict": verdict,
+            "elapsed": elapsed,
+        }
+        if cubes is not None:
+            fields["cubes"] = cubes
+        if knowledge is not None:
+            fields["knowledge"] = knowledge
+        self.local(t, site, "guard", "eval", **fields)
 
     def round_event(self, t: float, site: str, event: Any, op: str, round_id: int, **fields: Any) -> None:
         """Not-yet certificate rounds: ``op`` is start / conclude / abort."""
@@ -219,6 +241,25 @@ class Tracer(NullTracer):
         self.local(t, site, "monitor", op, **fields)
 
     # ------------------------------------------------------------------
+    # consistent global snapshots (repro.obs.snapshot)
+
+    def snapshot(self, t: float, site: str, op: str, snap_id: int, **fields: Any) -> int:
+        """``op``: initiate / record / complete / abandon.
+
+        Returns the record's Lamport stamp; for ``record`` ops that
+        stamp *is* the site's position on the snapshot's cut, which the
+        snapshot checker compares against the trace."""
+        return self.local(t, site, "snapshot", op, snap_id=snap_id, **fields)["lc"]
+
+    def clock(self, site: str) -> int:
+        """The site's current Lamport stamp (0 before its first record).
+
+        Read-only: does not tick.  Used to stamp observer-side state
+        (provenance facts, snapshot cuts) with the causal position of
+        the record stream that justified it."""
+        return self._clocks.get(site, 0)
+
+    # ------------------------------------------------------------------
     # serialization
 
     def dumps(self) -> str:
@@ -233,11 +274,24 @@ class Tracer(NullTracer):
 
 
 def read_jsonl(path) -> list[dict]:
-    """Read a JSONL trace back into a list of records."""
+    """Read a JSONL trace back into a list of records.
+
+    Raises :class:`ValueError` naming the offending line number when a
+    line is not valid JSON (e.g. a trace truncated by a crash mid-write),
+    and propagates :class:`OSError` for unreadable paths; callers that
+    want to *tolerate* damage line-by-line should parse themselves (the
+    offline checker does -- see :func:`repro.obs.check.check_file`)."""
     records = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"line {number}: not a JSON trace record "
+                    f"(truncated trace?): {exc}"
+                ) from exc
     return records

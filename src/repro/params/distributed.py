@@ -35,7 +35,7 @@ class DistributedParamRunner:
     attributes:
         Per *event-type name* attributes (applied to every ground
         instance of that type).
-    tracer / metrics:
+    tracer / metrics / provenance:
         Observability hooks, forwarded to the underlying
         :class:`DistributedScheduler` (see :mod:`repro.obs`).
     """
@@ -46,6 +46,7 @@ class DistributedParamRunner:
         attributes: dict[str, EventAttributes] | None = None,
         tracer=None,
         metrics=None,
+        provenance: bool | None = None,
     ):
         self.templates: list[Expr] = [
             parse(t) if isinstance(t, str) else t for t in templates
@@ -54,7 +55,8 @@ class DistributedParamRunner:
         self._seen_values: set = set()
         self._materialized: set = set()
         self.sched = DistributedScheduler(
-            [], attributes={}, tracer=tracer, metrics=metrics
+            [], attributes={}, tracer=tracer, metrics=metrics,
+            provenance=provenance,
         )
         # per-name attributes are resolved lazily per ground base
         self.sched.attributes = self._attributes_for  # type: ignore[assignment]
@@ -104,6 +106,11 @@ class DistributedParamRunner:
             )
         self.sched.attempt(token)
         self.sched.sim.run()
+
+    def explain(self, token: Event):
+        """Decision provenance for a ground token (see
+        :meth:`DistributedScheduler.explain`)."""
+        return self.sched.explain(token)
 
     def finish(self, verify: bool = True) -> ExecutionResult:
         """Settle the trace and return the result."""

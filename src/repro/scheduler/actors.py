@@ -121,16 +121,33 @@ class EventActor:
     # ------------------------------------------------------------------
     # knowledge
 
-    def learn(self, base: Event, mask: int) -> None:
+    def learn(
+        self,
+        base: Event,
+        mask: int,
+        source: str | None = None,
+        origin: Event | None = None,
+    ) -> None:
+        """Tighten the knowledge mask for ``base``.
+
+        ``source``/``origin`` name the message kind and signed event
+        that justified the refinement; they are recorded only when a
+        provenance log is attached (``sched.provenance.active``), so
+        the default path pays one attribute read and a branch."""
         current = self.knowledge.get(base, FULL)
         updated = current & mask
         if updated != current:
             self.knowledge[base] = updated
             self._knowledge_dirty = True
+            if self.sched.provenance.active:
+                self.sched.provenance.learned(self, base, mask, source, origin)
 
     def observe_occurrence(self, event: Event) -> None:
         """Assimilate a ``[]`` announcement (the Section 4.3 proof rules)."""
-        self.learn(event.base, C_OCC if event.negated else E_OCC)
+        self.learn(
+            event.base, C_OCC if event.negated else E_OCC,
+            source="announce", origin=event,
+        )
         self.guard = self.guard.simplify_under(self.knowledge)
         self.try_fire()
         self._process_pending_grants()
@@ -230,8 +247,28 @@ class EventActor:
                 sched.sim.now, self.site, self.event,
                 guard=self._durable_guard, residual=self.guard,
                 verdict=verdict, elapsed=elapsed,
+                cubes=self._structured_cubes(),
+                knowledge=self._structured_knowledge(knowledge),
             )
         return verdict
+
+    def _structured_cubes(self) -> list[list[list]]:
+        """The durable guard's cubes as JSON-ready ``[[base, mask]]``
+        lists (string base names), for offline provenance replay.
+        Built only inside ``tracer.active`` branches."""
+        return [
+            sorted([repr(base), mask] for base, mask in cube)
+            for cube in sorted(self._durable_guard.cubes)
+        ]
+
+    @staticmethod
+    def _structured_knowledge(knowledge: dict[Event, int]) -> dict[str, int]:
+        return {
+            repr(base): mask
+            for base, mask in sorted(
+                knowledge.items(), key=lambda item: item[0].sort_key()
+            )
+        }
 
     def _fire(self) -> None:
         # Status first: finishing the round serves certificate requests
@@ -532,7 +569,9 @@ class EventActor:
 
     def on_promise_grant(self, grant: PromiseGrant) -> None:
         mask = DIA_COMP_MASK if grant.target.negated else DIA_MASK
-        self.learn(grant.target.base, mask)
+        self.learn(
+            grant.target.base, mask, source="promise", origin=grant.target
+        )
         self.try_fire()
         if self.status is ActorStatus.PENDING:
             self._solicit()
@@ -599,9 +638,15 @@ class EventActor:
             self.round_certified.add(reply.target)
             self.round_holds.add(reply.target)
         elif reply.status == "occurred":
-            self.learn(reply.target, E_OCC)
+            self.learn(
+                reply.target, E_OCC,
+                source="not_yet_reply", origin=reply.target,
+            )
         elif reply.status == "comp_occurred":
-            self.learn(reply.target, C_OCC)
+            self.learn(
+                reply.target, C_OCC,
+                source="not_yet_reply", origin=reply.target.complement,
+            )
         if not self.round_awaiting:
             self._conclude_round()
 
@@ -621,6 +666,8 @@ class EventActor:
                     self.sched.sim.now, self.site, self.event,
                     guard=self._durable_guard, residual=self.guard,
                     verdict="fire", elapsed=0.0,
+                    cubes=self._structured_cubes(),
+                    knowledge=self._structured_knowledge(transient),
                 )
             # _fire finishes the round itself, *after* setting
             # OCCURRED, so deferred certificate requests served during
@@ -778,11 +825,13 @@ class EventActor:
             )
         if self.status is ActorStatus.OCCURRED:
             self.learn(
-                self.event.base, C_OCC if self.event.negated else E_OCC
+                self.event.base, C_OCC if self.event.negated else E_OCC,
+                source="durable", origin=self.event,
             )
         elif self.status is ActorStatus.DEAD:
             self.learn(
-                self.event.base, E_OCC if self.event.negated else C_OCC
+                self.event.base, E_OCC if self.event.negated else C_OCC,
+                source="durable", origin=self.event.complement,
             )
         for base in sorted(self._durable_guard.bases(), key=Event.sort_key):
             if base == self.event.base:
@@ -793,9 +842,12 @@ class EventActor:
 
     def on_sync_reply(self, reply: SyncReply) -> None:
         if reply.status == "occurred":
-            self.learn(reply.base, E_OCC)
+            self.learn(reply.base, E_OCC, source="sync", origin=reply.base)
         elif reply.status == "comp_occurred":
-            self.learn(reply.base, C_OCC)
+            self.learn(
+                reply.base, C_OCC, source="sync",
+                origin=reply.base.complement,
+            )
         self.guard = self.guard.simplify_under(self.knowledge)
         self.try_fire()
         if self.status is ActorStatus.PENDING:
@@ -836,3 +888,37 @@ class EventActor:
             self.try_fire()
             if self.status is ActorStatus.PENDING:
                 self._solicit()
+
+    # ------------------------------------------------------------------
+    # observability (repro.obs.snapshot)
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready copy of this actor's state for a global snapshot.
+
+        Everything a debugger needs to see the actor mid-protocol: the
+        lifecycle status, the assimilated knowledge masks, the residual
+        guard, and the in-flight round/promise bookkeeping."""
+        state = {
+            "status": self.status.value,
+            "site": self.site,
+            "attempted_at": self.attempted_at,
+            "residual": repr(self.guard),
+            "knowledge": self._structured_knowledge(self.knowledge),
+        }
+        if self.round_active or self.round_holds:
+            state["round"] = {
+                "active": self.round_active,
+                "id": self.round_id,
+                "awaiting": sorted(
+                    repr(b) for b in self.round_awaiting
+                ),
+                "certified": sorted(
+                    repr(b) for b in self.round_certified
+                ),
+                "holds": sorted(repr(b) for b in self.round_holds),
+            }
+        if self.granted_to:
+            state["granted_to"] = sorted(
+                repr(e) for e in self.granted_to
+            )
+        return state

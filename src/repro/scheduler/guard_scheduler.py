@@ -46,6 +46,13 @@ from repro.scheduler.messages import (
     TriggerMsg,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import (
+    NULL_PROVENANCE,
+    Explanation,
+    ProvenanceLog,
+    explain_actor,
+)
+from repro.obs.snapshot import Snapshot, SnapshotCoordinator
 from repro.obs.tracer import NULL_TRACER
 from repro.scheduler.monitors import RequirementMonitor
 from repro.sim.clock import Simulator
@@ -100,6 +107,14 @@ class DistributedScheduler:
         by default and reported by :meth:`metrics_report`.  Pass
         ``MetricsRegistry(timed=True)`` to also collect wall-clock
         guard-evaluation latencies.
+    provenance:
+        Record *why* each actor knows what it knows (which
+        announcement / promise / certificate justified each knowledge
+        bit), powering :meth:`explain`.  ``None`` (the default)
+        follows the tracer: a traced run records provenance, an
+        untraced run does not.  Pass ``True``/``False`` to force.
+        :meth:`explain` works either way -- without the log it falls
+        back to the settlement record for justifications.
     """
 
     def __init__(
@@ -121,11 +136,18 @@ class DistributedScheduler:
         batch_announcements: bool = False,
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        provenance: bool | None = None,
     ):
         self.dependencies = list(dependencies)
         self.policy = policy or SchedulerPolicy()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        record_provenance = (
+            self.tracer.active if provenance is None else provenance
+        )
+        self.provenance = (
+            ProvenanceLog() if record_provenance else NULL_PROVENANCE
+        )
         self.sim = Simulator()
         self.network = Network(
             self.sim,
@@ -170,6 +192,10 @@ class DistributedScheduler:
         self.result = ExecutionResult()
         #: signed events currently parked (drives the depth gauge)
         self._parked_now: set[Event] = set()
+        #: park times, for the lifecycle latency histograms
+        self._parked_at: dict[Event, float] = {}
+        #: global snapshot protocol driver (lazy list of snapshots)
+        self.snapshots = SnapshotCoordinator(self)
 
         table = dict(guards) if guards is not None else workflow_guards(
             self.dependencies
@@ -391,15 +417,26 @@ class DistributedScheduler:
         if event not in self._parked_now:
             self._parked_now.add(event)
             self.metrics.gauge_adjust("parked_depth", 1, site=site)
+            self._parked_at[event] = self.sim.now
+            actor = self.actors.get(event)
+            if actor is not None and actor.attempted_at is not None:
+                self.metrics.observe(
+                    "lifecycle_attempt_to_park",
+                    self.sim.now - actor.attempted_at,
+                    site=site,
+                )
         if self.tracer.active:
             self.tracer.actor(self.sim.now, site, event, "parked")
 
-    def _unpark(self, event: Event) -> None:
+    def _unpark(self, event: Event) -> float | None:
+        """Clear the parked state; returns when the event parked (or
+        None if it was not parked) for the lifecycle histograms."""
         if event in self._parked_now:
             self._parked_now.discard(event)
             self.metrics.gauge_adjust(
                 "parked_depth", -1, site=self.site_of(event.base)
             )
+        return self._parked_at.pop(event, None)
 
     def note_promise(self) -> None:
         self.result.promises_granted += 1
@@ -421,8 +458,14 @@ class DistributedScheduler:
 
     def notify_rejected(self, event: Event) -> None:
         """Permanent rejection: the agent settles the complement."""
-        self._unpark(event)
-        self.metrics.inc("rejected", site=self.site_of(event.base))
+        parked_since = self._unpark(event)
+        site = self.site_of(event.base)
+        if parked_since is not None:
+            self.metrics.observe(
+                "lifecycle_park_to_reject", self.sim.now - parked_since,
+                site=site,
+            )
+        self.metrics.inc("rejected", site=site)
         if self.attributes(event.base).auto_complement:
             comp = event.complement
             actor = self.actors.get(comp)
@@ -437,11 +480,16 @@ class DistributedScheduler:
         self.result.entries.append(
             TraceEntry(event, self.sim.now, attempted_at, outcome)
         )
-        self._unpark(event)
+        parked_since = self._unpark(event)
         self.metrics.inc("fired", site=actor.site)
         self.metrics.observe(
             "time_to_allow", self.sim.now - attempted_at, site=actor.site
         )
+        if parked_since is not None:
+            self.metrics.observe(
+                "lifecycle_park_to_fire", self.sim.now - parked_since,
+                site=actor.site,
+            )
         if self.tracer.active:
             self.tracer.actor(
                 self.sim.now, actor.site, event, "fired",
@@ -772,6 +820,144 @@ class DistributedScheduler:
                 "restarts": self.faults.restart_count,
             }
         return report
+
+    # ------------------------------------------------------------------
+    # observability: decision provenance and global snapshots
+
+    def explain(self, event: Event) -> Explanation:
+        """Why is ``event`` in the state it is in?
+
+        Classifies every literal of the actor's guard against its
+        current knowledge, names the announcements/promises that
+        justified the satisfied literals, and -- for a parked event --
+        computes minimal sets of future announcements that would let
+        it fire.  Built on demand: an undisturbed run pays nothing.
+        """
+        actor = self.actors.get(event)
+        if actor is None:
+            raise KeyError(
+                f"no actor for {event!r}; is it in the workflow alphabet?"
+            )
+        return explain_actor(self, actor)
+
+    def snapshot_sites(self) -> list[str]:
+        """Every site participating in the snapshot protocol."""
+        sites = {a.site for a in self.actors.values()}
+        sites.update(site for site, _m in self._monitors)
+        return sorted(sites)
+
+    def site_state(self, site: str) -> dict:
+        """JSON-ready local state of ``site`` for a snapshot record:
+        its actors, which of its bases are settled/frozen, its parked
+        attempts, and its requirement monitors."""
+        actors = {
+            repr(a.event): a.snapshot_state() for a in self._site_actors(site)
+        }
+        def local(base: Event) -> bool:
+            return self.site_of(base) == site
+
+        return {
+            "actors": actors,
+            "parked": sorted(
+                repr(e) for e in self._parked_now if local(e.base)
+            ),
+            "frozen": {
+                repr(base): sorted(
+                    f"{holder!r}#{round_id}"
+                    for holder, round_id in holders
+                )
+                for base, holders in sorted(
+                    self._frozen.items(), key=lambda kv: kv[0].sort_key()
+                )
+                if local(base)
+            },
+            "settled": {
+                repr(base): repr(signed)
+                for base, signed in sorted(
+                    self._settled.items(), key=lambda kv: kv[0].sort_key()
+                )
+                if local(base)
+            },
+            "monitors": [
+                monitor.snapshot_state()
+                for m_site, monitor in self._monitors
+                if m_site == site
+            ],
+        }
+
+    def _set_delivery_hook(self, hook) -> None:
+        """Install (or clear) the snapshot coordinator's channel hook
+        on the transport that performs application delivery.
+
+        A :class:`BatchingChannel` proxies attribute *reads* to its
+        inner channel but takes attribute writes itself, so the hook
+        must land on the unwrapped transport."""
+        channel = self.channel
+        if isinstance(channel, BatchingChannel):
+            channel = channel.inner
+        channel.delivery_hook = hook
+
+    def snapshot(self, wait: bool = True) -> Snapshot | None:
+        """Take a consistent global snapshot now.
+
+        With ``wait`` (the default) the simulator runs until the
+        marker protocol finishes, so the returned snapshot is complete
+        unless a permanently-dead site can never be cut.  Inside a
+        running simulation pass ``wait=False`` and let the markers
+        interleave with the workload."""
+        snap = self.snapshots.initiate()
+        if snap is not None and wait:
+            self.sim.run()
+        return snap
+
+    def schedule_snapshots(self, every: float) -> None:
+        """Snapshot periodically while the run is making progress.
+
+        Each tick snapshots only if fresh application traffic flowed
+        since the last tick (markers, acks, and retransmissions are
+        excluded from the activity measure -- otherwise retransmitting
+        toward a permanently-dead site would count as progress and the
+        ticker would never stop); an in-flight snapshot is left to
+        finish as long as markers keep landing, and only replaced when
+        it has stalled for several ticks *and* the workload has since
+        moved on.  The ticker stops for good once the simulator has
+        nothing further scheduled."""
+        if every <= 0:
+            raise ValueError("snapshot interval must be positive")
+
+        state = {"last": -1, "progress": None, "stalls": 0}
+
+        def tick() -> None:
+            active = self.snapshots._active
+            seen = self.network.stats.fresh_payloads()
+            if active is not None:
+                progress = (active.id, len(active._awaiting))
+                if progress != state["progress"]:
+                    # markers are landing: let the snapshot finish
+                    state["progress"] = progress
+                    state["stalls"] = 0
+                    self.sim.schedule(every, tick)
+                    return
+                state["stalls"] += 1
+                if state["stalls"] < 3 or seen == state["last"]:
+                    # mid-retransmit-backoff, or nothing new worth
+                    # capturing: keep waiting while anything is queued
+                    if self.sim.pending > 0:
+                        self.sim.schedule(every, tick)
+                    return
+                # genuinely stuck and the run moved on: start over
+                # (initiate() abandons the stalled one)
+            state["progress"] = None
+            state["stalls"] = 0
+            if seen != state["last"]:
+                state["last"] = seen
+                self.snapshots.initiate()
+                self.sim.schedule(every, tick)
+            elif self.sim.pending > 0:
+                self.sim.schedule(every, tick)
+            # else: quiescent and nothing new happened -- stop
+
+        self.sim.schedule(every, tick)
 
     # ------------------------------------------------------------------
     # driving a run

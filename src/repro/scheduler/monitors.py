@@ -98,6 +98,8 @@ class RequirementMonitor:
         self._metrics = metrics
         self._now = lambda: 0.0
         self._settled: set[Event] = set()
+        #: signed occurrences in observation order (snapshot record)
+        self._observed: list[Event] = []
         self._already_triggered: set[Event] = set()
 
     def bind_clock(self, now: Callable[[], float]) -> None:
@@ -114,6 +116,7 @@ class RequirementMonitor:
         if event.base in self._settled:
             return
         self._settled.add(event.base)
+        self._observed.append(event)
         for dep in list(self._residuals):
             self._residuals[dep] = residuate(self._residuals[dep], event)
         if self._metrics is not None:
@@ -154,3 +157,15 @@ class RequirementMonitor:
     @property
     def residuals(self) -> dict[Expr, Expr]:
         return dict(self._residuals)
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready copy of the monitor's state for a global snapshot."""
+        return {
+            "site": self._site,
+            "settled": sorted(repr(e) for e in self._observed),
+            "triggered": sorted(repr(e) for e in self._already_triggered),
+            "residuals": {
+                repr(dep): repr(res)
+                for dep, res in self._residuals.items()
+            },
+        }

@@ -43,6 +43,7 @@ KNOWN_KINDS = frozenset({
     "trigger",
     "ack",
     "reconfigure",
+    "snapshot_marker",
     "msg",
 })
 
@@ -101,6 +102,7 @@ class NetworkStats:
     duplicated: int = 0
     # -- reliable session layer (repro.sim.reliable) --
     retransmits: int = 0        # payload re-sends after a timeout
+    retransmits_by_kind: dict[str, int] = field(default_factory=dict)
     retransmit_giveups: int = 0  # messages abandoned after max retries
     acks_sent: int = 0
     dedup_discards: int = 0     # receiver-side duplicate suppressions
@@ -127,6 +129,23 @@ class NetworkStats:
         self.per_site_handled[dst] = self.per_site_handled.get(dst, 0) + 1
         self.total_latency += latency
 
+    def note_retransmit(self, kind: str) -> None:
+        self.retransmits += 1
+        self.retransmits_by_kind[kind] = (
+            self.retransmits_by_kind.get(kind, 0) + 1
+        )
+
+    def fresh_payloads(self) -> int:
+        """Application payloads sent for the first time: total traffic
+        minus protocol overhead (snapshot markers, acks) and re-sends.
+        Monotone over a run -- the snapshot ticker uses it to decide
+        whether anything happened since its last look."""
+        overhead = self.by_kind.get("snapshot_marker", 0)
+        overhead += self.by_kind.get("ack", 0)
+        resends = self.retransmits
+        resends -= self.retransmits_by_kind.get("snapshot_marker", 0)
+        return self.messages - overhead - resends
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-ready snapshot of all counters (for metrics reports)."""
         return {
@@ -140,6 +159,7 @@ class NetworkStats:
             "dropped": self.dropped,
             "duplicated": self.duplicated,
             "retransmits": self.retransmits,
+            "retransmits_by_kind": dict(self.retransmits_by_kind),
             "retransmit_giveups": self.retransmit_giveups,
             "acks_sent": self.acks_sent,
             "dedup_discards": self.dedup_discards,
@@ -192,6 +212,12 @@ class Network:
         #: observability hook; the inert default keeps this a no-op
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = NetworkStats()
+        #: optional callback ``(src, dst, kind, payload)`` consulted at
+        #: each delivery, before the handler runs.  Installed only
+        #: while a global snapshot is recording in-channel messages
+        #: (:mod:`repro.obs.snapshot`); the steady-state cost is one
+        #: attribute read and a branch per delivery.
+        self.delivery_hook = None
         #: chronological record of every delivered message:
         #: (send_time, deliver_time, src, dst, kind) -- the raw
         #: material for message-sequence rendering and debugging
@@ -256,11 +282,19 @@ class Network:
 
             def deliver() -> None:
                 tracer.message_recv(sim.now, src, dst, kind, mid, send_lc)
+                if self.delivery_hook is not None:
+                    self.delivery_hook(src, dst, kind, payload)
                 handler(payload)
 
             self.sim.schedule_at(deliver_at, deliver)
         else:
-            self.sim.schedule_at(deliver_at, lambda: handler(payload))
+
+            def deliver_plain() -> None:
+                if self.delivery_hook is not None:
+                    self.delivery_hook(src, dst, kind, payload)
+                handler(payload)
+
+            self.sim.schedule_at(deliver_at, deliver_plain)
 
     def site_load(self) -> dict[str, int]:
         """Messages handled per site -- the bottleneck metric of SC1."""

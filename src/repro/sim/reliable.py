@@ -102,13 +102,21 @@ class ReliableNetwork:
         self.max_interval = float(max_interval)
         self.max_retries = int(max_retries)
         self.stats = network.stats
+        #: optional callback ``(src, dst, kind, payload)`` consulted at
+        #: each *application* delivery -- after dedup and in-order
+        #: release, so a retransmitted or duplicated payload is seen
+        #: once, and acks never are.  Installed only while a global
+        #: snapshot records in-channel messages
+        #: (:mod:`repro.obs.snapshot`).
+        self.delivery_hook = None
         # sender side, per (src, dst)
         self._next_seq: dict[tuple[str, str], int] = {}
         self._unacked: dict[tuple[str, str], dict[int, _Pending]] = {}
         # receiver side, per (src, dst)
         self._expected: dict[tuple[str, str], int] = {}
         self._buffer: dict[
-            tuple[str, str], dict[int, tuple[Any, Callable[[Any], None]]]
+            tuple[str, str],
+            dict[int, tuple[Any, Callable[[Any], None], str]],
         ] = {}
         # session epoch, per (src, dst); bumps on reset_site
         self._epoch: dict[tuple[str, str], int] = {}
@@ -143,7 +151,7 @@ class ReliableNetwork:
                 dst,
                 kind,
                 payload,
-                lambda p: self._deliver_local(dst, p, handler),
+                lambda p: self._deliver_local(dst, kind, p, handler),
             )
             return
         key = (src, dst)
@@ -196,7 +204,7 @@ class ReliableNetwork:
             return
         pending.retries += 1
         pending.interval = min(pending.interval * self.backoff, self.max_interval)
-        self.stats.retransmits += 1
+        self.stats.note_retransmit(pending.kind)
         if self.net.tracer.active:
             self.net.tracer.session(
                 self.sim.now, src, "retransmit",
@@ -208,7 +216,7 @@ class ReliableNetwork:
     # receiving
 
     def _deliver_local(
-        self, site: str, payload: Any, handler: Callable[[Any], None]
+        self, site: str, kind: str, payload: Any, handler: Callable[[Any], None]
     ) -> None:
         if self.faults is not None and self.faults.is_down(site):
             self.stats.crash_lost += 1
@@ -216,6 +224,8 @@ class ReliableNetwork:
                 self.net.tracer.session(
                     self.sim.now, site, "crash_lost", dst=site)
             return
+        if self.delivery_hook is not None:
+            self.delivery_hook(site, site, kind, payload)
         handler(payload)
 
     def _deliver(
@@ -250,11 +260,13 @@ class ReliableNetwork:
                     self.sim.now, dst, "dedup", src=_src, kind=kind, seq=seq)
             self._send_ack(key, epoch)
             return
-        buffer[seq] = (payload, handler)
+        buffer[seq] = (payload, handler, kind)
         while expected in buffer:
-            queued_payload, queued_handler = buffer.pop(expected)
+            queued_payload, queued_handler, queued_kind = buffer.pop(expected)
             expected += 1
             self._expected[key] = expected
+            if self.delivery_hook is not None:
+                self.delivery_hook(_src, dst, queued_kind, queued_payload)
             queued_handler(queued_payload)
         self._send_ack(key, epoch)
 
@@ -330,7 +342,7 @@ class ReliableNetwork:
                 requeued=sum(len(p) for _k, p in backlog))
         for (src, dst), pendings in backlog:
             for pending in pendings:
-                self.stats.retransmits += 1
+                self.stats.note_retransmit(pending.kind)
                 self.send(src, dst, pending.kind, pending.payload, pending.handler)
 
     # ------------------------------------------------------------------

@@ -671,6 +671,41 @@ def _mask_text(base: Event, mask: int) -> str:
     return _MASK_TEXT[mask].format(e=repr(base))
 
 
+def mask_text(name: str, mask: int) -> str:
+    """Render the literal ``world(name) in mask`` in guard syntax.
+
+    Like the internal :func:`_mask_text` but over a plain event *name*,
+    so offline tooling (trace-based provenance) can render literals
+    without reconstructing :class:`~repro.algebra.symbols.Event`
+    objects."""
+    return _MASK_TEXT[mask].format(e=name)
+
+
+def classify_mask(known: int, mask: int) -> str:
+    """Status of the literal ``mask`` under the knowledge mask ``known``.
+
+    The literal-level evaluation rule behind Section 4.3's verdicts:
+
+    * ``"satisfied"`` -- every world reachable from ``known`` (its
+      :func:`closure`) lies inside ``mask``: the literal holds now and
+      forever, no further announcement can unmake it;
+    * ``"blocked"`` -- no reachable world lies inside ``mask``: the
+      literal can never hold again;
+    * ``"pending"`` -- some but not all reachable worlds are inside:
+      future announcements decide it.
+
+    A cube fires exactly when all its literals are satisfied, and is
+    dead exactly when any literal is blocked, so this is the atom the
+    provenance engine's explanations are built from.
+    """
+    reach = closure(known)
+    if reach & mask == 0:
+        return "blocked"
+    if reach & ~mask & FULL == 0:
+        return "satisfied"
+    return "pending"
+
+
 def _mask_formula(base: Event, mask: int) -> TFormula:
     """The exact ``T`` formula denoting ``world(base) in mask``."""
     atom = TAtom(base)

@@ -237,6 +237,34 @@ def guard_table(dependency: Expr) -> dict[Event, GuardExpr]:
     }
 
 
+def explain_guard(
+    dependency: Expr,
+    event: Event,
+    knowledge: dict[Event, int] | None = None,
+) -> dict:
+    """Classify ``G(D, e)`` against a knowledge map, Example-9 style.
+
+    Synthesizes the guard and hands it to the decision-provenance
+    engine (:func:`repro.obs.provenance.explain_region`): the result
+    names the verdict (``fire`` / ``never`` / ``park``), each cube's
+    per-literal status, and -- when parked -- minimal sets of future
+    announcements that would let the event fire.  ``knowledge`` maps
+    base events to their four-world masks (e.g. ``{Event("f"):
+    E_OCC}``); ``None`` means nothing is known yet.
+    """
+    from repro.obs.provenance import explain_region
+
+    g = guard(dependency, event)
+    cubes = [
+        sorted((repr(base), mask) for base, mask in cube)
+        for cube in g.cubes
+    ]
+    known = {
+        repr(base): mask for base, mask in (knowledge or {}).items()
+    }
+    return explain_region(cubes, known)
+
+
 _EVENTUALLY_CACHE: dict[Expr, GuardExpr] = {}
 
 

@@ -1,0 +1,129 @@
+"""The default observability path must be free: with the null tracer
+and null provenance log installed, a run never records anything, and
+explanations are still available on demand (built lazily, not during
+guard evaluation)."""
+
+import pytest
+
+from repro.algebra.symbols import Event
+from repro.obs.provenance import NULL_PROVENANCE, NullProvenance
+from repro.obs.tracer import NULL_TRACER, NullTracer
+from repro.scheduler.guard_scheduler import DistributedScheduler
+from repro.workloads.scenarios import make_mutex_scenario, make_travel_booking
+
+
+class BombTracer(NullTracer):
+    """Every record hook explodes: installing it proves the hot path
+    never calls one when tracing is off."""
+
+    def _boom(self, *args, **kwargs):
+        raise AssertionError("tracer hook invoked on the null path")
+
+    message_send = message_recv = message_drop = message_dup = _boom
+    session = actor = guard_eval = snapshot = _boom
+    round_event = crash = restart = sync = monitor = _boom
+
+
+class BombProvenance(NullProvenance):
+    def learned(self, actor, base, mask, source, origin):
+        raise AssertionError("provenance recorded on the null path")
+
+
+def run_travel(**kwargs):
+    scenario = make_travel_booking()
+    workflow = scenario.workflow
+    sched = DistributedScheduler(
+        workflow.dependencies,
+        sites=workflow.sites,
+        attributes=workflow.attributes,
+        **kwargs,
+    )
+    sched.run(scenario.scripts)
+    return sched
+
+
+class TestNullPath:
+    def test_default_run_never_touches_tracer_hooks(self):
+        sched = run_travel(tracer=BombTracer())
+        assert sched.result.entries
+
+    def test_default_run_never_records_provenance(self):
+        sched = run_travel(provenance=False)
+        sched.provenance = BombProvenance()
+        # re-run a second scenario through the same machinery
+        scenario = make_mutex_scenario("t1")
+        other = DistributedScheduler(
+            scenario.workflow.dependencies,
+            sites=scenario.workflow.sites,
+            attributes=scenario.workflow.attributes,
+        )
+        other.provenance = BombProvenance()
+        other.run(scenario.scripts, verify=False)
+        assert other.result.entries
+
+    def test_null_singletons_are_inert(self):
+        assert not NULL_TRACER.active
+        assert NULL_TRACER.guard_eval(0, "s", "e", None, None, "fire", 0.0) is None
+        assert NULL_PROVENANCE.facts_for("owner", "base") == []
+        NULL_PROVENANCE.learned(None, "b", 1, "announce", None)  # no-op
+
+    def test_provenance_defaults_off_without_tracer(self):
+        sched = run_travel()
+        assert isinstance(sched.provenance, NullProvenance)
+        assert type(sched.provenance) is NullProvenance
+
+    def test_provenance_opt_in_without_tracer(self):
+        sched = run_travel(provenance=True)
+        assert type(sched.provenance) is not NullProvenance
+        assert sched.provenance.facts_for(
+            repr(Event("c_buy")), "c_book"
+        )
+
+    def test_explain_on_demand_without_any_observability(self):
+        sched = run_travel(tracer=BombTracer())
+        explanation = sched.explain(Event("c_buy"))
+        assert explanation.status == "occurred"
+        assert explanation.residual == "T"
+
+    def test_parked_explain_without_tracer(self):
+        scenario = make_travel_booking()
+        workflow = scenario.workflow
+        sched = DistributedScheduler(
+            workflow.dependencies,
+            sites=workflow.sites,
+            attributes=workflow.attributes,
+            tracer=BombTracer(),
+        )
+        sched.attempt(Event("c_buy"))
+        sched.sim.run()
+        explanation = sched.explain(Event("c_buy"))
+        assert explanation.verdict == "park"
+        assert explanation.unsatisfied_literals() == ["[]c_book"]
+
+    def test_explanations_not_built_during_guard_evaluation(self):
+        import repro.obs.provenance as provenance_mod
+
+        calls = {"n": 0}
+        original = provenance_mod.explain_region
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        provenance_mod.explain_region = counting
+        try:
+            sched = run_travel()
+            assert calls["n"] == 0, (
+                "guard evaluation built explanations nobody asked for"
+            )
+            sched.explain(Event("c_buy"))
+            assert calls["n"] == 1
+        finally:
+            provenance_mod.explain_region = original
+
+    def test_snapshot_protocol_works_with_null_tracer(self):
+        sched = run_travel()
+        snap = sched.snapshot()
+        assert snap is not None and snap.complete
+        # untraced cut stamps are simply absent
+        assert all(stamp is None for stamp in snap.cut.values())

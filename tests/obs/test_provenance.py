@@ -1,0 +1,211 @@
+"""Decision provenance: why is an event parked / fired / dead?"""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.obs.provenance import (
+    Fact,
+    apply_facts,
+    explain_records,
+    explain_region,
+    minimal_unblocking_sets,
+    region_subsumes,
+    region_verdict,
+)
+from repro.obs.tracer import Tracer
+from repro.scheduler.guard_scheduler import DistributedScheduler
+from repro.temporal.cubes import C_OCC, E_OCC, P_C, P_E
+from repro.temporal.guards import explain_guard
+from repro.workloads.scenarios import make_travel_booking
+
+
+def travel_scheduler(**kwargs):
+    scenario = make_travel_booking()
+    workflow = scenario.workflow
+    return scenario, DistributedScheduler(
+        workflow.dependencies, attributes=workflow.attributes, **kwargs
+    )
+
+
+class TestRegionOps:
+    """String-keyed mirrors of the cube-region semantics."""
+
+    BOX_CUBES = [[("c_book", E_OCC)]]  # []c_book
+
+    def test_subsumes_needs_occurrence(self):
+        assert region_subsumes(self.BOX_CUBES, {"c_book": E_OCC})
+        assert not region_subsumes(self.BOX_CUBES, {})
+        assert not region_subsumes(self.BOX_CUBES, {"c_book": C_OCC})
+
+    def test_verdicts(self):
+        assert region_verdict(self.BOX_CUBES, {"c_book": E_OCC}) == "fire"
+        assert region_verdict(self.BOX_CUBES, {"c_book": C_OCC}) == "never"
+        assert region_verdict(self.BOX_CUBES, {}) == "park"
+
+    def test_apply_facts_contradiction_is_none(self):
+        assert (
+            apply_facts(
+                {"e": E_OCC}, [Fact("announce", "~e")]
+            )
+            is None
+        )
+
+
+class TestMinimalUnblocking:
+    def test_single_box_literal(self):
+        sets = minimal_unblocking_sets([[("c_book", E_OCC)]], {})
+        assert sets == [(Fact("announce", "c_book"),)]
+
+    def test_satisfied_guard_has_no_unblocking(self):
+        assert (
+            minimal_unblocking_sets([[("c_book", E_OCC)]], {"c_book": E_OCC})
+            == []
+        )
+
+    def test_dead_guard_has_no_unblocking(self):
+        assert (
+            minimal_unblocking_sets([[("c_book", E_OCC)]], {"c_book": C_OCC})
+            == []
+        )
+
+    def test_prefers_announcements_and_small_sets(self):
+        # <>f | []g: announcing g flips the verdict on its own
+        cubes = [[("f", E_OCC | P_E)], [("g", E_OCC)]]
+        sets = minimal_unblocking_sets(cubes, {})
+        assert (Fact("announce", "g"),) in sets
+        assert all(len(s) == 1 for s in sets)
+
+    def test_two_literal_conjunction_needs_both(self):
+        cubes = [[("f", E_OCC), ("g", E_OCC)]]
+        sets = minimal_unblocking_sets(cubes, {})
+        assert sets == [
+            (Fact("announce", "f"), Fact("announce", "g"))
+        ]
+
+
+class TestExplainGuard:
+    def test_example_9_guard_explained(self):
+        # G(~e + ~f + e.f, e) = !f: parked until f's not-yet is known
+        report = explain_guard(parse("~e + ~f + e . f"), Event("e"))
+        assert report["verdict"] == "park"
+        (cube,) = report["cubes"]
+        assert cube["status"] == "open"
+        assert cube["literals"][0]["base"] == "f"
+
+    def test_knowledge_flips_verdict(self):
+        report = explain_guard(
+            parse("~e + ~f + e . f"), Event("e"), {Event("f"): P_E | P_C}
+        )
+        assert report["verdict"] == "fire"
+
+
+class TestLiveExplain:
+    """The acceptance scenario: a parked ``c_buy`` names its blockers,
+    and delivering exactly the minimal unblocking set fires it."""
+
+    def test_parked_event_names_blockers_and_unblocking_set(self):
+        _scenario, sched = travel_scheduler(tracer=Tracer())
+        c_buy = Event("c_buy")
+        sched.attempt(c_buy)
+        sched.sim.run()
+
+        explanation = sched.explain(c_buy)
+        assert explanation.status == "pending"
+        assert explanation.verdict == "park"
+        # the exact unsatisfied literal: []c_book
+        assert explanation.unsatisfied_literals() == ["[]c_book"]
+        # the minimal unblocking set is exactly {announce c_book}
+        assert explanation.unblocking == [[Fact("announce", "c_book")]]
+
+        # deliver precisely that announcement: the event must fire
+        actor = sched.actors[c_buy]
+        actor.observe_occurrence(Event("c_book"))
+        sched.sim.run()
+        fired = sched.explain(c_buy)
+        assert fired.status == "occurred"
+        assert c_buy in {entry.event for entry in sched.result.entries}
+
+    def test_fired_event_shows_justification(self):
+        scenario, sched = travel_scheduler(tracer=Tracer())
+        sched.run(scenario.scripts)
+        explanation = sched.explain(Event("c_buy"))
+        assert explanation.status == "occurred"
+        sources = {j["source"] for j in explanation.justifications}
+        assert sources  # at least one learned fact is justified
+        facts = {j["base"] for j in explanation.justifications}
+        assert "c_book" in facts
+
+    def test_dead_event_explained(self):
+        scenario, sched = travel_scheduler(tracer=Tracer())
+        sched.run(scenario.scripts)
+        explanation = sched.explain(Event("c_buy").complement)
+        assert explanation.status == "dead"
+
+    def test_unknown_event_raises_keyerror(self):
+        _scenario, sched = travel_scheduler()
+        with pytest.raises(KeyError):
+            sched.explain(Event("nonesuch"))
+
+    def test_explain_works_without_tracer_or_provenance(self):
+        scenario, sched = travel_scheduler()  # NULL tracer, no log
+        sched.run(scenario.scripts)
+        explanation = sched.explain(Event("c_buy"))
+        assert explanation.status == "occurred"
+        # justifications fall back to the settlement record
+        assert any(
+            j["source"] == "settlement"
+            for j in explanation.justifications
+        ) or explanation.justifications == []
+
+    def test_render_mentions_guard_and_enabler(self):
+        _scenario, sched = travel_scheduler(tracer=Tracer())
+        sched.attempt(Event("c_buy"))
+        sched.sim.run()
+        text = sched.explain(Event("c_buy")).render()
+        assert "parked" in text
+        assert "[]c_book" in text
+        assert "to enable" in text
+
+
+class TestOfflineExplain:
+    def trace_records(self):
+        scenario, sched = travel_scheduler(tracer=Tracer())
+        tracer = sched.tracer
+        sched.attempt(Event("c_buy"))
+        sched.sim.run()
+        return tracer.records
+
+    def test_offline_matches_live_park(self):
+        records = self.trace_records()
+        explanation = explain_records(records, "c_buy")
+        assert explanation.status == "pending"
+        assert explanation.unblocking == [[Fact("announce", "c_book")]]
+
+    def test_offline_full_run_fired(self):
+        scenario, sched = travel_scheduler(tracer=Tracer())
+        sched.run(scenario.scripts)
+        explanation = explain_records(sched.tracer.records, "c_buy")
+        assert explanation.status == "occurred"
+
+    def test_offline_unknown_event_raises(self):
+        with pytest.raises(KeyError):
+            explain_records(self.trace_records(), "nonesuch")
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        records = self.trace_records()
+        payload = explain_records(records, "c_buy").to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestExplainRegionShape:
+    def test_report_is_structured(self):
+        report = explain_region(
+            [[("f", E_OCC | P_E)], [("g", C_OCC)]], {"g": E_OCC}
+        )
+        assert report["verdict"] == "park"
+        statuses = [cube["status"] for cube in report["cubes"]]
+        assert "dead" in statuses  # the g-cube died (g occurred)
+        assert "open" in statuses

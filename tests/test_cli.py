@@ -205,3 +205,154 @@ class TestTrace:
         assert main(["trace", "export", str(trace_file), "-o", str(out)]) == 0
         assert "wrote" in capsys.readouterr().out
         assert json.loads(out.read_text())["traceEvents"]
+
+
+TRAVEL = """
+workflow travel
+dep ~s_buy + s_book
+dep ~c_buy + c_book . c_buy
+dep ~c_book + c_buy + s_cancel
+attr s_book   triggerable
+attr s_cancel triggerable
+site airline     s_buy c_buy
+site car_rental  s_book c_book s_cancel
+"""
+
+
+@pytest.fixture
+def travel_spec(tmp_path):
+    path = tmp_path / "travel.wf"
+    path.write_text(TRAVEL)
+    return str(path)
+
+
+class TestTraceRobustness:
+    """Empty, truncated, or missing traces are diagnosed, not dumped
+    as tracebacks."""
+
+    def test_check_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", "check", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "empty trace" in err
+        assert "Traceback" not in err
+
+    def test_export_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace", "export", str(path)]) == 1
+        assert "empty trace" in capsys.readouterr().err
+
+    def test_export_truncated_trace(self, tmp_path, capsys):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"cat": "actor", "op": "fired"}\n{"cat": "ac')
+        assert main(["trace", "export", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "line 2" in err
+        assert "Traceback" not in err
+
+    def test_check_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "check", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_export_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "export", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    @pytest.fixture
+    def parked_trace(self, travel_spec, tmp_path, capsys):
+        path = tmp_path / "parked.jsonl"
+        code = main([
+            "run", travel_spec, "--scheduler", "distributed",
+            "--attempt", "c_buy=0", "--no-settle", "--trace", str(path),
+        ])
+        assert code == 1  # unsettled by design: c_buy stays parked
+        capsys.readouterr()
+        return str(path)
+
+    def test_explains_parked_event(self, parked_trace, capsys):
+        assert main(["explain", parked_trace, "c_buy"]) == 0
+        out = capsys.readouterr().out
+        assert "parked" in out
+        assert "[]c_book" in out
+        assert "to enable" in out
+
+    def test_json_output(self, parked_trace, capsys):
+        assert main(["explain", parked_trace, "c_buy", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["event"] == "c_buy"
+        assert payload["verdict"] == "park"
+
+    def test_unknown_event_exits_one(self, parked_trace, capsys):
+        assert main(["explain", parked_trace, "nonesuch"]) == 1
+        assert "never appears" in capsys.readouterr().err
+
+    def test_missing_trace_exits_two(self, tmp_path, capsys):
+        assert main(["explain", str(tmp_path / "no.jsonl"), "e"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_trace_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["explain", str(path), "e"]) == 2
+        assert "empty trace" in capsys.readouterr().err
+
+
+class TestSnapshotFlags:
+    def test_snapshot_run_writes_snapshots_and_prom(
+        self, travel_spec, tmp_path, capsys
+    ):
+        snap_out = tmp_path / "snaps.json"
+        prom_out = tmp_path / "metrics.prom"
+        code = main([
+            "run", travel_spec, "--scheduler", "distributed",
+            "--snapshot-every", "2", "--snapshot-out", str(snap_out),
+            "--prom", str(prom_out), "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["snapshots"]["taken"] >= 1
+        assert report["snapshots"]["complete"] >= 1
+        snaps = json.loads(snap_out.read_text())
+        assert any(s["complete"] for s in snaps)
+        assert main(["prom", "lint", str(prom_out)]) == 0
+
+    def test_snapshot_requires_distributed(self, travel_spec, capsys):
+        code = main([
+            "run", travel_spec, "--scheduler", "centralized",
+            "--snapshot-every", "2",
+        ])
+        assert code == 2
+        assert "distributed" in capsys.readouterr().err
+
+    def test_bad_interval_exits_two(self, travel_spec, capsys):
+        code = main([
+            "run", travel_spec, "--scheduler", "distributed",
+            "--snapshot-every", "0",
+        ])
+        assert code == 2
+
+    def test_no_settle_leaves_attempts_parked(self, travel_spec, capsys):
+        code = main([
+            "run", travel_spec, "--scheduler", "distributed",
+            "--attempt", "c_buy=0", "--no-settle", "--json",
+        ])
+        assert code == 1  # nothing settles without the settlement pass
+        report = json.loads(capsys.readouterr().out)
+        assert "c_buy" in report["unsettled"]
+        assert report["metrics"]["counters"]["parked"]["total"] == 1
+
+
+class TestPromLint:
+    def test_lint_rejects_malformed(self, tmp_path, capsys):
+        path = tmp_path / "bad.prom"
+        path.write_text("# TYPE a counter\na one\n")
+        assert main(["prom", "lint", str(path)]) == 1
+        assert "problem" in capsys.readouterr().err
+
+    def test_lint_missing_file(self, tmp_path, capsys):
+        assert main(["prom", "lint", str(tmp_path / "no.prom")]) == 2
+        assert "cannot read" in capsys.readouterr().err
