@@ -83,6 +83,36 @@ def test_bench_automata_scaling(benchmark, count):
     assert result.ok
 
 
+@pytest.mark.parametrize("count", [16, 64])
+def test_bench_sharded_vs_merged(benchmark, count):
+    """SC6: the same N instances, one merged scheduler vs 4 shards.
+
+    The settled event set must agree; the sharded runner's win is
+    wall-clock (it dodges the merged scheduler's whole-system
+    settlement scan and re-synthesizes guards once per shard via the
+    template).  Makespans are not compared: per-shard RNG streams
+    legitimately reorder message timings.
+    """
+    from repro.scale import plan_shards, run_sharded
+
+    from benchmarks.helpers import travel_instance_specs
+
+    template, instances = travel_instance_specs(count)
+    tasks = plan_shards(template, instances, 4, seed=1, latency=LATENCY)
+
+    sharded = benchmark.pedantic(
+        lambda: run_sharded(tasks, workers=2), rounds=3, iterations=1
+    )
+    assert sharded.result.ok, sharded.result.violations
+    merged = _run(DistributedScheduler, count)
+    assert (
+        {repr(e.event) for e in sharded.result.entries}
+        == {repr(e.event) for e in merged.entries}
+    )
+    # per-site load stays an instance-local constant under sharding too
+    assert sharded.result.max_site_load <= 60
+
+
 def test_bench_bottleneck_shape(benchmark):
     """The headline comparison: central bottleneck grows ~linearly with
     N; the distributed per-site maximum stays bounded."""

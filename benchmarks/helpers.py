@@ -61,3 +61,61 @@ def merged_travel_instances(count: int, rng_seed: int = 0):
         workflow = workflow.merged(scn.workflow)
         scripts.extend(scn.scripts)
     return workflow, scripts
+
+
+def templated_travel_instances(count: int, rng_seed: int = 0):
+    """The :func:`merged_travel_instances` workload, built through the
+    template fast path: guards are synthesized once on the un-suffixed
+    travel workflow and stamped out per instance by rename.
+
+    Returns ``(workflow, scripts, guards)`` -- pass ``guards`` to
+    ``DistributedScheduler(guards=...)`` to skip its own synthesis.
+    The outcome draw matches :func:`merged_travel_instances` exactly,
+    so both builders describe the same runs.
+    """
+    from repro.workflows.template import WorkflowTemplate
+    from repro.workloads.scenarios import make_travel_booking
+
+    rng = random.Random(rng_seed)
+    template = WorkflowTemplate(make_travel_booking().workflow)
+    workflow = None
+    scripts = []
+    guards = {}
+    for i in range(count):
+        outcome = "success" if rng.random() < 0.7 else "failure"
+        instance = template.instantiate(f"_i{i}")
+        workflow = (
+            instance.workflow if workflow is None
+            else workflow.merged(instance.workflow)
+        )
+        guards.update(instance.guards)
+        scripts.extend(
+            instance.instantiate_script(script)
+            for script in make_travel_booking(outcome).scripts
+        )
+    return workflow, scripts, guards
+
+
+def travel_instance_specs(count: int, rng_seed: int = 0):
+    """The same workload as shard-ready :class:`InstanceSpec` rows.
+
+    Returns ``(template_workflow, instances)`` for
+    :func:`repro.scale.plan_shards`; the outcome draw again matches
+    :func:`merged_travel_instances`.
+    """
+    from repro.scale import instance_spec
+    from repro.workloads.scenarios import make_travel_booking
+
+    rng = random.Random(rng_seed)
+    template = make_travel_booking().workflow
+    instances = [
+        instance_spec(
+            f"_i{i}",
+            make_travel_booking(
+                "success" if rng.random() < 0.7 else "failure",
+                suffix=f"_i{i}",
+            ).scripts,
+        )
+        for i in range(count)
+    ]
+    return template, instances

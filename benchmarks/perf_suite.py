@@ -12,7 +12,14 @@ Runs three workload families and emits a machine-readable
 * **end-to-end** -- SC1's N=16 merged travel instances on the
   distributed scheduler (raw fabric, plus the announcement-batching
   variant when the scheduler supports it) and an SC5-style chaos run
-  (reliable sessions, drop/dup, one crash/restart).
+  (reliable sessions, drop/dup, one crash/restart);
+* **scale-out** (PF2/SC6, when :mod:`repro.scale` is available) --
+  template-instantiated guard synthesis vs per-instance synthesis at
+  N=64 (required: >= 5x), and the N=64 workload sharded 4 ways on the
+  process-pool runner vs one merged scheduler (required: sharded
+  wall-clock wins; on a single-core host the win comes from dodging
+  the merged scheduler's superlinear settlement scan, not from
+  parallelism).
 
 Timings are reported both raw and *normalized* by a pure-Python
 calibration spin, so a checked-in baseline from one machine can gate
@@ -255,6 +262,122 @@ def bench_end_to_end(rounds: int) -> dict:
     return out
 
 
+def _supports_sharding() -> bool:
+    try:
+        import repro.scale  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def bench_template_synthesis(rounds: int) -> dict:
+    """PF2: per-instance guard synthesis vs template instantiation."""
+    from repro.workloads.scenarios import make_travel_booking
+    from repro.workflows.template import WorkflowTemplate
+
+    suffixes = [f"_i{i}" for i in range(64)]
+
+    def per_instance():
+        clear_symbolic_caches()
+        size = cubes = 0
+        for suffix in suffixes:
+            workflow = make_travel_booking(suffix=suffix).workflow
+            table = workflow_guards(workflow.dependencies)
+            size += len(table)
+            cubes += sum(g.cube_count() for g in table.values())
+        return size, cubes
+
+    seconds, (size, cubes) = _best_of(per_instance, rounds)
+    out = {
+        "pf2_synthesis_per_instance_n64": {
+            "seconds": seconds, "table_size": size, "cubes": cubes,
+        }
+    }
+
+    def templated():
+        clear_symbolic_caches()
+        template = WorkflowTemplate(make_travel_booking().workflow)
+        size = cubes = 0
+        for suffix in suffixes:
+            table = template.instantiate(suffix).guards
+            size += len(table)
+            cubes += sum(g.cube_count() for g in table.values())
+        return size, cubes
+
+    tseconds, (tsize, tcubes) = _best_of(templated, rounds)
+    speedup = seconds / tseconds if tseconds else 0.0
+    out["pf2_synthesis_template_n64"] = {
+        "seconds": tseconds, "table_size": tsize, "cubes": tcubes,
+        "speedup": speedup,
+    }
+    # the template path must produce the same tables, just faster
+    assert (tsize, tcubes) == (size, cubes), (
+        f"template tables differ: {(tsize, tcubes)} vs {(size, cubes)}"
+    )
+    assert speedup >= 5.0, (
+        "template instantiation is required to beat per-instance "
+        f"synthesis by >= 5x at N=64; measured {speedup:.1f}x"
+    )
+    return out
+
+
+def bench_scale_out(rounds: int) -> dict:
+    """SC6: the N=64 travel workload, merged vs sharded 4 ways."""
+    from benchmarks.helpers import travel_instance_specs
+    from repro.scale import plan_shards, run_sharded
+
+    out: dict[str, dict] = {}
+    merged_best = float("inf")
+    merged_result = None
+    for _ in range(rounds):
+        elapsed, merged_result, _sched = _run_sc1(64, batch=False)
+        merged_best = min(merged_best, elapsed)
+    out["sc1_n64"] = {
+        "seconds": merged_best,
+        "makespan": merged_result.makespan,
+        "messages": merged_result.messages,
+        "announce_messages": merged_result.messages_by_kind.get(
+            "announce", 0
+        ),
+        "settled": len(merged_result.entries),
+    }
+
+    template, instances = travel_instance_specs(64)
+
+    def sharded():
+        tasks = plan_shards(
+            template, instances, 4, seed=1, latency=1.0
+        )
+        return run_sharded(tasks, workers=2)
+
+    sharded_best, sharded_run = _best_of(sharded, rounds)
+    result = sharded_run.result
+    assert result.ok, result.violations
+    out["sc1_n64_sharded"] = {
+        "seconds": sharded_best,
+        "makespan": result.makespan,
+        "messages": result.messages,
+        "announce_messages": result.messages_by_kind.get("announce", 0),
+        "settled": len(result.entries),
+        "shards": sharded_run.shards,
+        "workers": sharded_run.workers,
+        "speedup_vs_merged": (
+            merged_best / sharded_best if sharded_best else 0.0
+        ),
+    }
+    # independent instances: sharding must not change what settles
+    assert (
+        {repr(e.event) for e in result.entries}
+        == {repr(e.event) for e in merged_result.entries}
+    ), "sharded run settled a different event set than the merged run"
+    assert sharded_best < merged_best, (
+        "the sharded N=64 workload is required to beat the merged "
+        f"single scheduler: {sharded_best:.3f}s vs {merged_best:.3f}s"
+    )
+    return out
+
+
 def bench_chaos(rounds: int) -> dict:
     from repro.workloads.scenarios import make_travel_booking
 
@@ -295,11 +418,17 @@ def collect(quick: bool) -> dict:
     workloads.update(bench_synthesis(rounds))
     workloads.update(bench_guard_eval(evals, rounds))
     workloads.update(bench_end_to_end(rounds))
+    if _supports_sharding():
+        workloads.update(bench_template_synthesis(rounds))
+        workloads.update(bench_scale_out(rounds))
     workloads.update(bench_chaos(rounds))
     for record in workloads.values():
         if "seconds" in record:
             record["normalized"] = record["seconds"] / calibration
-    features = {"batching": _supports_batching()}
+    features = {
+        "batching": _supports_batching(),
+        "sharding": _supports_sharding(),
+    }
     try:
         from repro.algebra.expressions import intern_stats  # noqa: F401
 

@@ -23,7 +23,11 @@ Usage (also via ``python -m repro``):
 stay parked for ``explain`` to dissect), and, on the distributed
 scheduler only: ``--snapshot-every N`` (consistent global snapshots on
 a virtual-time cadence), ``--snapshot-out FILE`` (write them as JSON),
-``--prom FILE`` (write metrics in Prometheus text format).
+``--prom FILE`` (write metrics in Prometheus text format), and
+``--shards N [--instances K] [--workers M]`` (scale-out mode: the spec
+becomes a template, K suffixed instances are stamped out by renaming
+its compiled guards, and N schedulers run them in a process pool;
+timeline, trace, and metrics come back merged).
 
 Exit codes: ``run`` exits 0 only when the run is *clean* -- no
 dependency violations and no unsettled bases; 1 when either remains;
@@ -150,6 +154,29 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the run's metrics in Prometheus text format to FILE",
     )
+    p_run.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="scale-out mode: treat the spec as a workflow template, "
+        "stamp out independent suffixed instances, and run them on N "
+        "schedulers in a process pool (distributed scheduler only); "
+        "traces and metrics are merged",
+    )
+    p_run.add_argument(
+        "--instances",
+        type=int,
+        metavar="K",
+        help="with --shards: how many template instances to stamp out "
+        "(suffix _i0 ... _i{K-1}; default: one per shard)",
+    )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        metavar="M",
+        help="with --shards: worker processes for the pool (default: "
+        "one per shard, capped by CPU count; 1 = run in-process)",
+    )
 
     p_explain = sub.add_parser(
         "explain",
@@ -263,6 +290,18 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards is not None:
+        if args.scheduler != "distributed":
+            print("--shards needs --scheduler distributed", file=sys.stderr)
+            return 2
+        if snapshotting:
+            print(
+                "--shards does not support --snapshot-every/--snapshot-out "
+                "(snapshots cut one scheduler's channels; shards share none)",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_run_sharded(args, workflow, attempts)
     tracer = Tracer() if (args.json or args.trace or snapshotting) else None
     sched = scheduler_cls(
         workflow.dependencies,
@@ -294,7 +333,12 @@ def _cmd_run(args) -> int:
 
         write_prometheus(sched.metrics_report(), args.prom)
     if args.json:
-        report = _run_report(result, sched, tracer, args.trace)
+        report = _run_report(
+            result,
+            sched.metrics_report(),
+            tracer.records if tracer is not None else None,
+            args.trace,
+        )
         if snapshotting:
             report["snapshots"] = {
                 "taken": len(snapshots),
@@ -314,7 +358,7 @@ def _cmd_run(args) -> int:
     return 0 if (not result.violations and not result.unsettled) else 1
 
 
-def _run_report(result, sched, tracer, trace_path) -> dict:
+def _run_report(result, metrics, trace_records, trace_path) -> dict:
     """The ``run --json`` payload: timeline + metrics + causal trace."""
     report = {
         "ok": result.ok,
@@ -333,13 +377,88 @@ def _run_report(result, sched, tracer, trace_path) -> dict:
             {"kind": v.kind, "detail": v.detail} for v in result.violations
         ],
         "unsettled": [repr(b) for b in result.unsettled],
-        "metrics": sched.metrics_report(),
+        "metrics": metrics,
     }
     if trace_path:
         report["trace_file"] = str(trace_path)
-    elif tracer is not None:
-        report["trace"] = tracer.records
+    elif trace_records is not None:
+        report["trace"] = trace_records
     return report
+
+
+def _cmd_run_sharded(args, workflow, attempts) -> int:
+    """``repro run --shards N``: template-instantiate and shard out.
+
+    The spec is the *template*; ``--attempt`` scripts are template-
+    level and are renamed into every instance.  The merged timeline,
+    trace, and metrics honor the same contracts as a single run.
+    """
+    from repro.scale import instance_spec, plan_shards, run_sharded
+    from repro.workflows.template import WorkflowTemplate, rename_script
+
+    if args.shards < 1:
+        print("--shards must be at least 1", file=sys.stderr)
+        return 2
+    count = args.instances if args.instances is not None else args.shards
+    if count < 1:
+        print("--instances must be at least 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    template = WorkflowTemplate(workflow)
+    template_script = AgentScript("cli", attempts) if attempts else None
+    instances = []
+    for k in range(count):
+        suffix = f"_i{k}"
+        scripts = []
+        if template_script is not None:
+            scripts.append(
+                rename_script(
+                    template_script, template.mapping_for(suffix), suffix
+                )
+            )
+        instances.append(instance_spec(suffix, scripts))
+    tracing = bool(args.json or args.trace)
+    tasks = plan_shards(
+        workflow,
+        instances,
+        args.shards,
+        seed=args.seed,
+        trace=tracing,
+        settle=not args.no_settle,
+        latency=args.latency,
+    )
+    sharded = run_sharded(tasks, workers=args.workers)
+    result = sharded.result
+    if args.trace and sharded.trace_records is not None:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            for record in sharded.trace_records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+    if args.prom:
+        from repro.obs.prom import write_prometheus
+
+        write_prometheus(sharded.metrics, args.prom)
+    if args.json:
+        report = _run_report(
+            result, sharded.metrics, sharded.trace_records, args.trace
+        )
+        report["sharding"] = {
+            "shards": sharded.shards,
+            "instances": count,
+            "workers": sharded.workers,
+        }
+        print(json.dumps(report, indent=2))
+    else:
+        print(result_to_text(result))
+        print(
+            f"sharded: {count} instances over {sharded.shards} shard(s), "
+            f"{sharded.workers} worker(s)"
+        )
+        if result.violations:
+            for violation in result.violations:
+                print(f"violation[{violation.kind}]: {violation.detail}")
+    return 0 if (not result.violations and not result.unsettled) else 1
 
 
 def _cmd_trace(args) -> int:

@@ -36,10 +36,15 @@ artifact:
 * :mod:`repro.obs.prom` -- Prometheus text-format export of
   ``metrics_report()`` (``repro run --prom FILE``) and a format linter
   (``repro prom lint``).
+* :mod:`repro.obs.merge` -- merging per-shard traces and metrics
+  reports from the scale-out runner (:mod:`repro.scale`) into single
+  artifacts that still satisfy the checker and exporter, with
+  shard-prefixed site names and re-based message ids.
 """
 
 from repro.obs.check import Diagnostic, check_file, check_records
 from repro.obs.export import to_chrome
+from repro.obs.merge import merge_metrics, merge_traces, shard_prefix
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import lint_prometheus, render_prometheus, write_prometheus
 from repro.obs.provenance import (
@@ -72,9 +77,12 @@ __all__ = [
     "check_snapshot",
     "explain_records",
     "lint_prometheus",
+    "merge_metrics",
+    "merge_traces",
     "minimal_unblocking_sets",
     "read_jsonl",
     "render_prometheus",
+    "shard_prefix",
     "to_chrome",
     "write_prometheus",
 ]

@@ -1,0 +1,239 @@
+"""Merging per-shard observability artifacts into one coherent view.
+
+The shard runner (:mod:`repro.scale`) executes independent workflow
+instances on one :class:`DistributedScheduler` per shard, each with its
+own :class:`~repro.obs.tracer.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`.  Downstream tooling --
+``repro trace check``, ``repro explain``, the Prometheus exporter --
+expects a *single* trace and a *single* metrics report, so this module
+merges the per-shard artifacts while preserving every invariant the
+offline checker (:mod:`repro.obs.check`) verifies:
+
+* **site uniqueness** -- every ``site``/``src``/``dst`` field is
+  prefixed with its shard (``s0/airline_i4``), so per-site Lamport
+  monotonicity and per-channel FIFO are judged within one shard only
+  (the shards never exchanged messages, so there is nothing causal to
+  check *across* them);
+* **message-id uniqueness** -- each tracer numbers messages from 1, so
+  shard ``k``'s mids are offset by the running total of earlier
+  shards' maxima, keeping every ``recv`` paired with exactly its own
+  ``send``;
+* **record order** -- records are stably sorted by virtual time with
+  the shard index and original position as tie-breaks; within a shard
+  time is non-decreasing, so each shard's record order (which the
+  clock and causal checks depend on) is preserved verbatim.
+
+Metrics reports merge shape-for-shape into what
+:func:`repro.obs.prom.render_prometheus` consumes: counter totals sum,
+gauge peaks take the max, histograms pool their summary statistics,
+and per-site breakdowns are united under the same shard prefixes the
+trace uses.  Symbolic-kernel statistics are *process-local cache
+snapshots*, not additive work counters, so they merge by element-wise
+maximum -- the report shows the hottest shard's cache shape rather
+than a fictitious sum over caches that shared nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def shard_prefix(shard: int) -> str:
+    """The site-name prefix for shard ``shard`` (``"s3/"``)."""
+    return f"s{shard}/"
+
+
+# ----------------------------------------------------------------------
+# traces
+
+_SITE_FIELDS = ("site", "src", "dst")
+
+
+def merge_traces(
+    shard_records: Sequence[Sequence[Mapping[str, Any]]],
+    prefixes: Sequence[str] | None = None,
+) -> list[dict]:
+    """Merge per-shard tracer records into one checkable trace.
+
+    ``shard_records[k]`` is shard ``k``'s ``tracer.records`` list (in
+    recording order).  Returns new record dicts; inputs are untouched.
+    """
+    if prefixes is None:
+        prefixes = [shard_prefix(k) for k in range(len(shard_records))]
+    if len(prefixes) != len(shard_records):
+        raise ValueError(
+            f"{len(shard_records)} shards but {len(prefixes)} prefixes"
+        )
+    tagged: list[tuple[float, int, int, dict]] = []
+    mid_offset = 0
+    for shard, (records, prefix) in enumerate(zip(shard_records, prefixes)):
+        max_mid = 0
+        for position, record in enumerate(records):
+            merged = dict(record)
+            for field in _SITE_FIELDS:
+                value = merged.get(field)
+                if isinstance(value, str):
+                    merged[field] = prefix + value
+            mid = merged.get("mid")
+            if isinstance(mid, int):
+                max_mid = max(max_mid, mid)
+                merged["mid"] = mid + mid_offset
+            tagged.append((merged["t"], shard, position, merged))
+        mid_offset += max_mid
+    tagged.sort(key=lambda item: item[:3])
+    return [record for _, _, _, record in tagged]
+
+
+# ----------------------------------------------------------------------
+# metrics reports
+
+def _merge_counter_values(values: Sequence[int]) -> int:
+    return sum(values)
+
+
+def _merge_gauge_values(values: Sequence[Mapping[str, float]]) -> dict:
+    return {
+        "value": sum(v["value"] for v in values),
+        "peak": max(v["peak"] for v in values),
+    }
+
+
+def _merge_histogram_values(values: Sequence[Mapping[str, float]]) -> dict:
+    count = sum(v["count"] for v in values)
+    total = sum(v["sum"] for v in values)
+    return {
+        "count": count,
+        "sum": total,
+        "min": min(v["min"] for v in values),
+        "max": max(v["max"] for v in values),
+        "mean": total / count if count else 0.0,
+    }
+
+
+def _merge_registry_section(
+    sections: Sequence[tuple[str, Mapping[str, Any]]],
+    combine,
+) -> dict:
+    """Merge one ``counters``/``gauges``/``histograms`` section.
+
+    ``sections`` pairs each shard's prefix with its section dict;
+    ``combine`` pools a list of same-shaped values.
+    """
+    out: dict[str, dict] = {}
+    names = sorted({name for _, section in sections for name in section})
+    for name in names:
+        entries = [
+            (prefix, section[name])
+            for prefix, section in sections
+            if name in section
+        ]
+        merged: dict[str, Any] = {
+            "total": combine([entry["total"] for _, entry in entries])
+        }
+        sites = {
+            prefix + site: value
+            for prefix, entry in entries
+            for site, value in entry.get("sites", {}).items()
+        }
+        if sites:
+            merged["sites"] = dict(sorted(sites.items()))
+        # a shard entry with no per-site breakdown is all-unlabelled:
+        # its total IS its unlabelled value (the registry only emits an
+        # explicit "unlabelled" key next to real sites)
+        unlabelled = [
+            entry["unlabelled"] if "unlabelled" in entry else entry["total"]
+            for _, entry in entries
+            if "unlabelled" in entry or "sites" not in entry
+        ]
+        if unlabelled and sites:
+            merged["unlabelled"] = combine(unlabelled)
+        out[name] = merged
+    return out
+
+
+def _elementwise_max(values: Sequence[Any]) -> Any:
+    """Element-wise max of same-shaped nested dicts of numbers."""
+    first = values[0]
+    if isinstance(first, Mapping):
+        keys = sorted({key for value in values for key in value})
+        return {
+            key: _elementwise_max([v[key] for v in values if key in v])
+            for key in keys
+        }
+    if isinstance(first, (int, float)) and not isinstance(first, bool):
+        return max(values)
+    return first
+
+
+def _merge_network(sections: Sequence[tuple[str, Mapping[str, Any]]]) -> dict:
+    out: dict[str, Any] = {}
+    keys = sorted({key for _, section in sections for key in section})
+    for key in keys:
+        values = [
+            (prefix, section[key])
+            for prefix, section in sections
+            if key in section
+        ]
+        sample = values[0][1]
+        if isinstance(sample, Mapping):
+            table: dict[str, float] = {}
+            for prefix, mapping in values:
+                for k, v in mapping.items():
+                    label = prefix + k if key == "per_site_handled" else k
+                    table[label] = table.get(label, 0) + v
+            out[key] = dict(sorted(table.items()))
+        elif key == "max_queue_wait":
+            out[key] = max(v for _, v in values)
+        else:
+            out[key] = sum(v for _, v in values)
+    return out
+
+
+def merge_metrics(
+    reports: Sequence[Mapping[str, Any]],
+    prefixes: Sequence[str] | None = None,
+) -> dict:
+    """Merge per-shard :meth:`metrics_report` dicts into one report.
+
+    Site labels get the same shard prefixes the merged trace uses, so
+    a Prometheus scrape and a trace query agree on site naming.
+    """
+    if not reports:
+        raise ValueError("merge_metrics needs at least one report")
+    if prefixes is None:
+        prefixes = [shard_prefix(k) for k in range(len(reports))]
+    if len(prefixes) != len(reports):
+        raise ValueError(f"{len(reports)} reports but {len(prefixes)} prefixes")
+
+    def section(name: str) -> list[tuple[str, Mapping[str, Any]]]:
+        return [
+            (prefix, report[name])
+            for prefix, report in zip(prefixes, reports)
+            if report.get(name)
+        ]
+
+    merged: dict[str, Any] = {
+        "counters": _merge_registry_section(
+            section("counters"), _merge_counter_values
+        ),
+        "gauges": _merge_registry_section(
+            section("gauges"), _merge_gauge_values
+        ),
+        "histograms": _merge_registry_section(
+            section("histograms"), _merge_histogram_values
+        ),
+    }
+    network = section("network")
+    if network:
+        merged["network"] = _merge_network(network)
+    kernel = [report["kernel"] for report in reports if report.get("kernel")]
+    if kernel:
+        merged["kernel"] = _elementwise_max(kernel)
+    faults = [report["faults"] for report in reports if report.get("faults")]
+    if faults:
+        totals: dict[str, float] = {}
+        for table in faults:
+            for key, value in table.items():
+                totals[key] = totals.get(key, 0) + value
+        merged["faults"] = dict(sorted(totals.items()))
+    return merged

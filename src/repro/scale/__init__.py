@@ -1,0 +1,45 @@
+"""Scale-out execution: shard independent workflow instances across
+worker processes.
+
+The paper's Example 12 workload -- ``N`` independent instances of one
+workflow template, distinguished only by an identifier suffix -- has
+no cross-instance dependencies, so nothing in the scheduling semantics
+requires the instances to share a scheduler.  Running them all on one
+:class:`~repro.scheduler.guard_scheduler.DistributedScheduler` costs
+superlinearly in ``N`` (settlement scans every base each round); this
+package partitions the instances into shards, runs one scheduler per
+shard in a process pool, and merges the results, metrics, and causal
+traces back into single artifacts (:mod:`repro.obs.merge`).
+
+Determinism contract: for a fixed ``(seed, shard count)`` the merged
+outcome is identical regardless of worker count -- the partition is a
+pure function of the shard count, each shard's RNG seed is derived
+from the run seed and the shard index alone, and shards share no
+state.  Changing the *shard count* regroups instances and therefore
+legitimately changes message interleavings within each scheduler
+(settled outcomes stay the same; timings may not).
+"""
+
+from repro.scale.shards import (
+    InstanceSpec,
+    ScriptSpec,
+    ShardOutcome,
+    ShardTask,
+    ShardedResult,
+    instance_spec,
+    plan_shards,
+    run_sharded,
+    shard_seed,
+)
+
+__all__ = [
+    "InstanceSpec",
+    "ScriptSpec",
+    "ShardOutcome",
+    "ShardTask",
+    "ShardedResult",
+    "instance_spec",
+    "plan_shards",
+    "run_sharded",
+    "shard_seed",
+]

@@ -1,0 +1,427 @@
+"""The shard runner: plan, execute, and merge per-shard schedulers.
+
+Everything that crosses a process boundary here is plain picklable
+data -- strings, numbers, tuples.  :class:`~repro.algebra.symbols.
+Event` and the expression nodes are hash-consed (interned via
+``__new__``, attribute-immutable), which breaks default pickling *by
+design*: two processes must not smuggle un-interned duplicates past
+the identity-based fast paths.  So the wire format ships events and
+dependencies as their ``repr`` strings and every worker re-parses them
+into its own intern tables (``repr`` round-trips through the parser --
+a property the algebra test suite pins down).
+
+The worker rebuilds the workflow *template*, instantiates its shard's
+instances through :class:`~repro.workflows.template.WorkflowTemplate`
+(guard synthesis runs once per worker, renames do the rest), runs one
+:class:`DistributedScheduler` over the merged instances, and returns a
+:class:`ShardOutcome` of plain data.  The parent merges outcomes into
+one :class:`~repro.scheduler.events.ExecutionResult` plus merged
+metrics/trace artifacts (:mod:`repro.obs.merge`).
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.obs.merge import merge_metrics, merge_traces
+from repro.obs.tracer import Tracer
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.scheduler.events import (
+    AttemptOutcome,
+    EventAttributes,
+    ExecutionResult,
+    TraceEntry,
+    Violation,
+)
+from repro.workflows.spec import Workflow
+from repro.workflows.template import WorkflowTemplate
+
+
+def _event_repr(event: Event) -> str:
+    return repr(event)
+
+
+def _event_from_repr(text: str) -> Event:
+    if text.startswith("~"):
+        return Event(text[1:]).complement
+    return Event(text)
+
+
+def shard_seed(seed: int, shard: int) -> int:
+    """The RNG seed for shard ``shard`` of a run seeded ``seed``.
+
+    A splitmix-style integer mix: shards of one run get well-separated
+    streams, and the same ``(seed, shard)`` always yields the same
+    stream regardless of how many workers execute the plan.
+    """
+    mixed = (
+        seed * 6364136223846793005 + shard * 1442695040888963407 + 1
+    ) & ((1 << 63) - 1)
+    mixed ^= mixed >> 31
+    return mixed
+
+
+# ----------------------------------------------------------------------
+# wire format (plain picklable data)
+
+
+@dataclass(frozen=True)
+class ScriptSpec:
+    """One agent script as plain data: ``(time, event, after)`` rows."""
+
+    site: str
+    attempts: tuple[tuple[float, str, str | None], ...]
+
+    @classmethod
+    def of(cls, script: AgentScript) -> "ScriptSpec":
+        return cls(
+            site=script.site,
+            attempts=tuple(
+                (
+                    attempt.time,
+                    _event_repr(attempt.event),
+                    None if attempt.after is None
+                    else _event_repr(attempt.after),
+                )
+                for attempt in script.attempts
+            ),
+        )
+
+    def build(self) -> AgentScript:
+        return AgentScript(
+            self.site,
+            [
+                ScriptedAttempt(
+                    time,
+                    _event_from_repr(event),
+                    None if after is None else _event_from_repr(after),
+                )
+                for time, event, after in self.attempts
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One workflow instance: its suffix plus its (suffixed) scripts."""
+
+    suffix: str
+    scripts: tuple[ScriptSpec, ...]
+
+
+def instance_spec(
+    suffix: str, scripts: Iterable[AgentScript]
+) -> InstanceSpec:
+    """Package an instance's already-suffixed scripts for the wire."""
+    return InstanceSpec(
+        suffix=suffix, scripts=tuple(ScriptSpec.of(s) for s in scripts)
+    )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to run its shard, as plain data.
+
+    The *template* workflow travels un-suffixed (dependency reprs,
+    attribute tuples, site names); the worker re-synthesizes its guard
+    table once and stamps out this shard's instances by rename.
+    """
+
+    shard: int
+    seed: int
+    workflow_name: str
+    dependencies: tuple[str, ...]
+    attributes: tuple[tuple[str, tuple[bool, bool, bool, bool, bool]], ...]
+    sites: tuple[tuple[str, str], ...]
+    instances: tuple[InstanceSpec, ...]
+    reliable: bool = False
+    batch_announcements: bool = False
+    trace: bool = False
+    settle: bool = True
+    latency: float | None = None  # constant per-hop latency, None = default
+
+    def build_template(self) -> WorkflowTemplate:
+        workflow = Workflow(
+            self.workflow_name,
+            dependencies=[parse(text) for text in self.dependencies],
+            attributes={
+                _event_from_repr(event): EventAttributes(*flags)
+                for event, flags in self.attributes
+            },
+            sites={
+                _event_from_repr(event): site for event, site in self.sites
+            },
+        )
+        return WorkflowTemplate(workflow)
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's run, flattened to plain data for the trip home."""
+
+    shard: int
+    entries: tuple[tuple[str, float, float, str], ...]
+    violations: tuple[tuple[str, str], ...]
+    unsettled: tuple[str, ...]
+    makespan: float
+    messages: int
+    messages_by_kind: tuple[tuple[str, int], ...]
+    max_site_load: int
+    central_queue_wait: float
+    parked_total: int
+    promises_granted: int
+    not_yet_rounds: int
+    triggered: int
+    metrics: dict
+    trace_records: tuple[dict, ...] | None
+    fast_instantiations: int
+    fallback_instantiations: int
+
+
+@dataclass
+class ShardedResult:
+    """The merged view of a sharded run."""
+
+    result: ExecutionResult
+    metrics: dict
+    trace_records: list[dict] | None
+    outcomes: list[ShardOutcome]
+    workers: int
+
+    @property
+    def shards(self) -> int:
+        return len(self.outcomes)
+
+
+# ----------------------------------------------------------------------
+# planning
+
+
+def plan_shards(
+    workflow: Workflow,
+    instances: Sequence[InstanceSpec],
+    shards: int,
+    *,
+    seed: int = 0,
+    reliable: bool = False,
+    batch_announcements: bool = False,
+    trace: bool = False,
+    settle: bool = True,
+    latency: float | None = None,
+) -> list[ShardTask]:
+    """Partition ``instances`` round-robin into ``shards`` tasks.
+
+    ``workflow`` is the un-suffixed template.  The partition and the
+    per-shard seeds depend only on ``(instances, shards, seed)`` --
+    never on worker count -- which is what makes sharded runs
+    reproducible across machines and pool sizes.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    if not instances:
+        raise ValueError("plan_shards needs at least one instance")
+    shards = min(shards, len(instances))
+    dependencies = tuple(repr(dep) for dep in workflow.dependencies)
+    attributes = tuple(
+        sorted(
+            (
+                _event_repr(event),
+                (
+                    attrs.triggerable,
+                    attrs.rejectable,
+                    attrs.auto_complement,
+                    attrs.guaranteed,
+                    attrs.delayable,
+                ),
+            )
+            for event, attrs in workflow.attributes.items()
+        )
+    )
+    sites = tuple(
+        sorted(
+            (_event_repr(event), site)
+            for event, site in workflow.sites.items()
+        )
+    )
+    return [
+        ShardTask(
+            shard=shard,
+            seed=shard_seed(seed, shard),
+            workflow_name=workflow.name,
+            dependencies=dependencies,
+            attributes=attributes,
+            sites=sites,
+            instances=tuple(instances[shard::shards]),
+            reliable=reliable,
+            batch_announcements=batch_announcements,
+            trace=trace,
+            settle=settle,
+            latency=latency,
+        )
+        for shard in range(shards)
+    ]
+
+
+# ----------------------------------------------------------------------
+# the worker
+
+
+def _run_shard(task: ShardTask) -> ShardOutcome:
+    """Execute one shard (top-level so worker processes can import it)."""
+    from repro.scheduler.guard_scheduler import DistributedScheduler
+
+    template = task.build_template()
+    merged, guards = template.instantiate_merged(
+        [instance.suffix for instance in task.instances]
+    )
+    tracer = Tracer() if task.trace else None
+    latency = None
+    if task.latency is not None:
+        from repro.sim.network import ConstantLatency
+
+        latency = ConstantLatency(task.latency)
+    scheduler = DistributedScheduler(
+        merged.dependencies,
+        sites=merged.sites,
+        attributes=merged.attributes,
+        latency=latency,
+        rng=random.Random(task.seed),
+        guards=guards,
+        reliable=task.reliable,
+        batch_announcements=task.batch_announcements,
+        tracer=tracer,
+    )
+    scripts = [
+        spec.build()
+        for instance in task.instances
+        for spec in instance.scripts
+    ]
+    result = scheduler.run(scripts, settle=task.settle)
+    return ShardOutcome(
+        shard=task.shard,
+        entries=tuple(
+            (
+                _event_repr(entry.event),
+                entry.time,
+                entry.attempted_at,
+                entry.outcome.value,
+            )
+            for entry in result.entries
+        ),
+        violations=tuple(
+            (violation.kind, violation.detail)
+            for violation in result.violations
+        ),
+        unsettled=tuple(_event_repr(e) for e in result.unsettled),
+        makespan=result.makespan,
+        messages=result.messages,
+        messages_by_kind=tuple(sorted(result.messages_by_kind.items())),
+        max_site_load=result.max_site_load,
+        central_queue_wait=result.central_queue_wait,
+        parked_total=result.parked_total,
+        promises_granted=result.promises_granted,
+        not_yet_rounds=result.not_yet_rounds,
+        triggered=result.triggered,
+        metrics=scheduler.metrics_report(),
+        trace_records=tuple(tracer.records) if tracer is not None else None,
+        fast_instantiations=template.fast_instantiations,
+        fallback_instantiations=template.fallback_instantiations,
+    )
+
+
+# ----------------------------------------------------------------------
+# execution + merge
+
+
+def _execute(tasks: Sequence[ShardTask], workers: int) -> list[ShardOutcome]:
+    if workers <= 1 or len(tasks) <= 1:
+        return [_run_shard(task) for task in tasks]
+    try:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)), mp_context=context
+        ) as pool:
+            return list(pool.map(_run_shard, tasks))
+    except (OSError, ImportError, PermissionError, ValueError):
+        # no usable process pool (platform without fork, or a sandbox
+        # that denies semaphores): same plan, one process -- shards are
+        # independent, so the merged outcome is identical
+        return [_run_shard(task) for task in tasks]
+
+
+def run_sharded(
+    tasks: Sequence[ShardTask], workers: int | None = None
+) -> ShardedResult:
+    """Run a shard plan and merge the outcomes.
+
+    ``workers`` defaults to one per shard (capped by CPU count); any
+    value <= 1 runs in-process.  The merged :class:`ExecutionResult`
+    pools entries across shards in virtual-time order, sums the
+    additive counters, and maxes the per-scheduler aggregates
+    (makespan, peak site load).
+    """
+    if not tasks:
+        raise ValueError("run_sharded needs at least one task")
+    if workers is None:
+        import os
+
+        workers = min(len(tasks), os.cpu_count() or 1)
+    outcomes = _execute(tasks, workers)
+    outcomes.sort(key=lambda outcome: outcome.shard)
+
+    result = ExecutionResult()
+    tagged: list[tuple[float, int, int, TraceEntry]] = []
+    by_kind: dict[str, int] = {}
+    for index, outcome in enumerate(outcomes):
+        for position, (event, time, attempted_at, op) in enumerate(
+            outcome.entries
+        ):
+            tagged.append((
+                time, index, position,
+                TraceEntry(
+                    _event_from_repr(event), time, attempted_at,
+                    AttemptOutcome(op),
+                ),
+            ))
+        result.violations.extend(
+            Violation(kind, detail) for kind, detail in outcome.violations
+        )
+        result.unsettled.extend(
+            _event_from_repr(e) for e in outcome.unsettled
+        )
+        for kind, count in outcome.messages_by_kind:
+            by_kind[kind] = by_kind.get(kind, 0) + count
+        result.messages += outcome.messages
+        result.central_queue_wait += outcome.central_queue_wait
+        result.parked_total += outcome.parked_total
+        result.promises_granted += outcome.promises_granted
+        result.not_yet_rounds += outcome.not_yet_rounds
+        result.triggered += outcome.triggered
+        result.makespan = max(result.makespan, outcome.makespan)
+        result.max_site_load = max(
+            result.max_site_load, outcome.max_site_load
+        )
+    tagged.sort(key=lambda item: item[:3])
+    result.entries = [entry for _, _, _, entry in tagged]
+    result.messages_by_kind = dict(sorted(by_kind.items()))
+
+    metrics = merge_metrics([outcome.metrics for outcome in outcomes])
+    trace_records = None
+    if all(outcome.trace_records is not None for outcome in outcomes):
+        trace_records = merge_traces(
+            [outcome.trace_records for outcome in outcomes]
+        )
+    return ShardedResult(
+        result=result,
+        metrics=metrics,
+        trace_records=trace_records,
+        outcomes=outcomes,
+        workers=workers,
+    )

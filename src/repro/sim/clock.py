@@ -27,8 +27,10 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = 0
+        #: handles still eligible to fire; a heap entry whose handle
+        #: left this set (fired or cancelled) is dead weight awaiting
+        #: lazy removal -- one set is the whole cancel bookkeeping
         self._live: set[int] = set()
-        self._cancelled: set[int] = set()
         self.processed = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> int:
@@ -52,18 +54,16 @@ class Simulator:
         Cancellation is lazy: the heap entry stays until its time
         comes, then is discarded without firing or advancing the
         clock, so a cancelled timer never stretches the makespan.
-        Cancelling an already-fired or unknown handle is a no-op (and
-        leaves no residue: only handles still in the heap are marked,
-        so ``_cancelled`` cannot grow without bound on long runs).
+        Cancelling an already-fired, already-cancelled, or unknown
+        handle is a no-op and leaves no residue: cancel simply drops
+        the handle from the live set, and :meth:`_purge_head` pops
+        heap entries whose handle is no longer live.
         """
-        if handle in self._live:
-            self._cancelled.add(handle)
+        self._live.discard(handle)
 
     def _purge_head(self) -> None:
-        while self._heap and self._heap[0][1] in self._cancelled:
-            _, seq, _ = heapq.heappop(self._heap)
-            self._cancelled.discard(seq)
-            self._live.discard(seq)
+        while self._heap and self._heap[0][1] not in self._live:
+            heapq.heappop(self._heap)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` at an absolute virtual time."""

@@ -332,6 +332,41 @@ class GuardExpr:
         _SIMPLIFY_CACHE[key] = result
         return result
 
+    def rename(self, mapping: Mapping[Event, Event]) -> "GuardExpr":
+        """Substitute base events through ``mapping`` (positive bases on
+        both sides; bases absent from the map are kept).
+
+        This is the template-instantiation fast path: stamping out the
+        guards of a suffixed workflow instance costs one pass over the
+        cubes instead of a fresh synthesis.  For an *injective* map the
+        result skips re-absorption: subsumption and one-difference
+        merging depend only on base identity and masks, so a cube set
+        at the ``_absorb`` fixpoint stays at the fixpoint under any
+        injective renaming.  A non-injective map can collide two bases
+        inside one cube; colliding masks intersect (the conjunctive
+        reading) and the result is re-canonicalized.
+        """
+        if not self.cubes or () in self.cubes or not mapping:
+            return self
+        renamed: set[Cube] = set()
+        collided = False
+        for cube in self.cubes:
+            entries: dict[Event, int] = {}
+            for base, mask in cube:
+                target = mapping.get(base, base)
+                prior = entries.get(target)
+                if prior is None:
+                    entries[target] = mask
+                else:
+                    collided = True
+                    entries[target] = prior & mask
+            cube2 = _make_cube(entries)
+            if cube2 is not None:
+                renamed.add(cube2)
+        if collided:
+            return GuardExpr(frozenset(renamed))
+        return _canonical_guard(frozenset(renamed))
+
     def equivalent(self, other: "GuardExpr") -> bool:
         """Exact region equality over the union of mentioned bases."""
         bases = sorted(self.bases() | other.bases(), key=Event.sort_key)

@@ -413,6 +413,38 @@ def workflow_guards(
     return table
 
 
+def rename_guard_table(
+    table: Mapping[Event, GuardExpr],
+    mapping: Mapping[Event, Event],
+) -> dict[Event, GuardExpr]:
+    """Instantiate a guard table by event substitution.
+
+    ``table`` is a per-event table as produced by :func:`guard_table`
+    or :func:`workflow_guards`; ``mapping`` sends positive base events
+    to positive base events (a workflow template's rename, e.g. ``e ->
+    e_i7``).  Keys are signed: a key's polarity is preserved across the
+    rename, and every guard is renamed through
+    :meth:`~repro.temporal.cubes.GuardExpr.rename`.
+
+    When the rename preserves the canonical event order (which
+    :class:`repro.workflows.template.WorkflowTemplate` checks), the
+    result is bit-identical to re-running :func:`workflow_guards` on
+    the renamed dependencies -- at the cost of a cube-set walk instead
+    of a synthesis.
+    """
+    if not mapping:
+        return dict(table)
+    out: dict[Event, GuardExpr] = {}
+    for event, g in table.items():
+        target = mapping.get(event.base)
+        if target is None:
+            key = event
+        else:
+            key = target.complement if event.negated else target
+        out[key] = g.rename(mapping)
+    return out
+
+
 def generates(
     guards: Mapping[Event, GuardExpr],
     trace,

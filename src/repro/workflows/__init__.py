@@ -22,10 +22,13 @@ from repro.workflows.primitives import (
     precedes,
 )
 from repro.workflows.compiler import CompiledWorkflow, compile_workflow
+from repro.workflows.template import WorkflowInstance, WorkflowTemplate
 
 __all__ = [
     "CompiledWorkflow",
     "Workflow",
+    "WorkflowInstance",
+    "WorkflowTemplate",
     "compensate",
     "compile_workflow",
     "exclusive",

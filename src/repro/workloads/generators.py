@@ -109,16 +109,24 @@ def diamond_workflow(width: int, suffix: str = "") -> Workflow:
 def random_workflow(
     n_tasks: int,
     n_dependencies: int,
-    seed: int,
+    seed: int = 0,
     suffix: str = "",
+    rng: random.Random | None = None,
 ) -> Workflow:
     """A random soup of Klein primitives over ``n_tasks`` events.
 
     Dependencies are sampled as ``a < b`` or ``a -> b`` over distinct
     random pairs, discarding immediate cycles (``a < b`` and
     ``b < a``), which mirrors how the literature's examples compose.
+
+    Randomness comes from an explicit generator: pass ``rng`` to
+    thread your own :class:`random.Random` (per-shard generation in
+    separate worker processes stays reproducible -- each shard builds
+    its own seeded generator, never touching module-global state), or
+    let ``seed`` construct one.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     events = [Event(f"t{i}{suffix}") for i in range(n_tasks)]
     w = Workflow(f"random{n_tasks}x{n_dependencies}{suffix}")
     ordered_pairs: set[tuple[Event, Event]] = set()
@@ -143,14 +151,17 @@ def scripts_for(
     seed: int = 0,
     spread: float = 10.0,
     participation: float = 1.0,
+    rng: random.Random | None = None,
 ) -> list[AgentScript]:
     """Agent scripts attempting each placed base event once.
 
     Attempt times are uniform in ``[0, spread)``; with
     ``participation < 1`` some events are never attempted and settle
-    by complement, exercising the failure paths.
+    by complement, exercising the failure paths.  As with
+    :func:`random_workflow`, pass ``rng`` for an explicit generator.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     by_site: dict[str, list[ScriptedAttempt]] = {}
     for base in sorted(workflow.bases(), key=Event.sort_key):
         attrs = workflow.attributes.get(base)

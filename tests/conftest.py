@@ -5,7 +5,10 @@ Also registers the Hypothesis profiles the suite runs under:
 * ``ci`` -- what the CI workflow selects (``--hypothesis-profile=ci``):
   at least 100 examples per property and *derandomized*, so a CI run
   is reproducible and a failure can be replayed locally byte-for-byte;
-* ``dev`` -- a quick local profile for tight edit-test loops.
+* ``dev`` -- a quick local profile for tight edit-test loops;
+* ``default`` -- what a bare ``pytest`` run gets: derandomized like
+  ``ci`` so the tier-1 suite is deterministic run-to-run (randomized
+  exploration is opt-in via ``--hypothesis-profile=dev``).
 """
 
 import pytest
@@ -20,6 +23,10 @@ hypothesis_settings.register_profile(
 hypothesis_settings.register_profile(
     "dev", max_examples=20, deadline=None
 )
+hypothesis_settings.register_profile(
+    "default", max_examples=50, derandomize=True, deadline=None
+)
+hypothesis_settings.load_profile("default")
 
 
 @pytest.fixture

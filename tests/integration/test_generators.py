@@ -121,3 +121,48 @@ class TestDelayableAttribute:
         assert result.ok
         occurred = {en.event for en in result.entries}
         assert {E, F} <= occurred
+
+
+class TestExplicitRng:
+    """Generators must thread a caller-supplied ``random.Random`` so a
+    shard can reproduce exactly its slice of a workload stream."""
+
+    def test_random_workflow_rng_equals_seed(self):
+        import random
+
+        from repro.workloads.generators import random_workflow
+
+        by_seed = random_workflow(8, 10, seed=7)
+        by_rng = random_workflow(8, 10, rng=random.Random(7))
+        assert [repr(d) for d in by_rng.dependencies] == [
+            repr(d) for d in by_seed.dependencies
+        ]
+        assert by_rng.sites == by_seed.sites
+
+    def test_scripts_for_rng_equals_seed(self):
+        import random
+
+        from repro.workloads.generators import random_workflow, scripts_for
+
+        workflow = random_workflow(8, 10, seed=7)
+        by_seed = scripts_for(workflow, seed=3, participation=0.5)
+        by_rng = scripts_for(
+            workflow, rng=random.Random(3), participation=0.5
+        )
+        assert [
+            (s.site, [(a.time, a.event) for a in s.attempts]) for s in by_rng
+        ] == [
+            (s.site, [(a.time, a.event) for a in s.attempts]) for s in by_seed
+        ]
+
+    def test_module_global_random_untouched(self):
+        import random
+
+        from repro.workloads.generators import random_workflow, scripts_for
+
+        random.seed(123)
+        marker = random.random()
+        random.seed(123)
+        workflow = random_workflow(6, 8, rng=random.Random(0))
+        scripts_for(workflow, rng=random.Random(1))
+        assert random.random() == marker

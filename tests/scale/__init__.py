@@ -1,0 +1,1 @@
+"""Scale-out shard runner tests."""

@@ -1,0 +1,189 @@
+"""The process-pool shard runner (repro.scale.shards)."""
+
+import random
+
+import pytest
+
+from repro.algebra.symbols import Event
+from repro.obs.check import check_records
+from repro.obs.prom import lint_prometheus, render_prometheus
+from repro.scale import (
+    InstanceSpec,
+    ScriptSpec,
+    instance_spec,
+    plan_shards,
+    run_sharded,
+    shard_seed,
+)
+from repro.scale.shards import _run_shard
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.scheduler.guard_scheduler import DistributedScheduler
+from repro.workloads.scenarios import make_travel_booking
+
+
+def travel_instances(count, rng_seed=0):
+    rng = random.Random(rng_seed)
+    out = []
+    for i in range(count):
+        outcome = "success" if rng.random() < 0.7 else "failure"
+        scenario = make_travel_booking(outcome, suffix=f"_i{i}")
+        out.append(instance_spec(f"_i{i}", scenario.scripts))
+    return out
+
+
+TEMPLATE = make_travel_booking().workflow
+
+
+class TestWireFormat:
+    def test_script_spec_round_trip(self):
+        e, f = Event("e"), Event("f")
+        script = AgentScript(
+            "site_a",
+            [ScriptedAttempt(1.0, e), ScriptedAttempt(2.0, ~f, after=e)],
+        )
+        rebuilt = ScriptSpec.of(script).build()
+        assert rebuilt.site == script.site
+        assert [
+            (a.time, a.event, a.after) for a in rebuilt.attempts
+        ] == [(a.time, a.event, a.after) for a in script.attempts]
+
+    def test_shard_task_rebuilds_template(self):
+        instances = travel_instances(2)
+        [task] = plan_shards(TEMPLATE, instances, 1, seed=5)
+        template = task.build_template()
+        assert template.workflow.dependencies == TEMPLATE.dependencies
+        assert template.workflow.sites == TEMPLATE.sites
+        assert template.workflow.attributes == TEMPLATE.attributes
+
+    def test_tasks_are_picklable(self):
+        import pickle
+
+        tasks = plan_shards(TEMPLATE, travel_instances(4), 2, seed=1)
+        for task in tasks:
+            clone = pickle.loads(pickle.dumps(task))
+            assert clone == task
+
+
+class TestPlanning:
+    def test_round_robin_partition(self):
+        instances = travel_instances(7)
+        tasks = plan_shards(TEMPLATE, instances, 3, seed=0)
+        assert [len(t.instances) for t in tasks] == [3, 2, 2]
+        suffixes = [
+            [i.suffix for i in task.instances] for task in tasks
+        ]
+        assert suffixes == [
+            ["_i0", "_i3", "_i6"], ["_i1", "_i4"], ["_i2", "_i5"],
+        ]
+
+    def test_more_shards_than_instances_clamps(self):
+        tasks = plan_shards(TEMPLATE, travel_instances(2), 8, seed=0)
+        assert len(tasks) == 2
+
+    def test_seed_mix_is_deterministic_and_separated(self):
+        seeds = [shard_seed(42, k) for k in range(16)]
+        assert seeds == [shard_seed(42, k) for k in range(16)]
+        assert len(set(seeds)) == 16
+        assert set(seeds).isdisjoint(shard_seed(43, k) for k in range(16))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            plan_shards(TEMPLATE, travel_instances(2), 0)
+        with pytest.raises(ValueError):
+            plan_shards(TEMPLATE, [], 2)
+        with pytest.raises(ValueError):
+            run_sharded([])
+
+
+class TestExecution:
+    def test_shard_runs_clean_and_uses_fast_path(self):
+        [task] = plan_shards(TEMPLATE, travel_instances(3), 1, seed=2)
+        outcome = _run_shard(task)
+        assert not outcome.violations
+        assert not outcome.unsettled
+        assert outcome.fast_instantiations == 3
+        assert outcome.fallback_instantiations == 0
+
+    def test_sharded_matches_merged_single_scheduler(self):
+        instances = travel_instances(6)
+        tasks = plan_shards(TEMPLATE, instances, 3, seed=1)
+        sharded = run_sharded(tasks, workers=1)
+        assert sharded.result.ok, sharded.result.violations
+
+        # one scheduler over all six instances, built the classic way
+        rng = random.Random(0)
+        workflow = None
+        scripts = []
+        for i in range(6):
+            outcome = "success" if rng.random() < 0.7 else "failure"
+            scn = make_travel_booking(outcome, suffix=f"_i{i}")
+            workflow = (
+                scn.workflow if workflow is None
+                else workflow.merged(scn.workflow)
+            )
+            scripts.extend(scn.scripts)
+        sched = DistributedScheduler(
+            workflow.dependencies,
+            sites=workflow.sites,
+            attributes=workflow.attributes,
+            rng=random.Random(9),
+        )
+        merged = sched.run(scripts)
+        assert merged.ok
+        assert {e.event for e in sharded.result.entries} == {
+            e.event for e in merged.entries
+        }
+
+    def test_deterministic_across_worker_counts(self):
+        tasks = plan_shards(TEMPLATE, travel_instances(4), 2, seed=3)
+        a = run_sharded(tasks, workers=1)
+        b = run_sharded(tasks, workers=2)
+        assert [
+            (e.event, e.time, e.outcome) for e in a.result.entries
+        ] == [(e.event, e.time, e.outcome) for e in b.result.entries]
+        assert a.result.makespan == b.result.makespan
+        assert a.result.messages == b.result.messages
+        assert a.result.messages_by_kind == b.result.messages_by_kind
+
+    def test_merged_counters_sum_over_shards(self):
+        tasks = plan_shards(TEMPLATE, travel_instances(4), 2, seed=3)
+        sharded = run_sharded(tasks, workers=1)
+        assert sharded.result.messages == sum(
+            o.messages for o in sharded.outcomes
+        )
+        assert sharded.result.makespan == max(
+            o.makespan for o in sharded.outcomes
+        )
+        assert len(sharded.result.entries) == sum(
+            len(o.entries) for o in sharded.outcomes
+        )
+        assert sharded.result.entries == sorted(
+            sharded.result.entries, key=lambda e: e.time
+        )
+
+    def test_merged_trace_passes_checker(self):
+        tasks = plan_shards(
+            TEMPLATE, travel_instances(4), 2, seed=3, trace=True
+        )
+        sharded = run_sharded(tasks, workers=1)
+        assert sharded.trace_records is not None
+        assert check_records(sharded.trace_records) == []
+        sites = {r["site"] for r in sharded.trace_records}
+        assert any(site.startswith("s0/") for site in sites)
+        assert any(site.startswith("s1/") for site in sites)
+
+    def test_merged_metrics_render_as_prometheus(self):
+        tasks = plan_shards(TEMPLATE, travel_instances(4), 2, seed=3)
+        sharded = run_sharded(tasks, workers=1)
+        text = render_prometheus(sharded.metrics)
+        assert lint_prometheus(text) == []
+
+    def test_untraced_run_has_no_trace(self):
+        tasks = plan_shards(TEMPLATE, travel_instances(2), 2, seed=0)
+        sharded = run_sharded(tasks, workers=1)
+        assert sharded.trace_records is None
+
+    def test_instance_spec_frozen(self):
+        spec = InstanceSpec(suffix="_i0", scripts=())
+        with pytest.raises(AttributeError):
+            spec.suffix = "_i1"

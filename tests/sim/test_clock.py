@@ -117,16 +117,16 @@ class TestCancellation:
 
     def test_cancel_of_fired_handle_leaves_no_residue(self):
         """Regression: cancelling an already-fired handle used to park
-        its sequence number in ``_cancelled`` forever (the entry never
-        reappears in the heap, so ``_purge_head`` never discarded it),
-        leaking memory over long chaos runs that cancel ack timers
-        after they fired."""
+        its sequence number in a separate ``_cancelled`` set forever
+        (the entry never reappears in the heap, so ``_purge_head``
+        never discarded it), leaking memory over long chaos runs that
+        cancel ack timers after they fired.  With the single ``_live``
+        set, a late cancel discards nothing and records nothing."""
         sim = Simulator()
         for _ in range(100):
             handle = sim.schedule(0.0, lambda: None)
             sim.run()
             sim.cancel(handle)  # too late: already fired
-        assert not sim._cancelled
         assert not sim._live
 
     def test_cancel_of_pending_handle_is_purged_on_pop(self):
@@ -135,10 +135,39 @@ class TestCancellation:
         for handle in handles:
             sim.cancel(handle)
         sim.run()
-        assert not sim._cancelled
         assert not sim._live
+        assert not sim._heap
+
+    def test_double_cancel_is_a_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("cancelled"))
+        keeper = sim.schedule(2.0, lambda: fired.append("kept"))
+        sim.cancel(handle)
+        sim.cancel(handle)  # second cancel: no error, no residue
+        sim.run()
+        assert fired == ["kept"]
+        assert keeper != handle
+        assert not sim._live
+
+    def test_cancel_after_fire_then_reuse(self):
+        """A handle cancelled after firing must not suppress a later,
+        distinct timer (sequence numbers are never reused)."""
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, lambda: fired.append("first"))
+        sim.run()
+        sim.cancel(first)
+        sim.cancel(first)  # double-cancel after fire: still a no-op
+        second = sim.schedule(1.0, lambda: fired.append("second"))
+        assert second != first
+        sim.run()
+        assert fired == ["first", "second"]
 
     def test_unknown_handle_is_ignored(self):
         sim = Simulator()
         sim.cancel(12345)
-        assert not sim._cancelled
+        assert not sim._live
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0

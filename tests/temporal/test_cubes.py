@@ -194,3 +194,52 @@ class TestRendering:
     def test_repr_mask_sums(self):
         g = literal("box", E) | literal("dia", ~E)
         assert repr(g) == "([]e + <>~e)"
+
+
+class TestRename:
+    def test_constants_unchanged(self):
+        mapping = {E: Event("e_i0")}
+        assert TRUE_GUARD.rename(mapping) is TRUE_GUARD
+        assert FALSE_GUARD.rename(mapping) is FALSE_GUARD
+
+    def test_empty_mapping_is_identity(self):
+        g = literal("box", E) | literal("dia", ~F)
+        assert g.rename({}) is g
+
+    def test_literal_rename(self):
+        e2 = Event("e_i0")
+        assert literal("box", E).rename({E: e2}) == literal("box", e2)
+        assert literal("dia", ~E).rename({E: e2}) == literal("dia", ~e2)
+        assert literal("notyet", F).rename({E: e2}) == literal("notyet", F)
+
+    def test_rename_round_trip(self):
+        e2, f2 = Event("e_i0"), Event("f_i0")
+        g = (literal("box", E) & literal("notyet", F)) | literal("dia", ~E)
+        there = g.rename({E: e2, F: f2})
+        back = there.rename({e2: E, f2: F})
+        assert back == g
+
+    def test_order_flipping_injective_rename_stays_canonical(self):
+        # mapping that inverts the sort order of the bases: the cube
+        # set must still be at the absorption fixpoint afterwards
+        a, b = Event("a"), Event("b")
+        g = literal("box", a) | (literal("box", b) & literal("dia", a))
+        flipped = g.rename({a: Event("z"), b: Event("c")})
+        rebuilt = literal("box", Event("z")) | (
+            literal("box", Event("c")) & literal("dia", Event("z"))
+        )
+        assert flipped == rebuilt
+
+    def test_non_injective_rename_intersects_masks(self):
+        # e and f collapse onto one base: []e & <>f becomes a single
+        # cube whose mask is the intersection (E_OCC & (E_OCC|P_E))
+        target = Event("t")
+        g = literal("box", E) & literal("dia", F)
+        merged = g.rename({E: target, F: target})
+        assert merged == literal("box", target)
+
+    def test_non_injective_rename_can_empty_a_cube(self):
+        # []e & []~f collapse: E_OCC & C_OCC = EMPTY, the cube dies
+        target = Event("t")
+        g = literal("box", E) & literal("box", ~F)
+        assert g.rename({E: target, F: target}).is_false

@@ -356,3 +356,99 @@ class TestPromLint:
     def test_lint_missing_file(self, tmp_path, capsys):
         assert main(["prom", "lint", str(tmp_path / "no.prom")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestShardedRun:
+    ATTEMPTS = ["--attempt", "s_buy=0", "--attempt", "c_buy=5"]
+
+    def test_sharded_run_writes_merged_artifacts(
+        self, travel_spec, tmp_path, capsys
+    ):
+        trace = tmp_path / "merged.jsonl"
+        prom = tmp_path / "merged.prom"
+        code = main(
+            [
+                "run", travel_spec, "--scheduler", "distributed",
+                *self.ATTEMPTS,
+                "--shards", "2", "--instances", "4", "--workers", "1",
+                "--trace", str(trace), "--prom", str(prom),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "sharded: 4 instances over 2 shard(s)" in out
+        # the merged trace passes the CLI's own checker...
+        assert main(["trace", "check", str(trace)]) == 0
+        # ...and sites carry their shard prefix
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        sites = {r.get("site") for r in records}
+        assert any(s and s.startswith("s0/") for s in sites)
+        assert any(s and s.startswith("s1/") for s in sites)
+        # the merged metrics render as clean Prometheus text
+        assert main(["prom", "lint", str(prom)]) == 0
+
+    def test_json_report_carries_sharding_block(self, travel_spec, capsys):
+        code = main(
+            [
+                "run", travel_spec, "--scheduler", "distributed",
+                *self.ATTEMPTS, "--json",
+                "--shards", "2", "--instances", "6", "--workers", "1",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sharding"] == {
+            "shards": 2, "instances": 6, "workers": 1,
+        }
+        assert report["ok"] is True
+
+    def test_shards_default_one_instance_each(self, travel_spec, capsys):
+        code = main(
+            [
+                "run", travel_spec, "--scheduler", "distributed",
+                *self.ATTEMPTS, "--json", "--shards", "3",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sharding"]["instances"] == 3
+
+    def test_shards_require_distributed_scheduler(self, travel_spec, capsys):
+        code = main(
+            [
+                "run", travel_spec, "--scheduler", "centralized",
+                *self.ATTEMPTS, "--shards", "2",
+            ]
+        )
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_shards_conflict_with_snapshots(self, travel_spec, capsys):
+        code = main(
+            [
+                "run", travel_spec, "--scheduler", "distributed",
+                *self.ATTEMPTS, "--shards", "2", "--snapshot-every", "5",
+            ]
+        )
+        assert code == 2
+        assert "snapshot" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--shards", "0"],
+            ["--shards", "2", "--instances", "0"],
+            ["--shards", "2", "--workers", "0"],
+        ],
+        ids=["shards", "instances", "workers"],
+    )
+    def test_non_positive_counts_exit_two(self, travel_spec, capsys, flags):
+        code = main(
+            [
+                "run", travel_spec, "--scheduler", "distributed",
+                *self.ATTEMPTS, *flags,
+            ]
+        )
+        assert code == 2

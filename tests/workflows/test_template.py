@@ -1,0 +1,153 @@
+"""Template-instantiated guard synthesis (repro.workflows.template)."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.temporal.guards import workflow_guards
+from repro.workflows import WorkflowTemplate
+from repro.workflows.spec import Workflow
+from repro.workflows.template import (
+    rename_event,
+    rename_expr,
+    rename_script,
+)
+from repro.workloads.generators import (
+    chain_workflow,
+    diamond_workflow,
+    fanout_workflow,
+    saga_workflow,
+)
+from repro.workloads.scenarios import make_travel_booking
+
+
+class TestRenameHelpers:
+    def test_rename_event_preserves_polarity(self):
+        e = Event("e")
+        mapping = {e: Event("e_i0")}
+        assert rename_event(e, mapping) == Event("e_i0")
+        assert rename_event(~e, mapping) == ~Event("e_i0")
+        assert rename_event(Event("other"), mapping) == Event("other")
+
+    def test_rename_expr_matches_fresh_parse(self):
+        expr = parse("~e + f . g + e . (f | g)")
+        mapping = {
+            Event(name): Event(f"{name}_i1") for name in ("e", "f", "g")
+        }
+        renamed = rename_expr(expr, mapping)
+        # interned nodes: renaming must land on the same canonical node
+        # a fresh parse of the renamed text produces
+        assert renamed is parse("~e_i1 + f_i1 . g_i1 + e_i1 . (f_i1 | g_i1)")
+
+    def test_rename_expr_identity_without_hits(self):
+        expr = parse("~e + f")
+        assert rename_expr(expr, {Event("zzz"): Event("zzz_i0")}) is expr
+
+    def test_rename_script_suffixes_site_and_events(self):
+        e, f = Event("e"), Event("f")
+        mapping = {e: Event("e_i2"), f: Event("f_i2")}
+        script = AgentScript(
+            "site_a",
+            [
+                ScriptedAttempt(1.0, e),
+                ScriptedAttempt(2.0, ~f, after=e),
+            ],
+        )
+        renamed = rename_script(script, mapping, "_i2")
+        assert renamed.site == "site_a_i2"
+        assert renamed.attempts[0].event == Event("e_i2")
+        assert renamed.attempts[0].time == 1.0
+        assert renamed.attempts[1].event == ~Event("f_i2")
+        assert renamed.attempts[1].after == Event("e_i2")
+
+
+class TestWorkflowTemplate:
+    def test_travel_instances_match_from_scratch_synthesis(self):
+        template = WorkflowTemplate(make_travel_booking().workflow)
+        for suffix in ("_i0", "_i7", "_i123"):
+            instance = template.instantiate(suffix)
+            direct = make_travel_booking(suffix=suffix).workflow
+            assert instance.workflow.dependencies == direct.dependencies
+            assert instance.workflow.sites == direct.sites
+            assert instance.workflow.attributes == direct.attributes
+            assert instance.guards == workflow_guards(direct.dependencies)
+        assert template.fast_instantiations == 3
+        assert template.fallback_instantiations == 0
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda s: chain_workflow(5, suffix=s),
+            lambda s: fanout_workflow(4, suffix=s),
+            lambda s: saga_workflow(4, suffix=s),
+            lambda s: diamond_workflow(3, suffix=s),
+        ],
+        ids=["chain", "fanout", "saga", "diamond"],
+    )
+    def test_generator_instances_match_from_scratch(self, make):
+        template = WorkflowTemplate(make(""))
+        instance = template.instantiate("_i3")
+        direct = make("_i3")
+        assert instance.workflow.dependencies == direct.dependencies
+        assert instance.guards == workflow_guards(direct.dependencies)
+
+    def test_order_violating_suffix_falls_back_and_still_matches(self):
+        # "t1" < "t10" but "t1_x" > "t10_x": suffixing flips the
+        # canonical order, so the rename fast path is unsound here and
+        # the template must re-synthesize -- transparently
+        w = Workflow("prefixy")
+        w.add("~t1 + t10")
+        w.add("~t10 + ~t2 + t10 . t2")
+        template = WorkflowTemplate(w)
+        instance = template.instantiate("_x")
+        assert template.fallback_instantiations == 1
+        assert template.fast_instantiations == 0
+        assert instance.guards == workflow_guards(
+            instance.workflow.dependencies
+        )
+
+    def test_empty_suffix_is_identity(self):
+        workflow = make_travel_booking().workflow
+        template = WorkflowTemplate(workflow)
+        instance = template.instantiate("")
+        assert instance.workflow.dependencies == workflow.dependencies
+        assert instance.guards == template.guards
+
+    def test_guards_synthesized_once(self):
+        template = WorkflowTemplate(make_travel_booking().workflow)
+        first = template.guards
+        template.instantiate("_i0")
+        template.instantiate("_i1")
+        assert template.guards is first
+
+    def test_instantiate_merged_unions_instances(self):
+        template = WorkflowTemplate(make_travel_booking().workflow)
+        merged, guards = template.instantiate_merged(["_i0", "_i1", "_i2"])
+        single = template.instantiate("_i0")
+        assert len(merged.dependencies) == 3 * len(
+            template.workflow.dependencies
+        )
+        assert len(guards) == 3 * len(single.guards)
+        for event, g in single.guards.items():
+            assert guards[event] == g
+
+    def test_instantiate_merged_rejects_empty(self):
+        template = WorkflowTemplate(make_travel_booking().workflow)
+        with pytest.raises(ValueError):
+            template.instantiate_merged([])
+
+    def test_instance_script_rename(self):
+        template = WorkflowTemplate(make_travel_booking().workflow)
+        instance = template.instantiate("_i5")
+        scripts = [
+            instance.instantiate_script(s)
+            for s in make_travel_booking("failure").scripts
+        ]
+        direct = make_travel_booking("failure", suffix="_i5").scripts
+        assert [s.site for s in scripts] == [s.site for s in direct]
+        assert [
+            [(a.time, a.event, a.after) for a in s.attempts] for s in scripts
+        ] == [
+            [(a.time, a.event, a.after) for a in s.attempts] for s in direct
+        ]
