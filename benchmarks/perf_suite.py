@@ -80,6 +80,8 @@ EXACT_FIELDS = (
     "announce_messages",
     "settled",
     "table_size",
+    "wakes",
+    "skips",
 )
 
 
@@ -262,6 +264,11 @@ def bench_end_to_end(rounds: int) -> dict:
     return out
 
 
+def _supports_watching() -> bool:
+    params = inspect.signature(DistributedScheduler.__init__).parameters
+    return "watch_mode" in params
+
+
 def _supports_sharding() -> bool:
     try:
         import repro.scale  # noqa: F401
@@ -378,6 +385,122 @@ def bench_scale_out(rounds: int) -> dict:
     return out
 
 
+def _pf3_run(n: int, hubs: int, watch: bool):
+    """The PF3 workload: ``n`` parked guards that have already stopped
+    caring about the ``hubs`` shared bases.
+
+    Every actor's guard is ``(kill . h_1 . ... . h_m) + g_i``: all
+    actors subscribe to the hub bases, but once ``~kill`` settles the
+    first cube is dead and each residual only mentions the private
+    ``g_i`` (which never settles, so everyone stays parked).  The
+    measured phase then announces the hubs one by one: the naive
+    engine re-evaluates all ``n`` parked guards per announcement, the
+    watched engine skips them all.  Returns the announce-phase wall
+    time and the deterministic observables.
+    """
+    from repro.temporal.cubes import TRUE_GUARD, literal
+
+    kill = Event("pf3_kill")
+    hub_events = [Event(f"pf3_h{j}") for j in range(hubs)]
+    dead_cube = literal("box", kill)
+    for h in hub_events:
+        dead_cube = dead_cube & literal("box", h)
+    guards = {~kill: TRUE_GUARD}
+    parked = []
+    for i in range(n):
+        f_i = Event(f"pf3_f{i}")
+        g_i = Event(f"pf3_g{i}")
+        guards[f_i] = dead_cube | literal("box", g_i)
+        parked.append(f_i)
+    for h in hub_events:
+        guards[h] = TRUE_GUARD  # fires on attempt
+    sched = DistributedScheduler(
+        [],
+        guards=guards,
+        latency=ConstantLatency(1.0),
+        rng=random.Random(3),
+        watch_mode=watch,
+    )
+    for f_i in parked:
+        sched.attempt(f_i)
+    sched.sim.run()
+    sched.attempt(~kill)  # kills the shared cube in every residual
+    sched.sim.run()
+    wakes_before = sched.watch.wakes
+    skips_before = sched.watch.skips
+    start = time.perf_counter()
+    for h in hub_events:
+        sched.attempt(h)
+    sched.sim.run()
+    elapsed = time.perf_counter() - start
+    assert len(sched.result.entries) == hubs + 1, sched.result.entries
+    return {
+        "seconds": elapsed,
+        "settled": len(sched.result.entries),
+        "messages": sched.network.stats.messages,
+        "wakes": sched.watch.wakes - wakes_before,
+        "skips": sched.watch.skips - skips_before,
+        "timeline": [(repr(e.event), e.time) for e in sched.result.entries],
+    }
+
+
+def bench_watch_scaling(rounds: int) -> dict:
+    """PF3: per-announcement assimilation cost vs parked-event count.
+
+    The ROADMAP item the watch index closes is "assimilation cost
+    grows linearly with the number of parked events": the naive engine
+    re-evaluates every parked guard per announcement (``evals ==
+    n``/announcement), the watched engine re-evaluates none (flat 0 --
+    every residual dropped the hub bases), which the deterministic
+    wake/skip counters witness exactly.  Wall-clock shows the same win
+    as a constant-factor speedup per delivery; the announcement
+    *fan-out* is deliberately identical in both engines (same
+    messages, same rng stream -- that is what lets the differential
+    harness fuzz drop/dup/crash schedules), so pure wall time still
+    contains the linear per-message fabric cost in both columns.
+    Also asserts the two engines settle the identical timeline (the
+    cheap always-on shadow of tests/properties/
+    test_watch_equivalence.py).
+    """
+    hubs = 8
+    out: dict[str, dict] = {}
+    speedup_at: dict[int, float] = {}
+    for n in (10, 100, 1000):
+        watched_best = naive_best = float("inf")
+        watched = naive = None
+        for _ in range(rounds):
+            record = _pf3_run(n, hubs, watch=True)
+            if record["seconds"] < watched_best:
+                watched_best, watched = record["seconds"], record
+            record = _pf3_run(n, hubs, watch=False)
+            if record["seconds"] < naive_best:
+                naive_best, naive = record["seconds"], record
+        assert watched["timeline"] == naive["timeline"], (
+            f"watched/naive timelines diverge at n={n}"
+        )
+        assert watched["messages"] == naive["messages"]
+        # the flat-cost witness: the watched announce phase re-evaluates
+        # no guard at any n, the naive one re-evaluates all n per
+        # announcement
+        assert watched["wakes"] == 0, watched
+        assert watched["skips"] == n * hubs, watched
+        assert naive["wakes"] == n * hubs, naive
+        speedup_at[n] = naive["seconds"] / watched["seconds"]
+        for name, record in (("watch", watched), ("naive", naive)):
+            record = dict(record)
+            del record["timeline"]
+            record["per_announcement"] = record["seconds"] / hubs
+            record["evals_per_announcement"] = record["wakes"] // hubs
+            out[f"pf3_{name}_n{n}"] = record
+    # the speedup must be real where it matters: at 100x the parked
+    # population the watched engine wins clearly on wall clock too
+    assert speedup_at[1000] > 1.5, (
+        "watched announce phase must beat naive at n=1000: "
+        f"speedups {speedup_at}"
+    )
+    return out
+
+
 def bench_chaos(rounds: int) -> dict:
     from repro.workloads.scenarios import make_travel_booking
 
@@ -421,6 +544,8 @@ def collect(quick: bool) -> dict:
     if _supports_sharding():
         workloads.update(bench_template_synthesis(rounds))
         workloads.update(bench_scale_out(rounds))
+    if _supports_watching():
+        workloads.update(bench_watch_scaling(rounds))
     workloads.update(bench_chaos(rounds))
     for record in workloads.values():
         if "seconds" in record:
@@ -428,6 +553,7 @@ def collect(quick: bool) -> dict:
     features = {
         "batching": _supports_batching(),
         "sharding": _supports_sharding(),
+        "watching": _supports_watching(),
     }
     try:
         from repro.algebra.expressions import intern_stats  # noqa: F401

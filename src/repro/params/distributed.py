@@ -47,6 +47,7 @@ class DistributedParamRunner:
         tracer=None,
         metrics=None,
         provenance: bool | None = None,
+        watch_mode: bool = True,
     ):
         self.templates: list[Expr] = [
             parse(t) if isinstance(t, str) else t for t in templates
@@ -56,7 +57,7 @@ class DistributedParamRunner:
         self._materialized: set = set()
         self.sched = DistributedScheduler(
             [], attributes={}, tracer=tracer, metrics=metrics,
-            provenance=provenance,
+            provenance=provenance, watch_mode=watch_mode,
         )
         # per-name attributes are resolved lazily per ground base
         self.sched.attributes = self._attributes_for  # type: ignore[assignment]

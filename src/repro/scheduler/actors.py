@@ -152,6 +152,58 @@ class EventActor:
         self.try_fire()
         self._process_pending_grants()
 
+    def note_occurrence(self, event: Event) -> None:
+        """The watched-evaluation skip path: record the announced fact
+        without re-evaluating the guard.
+
+        Identical ``learn`` call to :meth:`observe_occurrence`, so
+        knowledge and provenance stay byte-for-byte equal to the naive
+        engine's; the scheduler only routes here when its watch index
+        proves the skipped re-evaluation would have been a no-op (the
+        base is outside the reduced residual's support and no pending
+        protocol action is armed)."""
+        self.learn(
+            event.base, C_OCC if event.negated else E_OCC,
+            source="announce", origin=event,
+        )
+
+    def solicit_would_act(self) -> bool:
+        """Would the next announcement-driven pass take a protocol
+        action regardless of the announced base?
+
+        Mirrors :meth:`try_fire` + :meth:`_solicit` without side
+        effects.  Any announcement's learn marks knowledge dirty, so a
+        parked actor whose first requestable cube carries certificate
+        needs would start a not-yet round, and one whose promise
+        requests lost their dedup entries (a refusal or a peer
+        recovery cleared them) would re-send -- the naive engine does
+        both from *irrelevant* announcements, so the watch index must
+        wake such actors on everything."""
+        if self.status is not ActorStatus.PENDING:
+            return False
+        if self.sched.is_frozen(self.event.base, exclude=self.event):
+            return False  # try_fire returns before soliciting
+        possible = [
+            c for c in sorted(self.guard.cubes) if self._cube_possible(c)
+        ]
+        mandatory = len(possible) == 1
+        for cube in possible:
+            plan = self._cube_plan(cube)
+            if plan is None:
+                continue
+            promises, certificates = plan
+            level = 1 if mandatory else 0
+            for target in promises:
+                if target.base == self.event.base:
+                    continue
+                key = (target, (self.event,))
+                if self.promise_requested.get(key, -1) < level:
+                    return True  # an un-deduped request would be sent
+            if certificates and not self.round_active:
+                return True  # a dirty learn would start a round
+            return False  # _solicit stops at the first planned cube
+        return False
+
     def strengthen_guard(self, extra: GuardExpr) -> None:
         """Conjoin a contribution from a dependency added at run time.
 

@@ -61,6 +61,7 @@ from repro.sim.network import BatchingChannel, LatencyModel, Network
 from repro.sim.reliable import ReliableNetwork
 from repro.temporal.cubes import GuardExpr
 from repro.temporal.guards import workflow_guards
+from repro.temporal.watch import ALL, WatchIndex, watch_bases
 
 _DEFAULT_ATTRS = EventAttributes()
 
@@ -134,6 +135,7 @@ class DistributedScheduler:
         retransmit_timeout: float = 4.0,
         max_retries: int = 20,
         batch_announcements: bool = False,
+        watch_mode: bool = True,
         tracer=None,
         metrics: MetricsRegistry | None = None,
         provenance: bool | None = None,
@@ -214,6 +216,16 @@ class DistributedScheduler:
         for event, actor in self.actors.items():
             for base in actor.guard.bases():
                 self._subscribers.setdefault(base, []).append(event)
+        #: watched-literal wake index: an announcement only wakes the
+        #: actors whose residual (or armed protocol state) can react;
+        #: the rest take the learn-only skip path.  ``watch_mode=False``
+        #: is the naive reference engine the differential harness
+        #: compares against.
+        self.watch_mode = watch_mode
+        self.watch = WatchIndex()
+        if self.watch_mode:
+            for actor in self.actors.values():
+                self._rewatch(actor)
         # per-site requirement monitors for triggerable events
         self._monitors: list[tuple[str, RequirementMonitor]] = []
         self._monitor_subs: dict[Event, list[int]] = {}
@@ -322,9 +334,47 @@ class DistributedScheduler:
             lambda msg: self._dispatch(coordinator, msg),
         )
 
-    @staticmethod
-    def _dispatch(actor: EventActor, message) -> None:
+    def _rewatch(self, actor: EventActor) -> None:
+        """Refresh the actor's wake set after its state may have moved.
+
+        The wake set is the reduced residual's base support, except
+        that an actor that would take a protocol action from *any*
+        knowledge tick (re-solicit, held grant decisions) or whose
+        residual is not yet reduced under its knowledge must wake on
+        everything -- see :mod:`repro.temporal.watch` for why each
+        widening is required for exact equivalence with the naive
+        engine.  Over-wide entries are always safe (a woken actor runs
+        exactly the naive path), so staleness between hooks can only
+        cost a wake, never correctness."""
+        if not self.watch_mode:
+            return
+        if actor.pending_grant_reqs or actor.solicit_would_act():
+            self.watch.register(actor.event, ALL)
+            return
+        self.watch.register(
+            actor.event, watch_bases(actor.guard, actor.knowledge)
+        )
+
+    def _rewatch_base(self, base: Event) -> None:
+        """Refresh both polarity actors of ``base``."""
+        for event in (base.base, base.base.complement):
+            actor = self.actors.get(event)
+            if actor is not None:
+                self._rewatch(actor)
+
+    def _dispatch(self, actor: EventActor, message) -> None:
         if isinstance(message, Announce):
+            if self.watch_mode and not self.watch.should_wake(
+                actor.event, message.event.base
+            ):
+                # the watched-literal skip: record the fact, touch
+                # nothing else -- the index proved re-evaluation would
+                # be a no-op (and the learn cannot invalidate any
+                # registered wake set, so no re-watch is needed)
+                self.watch.note_skip()
+                actor.note_occurrence(message.event)
+                return
+            self.watch.note_wake()
             actor.observe_occurrence(message.event)
         elif isinstance(message, PromiseRequest):
             actor.on_promise_request(message)
@@ -346,6 +396,9 @@ class DistributedScheduler:
             actor.on_recovered(message)
         else:  # pragma: no cover
             raise TypeError(f"unroutable message: {message!r}")
+        # every full delivery can move the actor's guard, knowledge,
+        # or protocol arming -- refresh its wake set
+        self._rewatch(actor)
 
     def base_settled(self, base: Event) -> str | None:
         signed = self._settled.get(base.base)
@@ -369,6 +422,7 @@ class DistributedScheduler:
             actor = self.actors.get(event)
             if actor is not None:
                 actor.serve_deferred_notyet()
+        self._rewatch_base(base)
 
     def freeze(self, base: Event, requester: Event, round_id: int = 0) -> None:
         self._frozen.setdefault(base.base, set()).add((requester, round_id))
@@ -398,6 +452,7 @@ class DistributedScheduler:
                 actor = self.actors.get(event)
                 if actor is not None:
                     actor.try_fire()
+            self._rewatch_base(base)
 
     def is_frozen(self, base: Event, exclude: Event | None = None) -> bool:
         holders = self._frozen.get(base.base, set())
@@ -503,6 +558,7 @@ class DistributedScheduler:
             if self.tracer.active:
                 self.tracer.actor(self.sim.now, comp.site, comp.event, "dead")
             comp.cancel_protocols()
+        self._rewatch_base(event)
         # announcements to guard subscribers
         for sub_event in self._subscribers.get(event.base, ()):
             if sub_event.base == event.base:
@@ -580,6 +636,7 @@ class DistributedScheduler:
                 contribution, lambda _payload: None,
             )
             actor.strengthen_guard(contribution)
+            self._rewatch(actor)
         self._rebuild_monitors()
         return True
 
@@ -620,6 +677,7 @@ class DistributedScheduler:
                 new_guard, lambda _payload: None,
             )
             actor.replace_guard(new_guard)
+            self._rewatch(actor)
         self._rebuild_monitors()
         return True
 
@@ -650,6 +708,7 @@ class DistributedScheduler:
         """Crash hook: the site's actors lose their volatile state."""
         for actor in self._site_actors(site):
             actor.crash_reset()
+            self._rewatch(actor)
 
     def _recover_site(self, site: str) -> None:
         """Restart hook: run the recovery protocol for the site.
@@ -668,6 +727,7 @@ class DistributedScheduler:
         restarted = self._site_actors(site)
         for actor in restarted:
             actor.recover()
+            self._rewatch(actor)
         announced: set[Event] = set()
         for actor in restarted:
             base = actor.event.base
@@ -814,6 +874,12 @@ class DistributedScheduler:
         report = self.metrics.as_dict()
         report["network"] = self.network.stats.as_dict()
         report["kernel"] = kernel_stats()
+        # overlay this scheduler's own wake/skip/re-watch counts over
+        # the process-wide totals (several schedulers can share one
+        # process; the per-run numbers are the meaningful ones)
+        report["kernel"]["watch"] = dict(
+            report["kernel"]["watch"], **self.watch.counts()
+        )
         if self.faults is not None:
             report["faults"] = {
                 "crashes": self.faults.crash_count,
@@ -975,6 +1041,7 @@ class DistributedScheduler:
             return
         attempted_at = self.sim.now if at is None else at
         actor.attempt(attempted_at)
+        self._rewatch(actor)
 
     def schedule_script(self, script: AgentScript) -> None:
         """Schedule an agent's attempts, honouring its ``after`` gates."""
@@ -1090,6 +1157,7 @@ class DistributedScheduler:
             for actor in parked:
                 if actor.escalate():
                     issued = True
+                self._rewatch(actor)
             if not issued:
                 return
             self.sim.run()

@@ -184,6 +184,7 @@ def kernel_stats() -> dict:
     """
     from repro.algebra.expressions import intern_stats
     from repro.temporal.cubes import simplify_cache_stats
+    from repro.temporal.watch import watch_stats
 
     def lru_counts(fn) -> dict:
         info = fn.cache_info()
@@ -193,6 +194,7 @@ def kernel_stats() -> dict:
         "interning": intern_stats(),
         "synthesis": synthesis_stats(),
         "simplify": simplify_cache_stats(),
+        "watch": watch_stats(),
         "memo": {
             "residuate": lru_counts(residuate),
             "to_normal_form": lru_counts(to_normal_form),

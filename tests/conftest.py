@@ -29,6 +29,33 @@ hypothesis_settings.register_profile(
 hypothesis_settings.load_profile("default")
 
 
+KERNEL_STATS_KEYS = {"interning", "synthesis", "simplify", "watch", "memo"}
+WATCH_STATS_KEYS = {"wakes", "skips", "rewatches"}
+
+
+def assert_kernel_schema(stats):
+    """The expected shape of ``kernel_stats()`` (and the ``kernel``
+    section of ``metrics_report()``), asserted in one place so a new
+    kernel subsystem updates every consumer test at once.
+
+    Accepts supersets per section (``metrics_report`` overlays
+    scheduler-local counters such as ``registered`` onto the
+    process-wide watch totals); missing keys are the failure mode
+    this guards against."""
+    assert KERNEL_STATS_KEYS <= set(stats), sorted(stats)
+    assert {"exprs", "events"} <= set(stats["interning"])
+    assert WATCH_STATS_KEYS <= set(stats["watch"]), sorted(stats["watch"])
+    for counter in WATCH_STATS_KEYS:
+        assert isinstance(stats["watch"][counter], int)
+    assert {"residuate", "to_normal_form"} <= set(stats["memo"])
+
+
+@pytest.fixture
+def kernel_schema():
+    """Fixture handle on :func:`assert_kernel_schema`."""
+    return assert_kernel_schema
+
+
 @pytest.fixture
 def e():
     return Event("e")

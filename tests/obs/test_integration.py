@@ -22,6 +22,8 @@ from repro.workloads.scenarios import (
     make_travel_booking,
 )
 
+from ..conftest import assert_kernel_schema
+
 SCENARIOS = {
     "ex10_order": make_order_fulfillment,
     "ex12_travel": make_travel_booking,
@@ -116,6 +118,10 @@ class TestMetricsReport:
         assert fired == len(result.entries)
         assert report["counters"]["attempts"]["total"] >= fired
         assert report["network"]["messages"] == result.messages
+        assert_kernel_schema(report["kernel"])
+        # the scheduler overlays its own index counters on the
+        # process-wide totals
+        assert "registered" in report["kernel"]["watch"]
 
     def test_crash_run_reports_faults_and_recovery(self):
         scenario = make_travel_booking()

@@ -7,6 +7,8 @@ from repro.obs.prom import lint_prometheus, render_prometheus, write_prometheus
 from repro.scheduler.guard_scheduler import DistributedScheduler
 from repro.workloads.scenarios import make_travel_booking
 
+from ..conftest import assert_kernel_schema
+
 
 def metrics_report():
     scenario = make_travel_booking()
@@ -49,10 +51,14 @@ class TestRender:
         assert "repro_lifecycle_attempt_to_park_count " in text
 
     def test_network_and_kernel_sections_present(self):
-        text = render_prometheus(metrics_report())
+        report = metrics_report()
+        assert_kernel_schema(report["kernel"])
+        text = render_prometheus(report)
         assert "repro_network_messages" in text
         assert 'repro_network_by_kind{kind="announce"}' in text
         assert "repro_kernel_" in text
+        assert "repro_kernel_watch_wakes" in text
+        assert "repro_kernel_watch_skips" in text
 
     def test_snapshot_counters_exported(self):
         text = render_prometheus(metrics_report())

@@ -117,6 +117,11 @@ class TestInterning:
         assert stats["exprs"]["hits"] >= 1
         clear_intern_tables()
 
+    def test_kernel_stats_schema(self, kernel_schema):
+        from repro.temporal.guards import kernel_stats
+
+        kernel_schema(kernel_stats())
+
 
 SCENARIOS = {
     "travel_success": lambda: make_travel_booking("success"),

@@ -1,0 +1,328 @@
+"""The watched-literal guard engine is an optimization, not a
+semantics change.
+
+A ``DistributedScheduler`` with ``watch_mode=True`` indexes each
+parked guard by the event bases that can still move it and skips
+re-evaluating guards an announcement cannot affect.  Because the skip
+happens on the *receiver* -- fan-out, message streams, and rng draws
+are untouched -- the watched and naive engines must stay in lock-step
+under **any** fault schedule: drops, duplicates, crash/restart plans,
+Example 14 resurrection, and run-time guard-table growth.  The
+differential harness here runs fuzzed workflows under both engines
+with identical fault schedules and asserts byte-identical timelines,
+final actor states, and (modulo the guard-evaluation records the
+naive engine emits extra) causal traces.
+
+The centralized :class:`ResiduationScheduler` gets the same
+treatment: component-factored scan skipping must decide exactly what
+the naive full rescan decides.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.parser import parse
+from repro.algebra.symbols import Event
+from repro.obs import Tracer
+from repro.params.distributed import DistributedParamRunner
+from repro.scheduler.agents import AgentScript, ScriptedAttempt
+from repro.scheduler.guard_scheduler import DistributedScheduler
+from repro.scheduler.residuation_scheduler import CentralizedScheduler
+from repro.sim.network import ConstantLatency
+from repro.workloads.generators import chain_workflow, scripts_for
+from repro.workloads.scenarios import (
+    Scenario,
+    make_mutex_scenario,
+    make_order_fulfillment,
+    make_travel_booking,
+)
+
+from .test_chaos_properties import fault_schedules, scenario_sites
+
+
+def make_chain_scenario(seed: int = 0) -> Scenario:
+    """Example 11's shape: a sequential hand-off pipeline."""
+    workflow = chain_workflow(4)
+    return Scenario(
+        workflow=workflow,
+        scripts=scripts_for(workflow, seed=seed),
+        description="ex11 chain",
+    )
+
+
+SCENARIOS = {
+    "ex10_order_clears": lambda: make_order_fulfillment(True),
+    "ex10_order_bounce": lambda: make_order_fulfillment(False),
+    "ex11_chain": make_chain_scenario,
+    "ex12_travel_success": lambda: make_travel_booking("success"),
+    "ex12_travel_failure": lambda: make_travel_booking("failure"),
+    "ex13_mutex_t1": lambda: make_mutex_scenario("t1"),
+    "ex13_mutex_t2": lambda: make_mutex_scenario("t2"),
+}
+
+
+def run_engine(scenario, plan, seed, watch, drop=0.0, dup=0.0, tracer=None):
+    """One deterministic run of either engine.
+
+    Receiver-side skipping leaves fan-out intact, so -- unlike the
+    PR 3 batching comparison -- drops and duplicates are fair game:
+    both engines draw the same dice for the same sends."""
+    sched = DistributedScheduler(
+        scenario.workflow.dependencies,
+        sites=scenario.workflow.sites,
+        attributes=scenario.workflow.attributes,
+        latency=ConstantLatency(1.0),
+        rng=random.Random(seed),
+        drop_probability=drop,
+        duplicate_probability=dup,
+        reliable=True,
+        fault_plan=plan,
+        watch_mode=watch,
+        tracer=tracer,
+    )
+    result = sched.run(scenario.scripts, verify=False)
+    return sched, result
+
+
+def observables(result):
+    """Everything a run decides, minus engine-internal bookkeeping.
+
+    ``parked_total`` is deliberately absent: the naive engine counts a
+    park every time a re-evaluation leaves an actor parked, while the
+    watched engine does not re-evaluate at all -- an accepted
+    divergence in *effort accounting*, not in outcomes."""
+    return {
+        "timeline": [(repr(e.event), e.time) for e in result.entries],
+        "makespan": result.makespan,
+        "messages": result.messages,
+        "unsettled": sorted(map(repr, result.unsettled)),
+        "violations": sorted(v.kind for v in result.violations),
+    }
+
+
+def final_state(sched):
+    """Per-actor settlement status, learned knowledge, and guard."""
+    return {
+        repr(event): (
+            actor.status.name,
+            sorted((repr(b), m) for b, m in actor.knowledge.items()),
+            repr(actor.guard),
+        )
+        for event, actor in sched.actors.items()
+    }
+
+
+def assert_equivalent(scenario, plan, seed, drop=0.0, dup=0.0):
+    naive_sched, naive = run_engine(scenario, plan, seed, watch=False,
+                                    drop=drop, dup=dup)
+    watch_sched, watched = run_engine(scenario, plan, seed, watch=True,
+                                      drop=drop, dup=dup)
+    assert observables(watched) == observables(naive)
+    assert final_state(watch_sched) == final_state(naive_sched)
+    return naive_sched, watch_sched
+
+
+@st.composite
+def watch_cases(draw):
+    name = draw(st.sampled_from(sorted(SCENARIOS)))
+    scenario = SCENARIOS[name]()
+    plan = draw(fault_schedules(scenario_sites(scenario), False))
+    drop = draw(st.sampled_from([0.0, 0.15, 0.3]))
+    dup = draw(st.sampled_from([0.0, 0.15, 0.3]))
+    seed = draw(st.integers(0, 2**16))
+    return name, scenario, plan, drop, dup, seed
+
+
+class TestWatchedEquivalence:
+    """watched == naive on Examples 10-13 under fuzzed faults."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(watch_cases())
+    def test_fuzzed_faults_are_observably_identical(self, case):
+        name, scenario, plan, drop, dup, seed = case
+        assert_equivalent(scenario, plan, seed, drop=drop, dup=dup)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(sorted(SCENARIOS)), st.integers(0, 2**16))
+    def test_traces_differ_only_in_guard_evaluations(self, name, seed):
+        """Causal traces agree record-for-record once guard-evaluation
+        records (cat ``guard``) and duplicate ``parked`` actor records
+        are dropped -- they are exactly the work watching avoids.
+        Lamport clocks tick per record, so elided records shift the
+        counters (``lc`` and the ``sent_lc`` carried on receives);
+        the projection drops those two fields and nothing else."""
+        scenario = SCENARIOS[name]()
+        naive_tr, watch_tr = Tracer(), Tracer()
+        run_engine(scenario, None, seed, watch=False, tracer=naive_tr)
+        run_engine(scenario, None, seed, watch=True, tracer=watch_tr)
+
+        def project(records):
+            return [
+                {k: v for k, v in record.items() if k not in ("lc", "sent_lc")}
+                for record in records
+                if record.get("cat") != "guard"
+                and record.get("op") != "parked"
+            ]
+
+        assert project(watch_tr.records) == project(naive_tr.records)
+
+    def test_watching_actually_skips_on_the_examples(self):
+        """At least one scenario must exercise the skip path, or the
+        suite is vacuously comparing two naive engines."""
+        total = 0
+        for factory in SCENARIOS.values():
+            scenario = factory()
+            _, sched = assert_equivalent(scenario, None, 0)
+            total += sched.watch.counts()["skips"]
+        assert total > 0
+
+    def test_counters_surface_in_metrics_report(self, kernel_schema):
+        sched, _ = run_engine(make_travel_booking("success"), None, 0, True)
+        kernel = sched.metrics_report()["kernel"]
+        kernel_schema(kernel)
+        assert kernel["watch"]["registered"] == len(sched.watch)
+
+
+class TestWatchedRuntimeGrowth:
+    """Run-time guard-table modification re-registers watches."""
+
+    DEP = "~ship + pay . ship"
+
+    def _grow_run(self, watch, extra):
+        sched = DistributedScheduler(
+            [parse(self.DEP)],
+            latency=ConstantLatency(1.0),
+            rng=random.Random(5),
+            watch_mode=watch,
+        )
+        pay, ship = Event("pay"), Event("ship")
+        sched.attempt(ship)  # parks: pay has not settled
+        sched.sim.run()
+        if extra:
+            # growth: ship now also needs the audit to have run
+            assert sched.add_dependency_runtime(parse("~ship + audit . ship"))
+            sched.attempt(Event("audit"))
+            sched.sim.run()
+        sched.attempt(pay)
+        result = sched.run(settle=True, verify=False)
+        return sched, result
+
+    def test_added_dependency_equivalence(self):
+        for extra in (False, True):
+            naive_sched, naive = self._grow_run(False, extra)
+            watch_sched, watched = self._grow_run(True, extra)
+            assert observables(watched) == observables(naive)
+            assert final_state(watch_sched) == final_state(naive_sched)
+
+    def test_removed_dependency_equivalence(self):
+        def run(watch):
+            sched = DistributedScheduler(
+                [parse(self.DEP)],
+                latency=ConstantLatency(1.0),
+                rng=random.Random(5),
+                watch_mode=watch,
+            )
+            sched.attempt(Event("ship"))  # parks behind pay
+            sched.sim.run()
+            assert sched.remove_dependency_runtime(parse(self.DEP))
+            return sched, sched.run(settle=True, verify=False)
+
+        naive_sched, naive = run(False)
+        watch_sched, watched = run(True)
+        assert observables(watched) == observables(naive)
+        assert final_state(watch_sched) == final_state(naive_sched)
+
+
+class TestResurrectionEquivalence:
+    """Example 14: parametrized loops mint fresh instances; watches
+    must follow the growing guard table and resurrected actors."""
+
+    TEMPLATES = [
+        "b2[y] . b1[x] + ~e1[x] + ~b2[y] + e1[x] . b2[y]",
+        "b1[x] . b2[y] + ~e2[y] + ~b1[x] + e2[y] . b1[x]",
+        "~b1[x] + e1[x]",
+        "~b2[y] + e2[y]",
+    ]
+
+    def _run(self, tokens, watch):
+        runner = DistributedParamRunner(self.TEMPLATES, watch_mode=watch)
+        for name, value in tokens:
+            runner.attempt(Event(name, params=(value,)))
+        result = runner.finish(verify=False)
+        return runner.sched, result
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["b1", "e1", "b2", "e2"]),
+                st.integers(0, 1),
+            ),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    def test_token_sequences_are_observably_identical(self, tokens):
+        naive_sched, naive = self._run(tokens, watch=False)
+        watch_sched, watched = self._run(tokens, watch=True)
+        assert observables(watched) == observables(naive)
+        assert final_state(watch_sched) == final_state(naive_sched)
+
+
+@st.composite
+def central_cases(draw):
+    # several independent little workflows sharing one centralized
+    # scheduler, attempted in a fuzzed interleaving: cross-component
+    # skips interleave with per-component wake-ups
+    n = draw(st.integers(2, 4))
+    deps, events = [], []
+    for i in range(n):
+        a, b = Event(f"a{i}"), Event(f"b{i}")
+        deps.append(parse(f"~b{i} + a{i} . b{i}"))
+        events.extend([b, a])  # b first: parks until a settles
+    order = draw(st.permutations(events))
+    return deps, tuple(order)
+
+
+class TestCentralizedEquivalence:
+    """The component-factored scan of ``CentralizedScheduler`` decides
+    exactly what the naive full rescan decides."""
+
+    @staticmethod
+    def _run(deps, order, watch):
+        sched = CentralizedScheduler(deps, watch_mode=watch)
+        scripts = [
+            AgentScript(
+                "agents",
+                [ScriptedAttempt(float(i), e) for i, e in enumerate(order)],
+            )
+        ]
+        result = sched.run(scripts, verify=False)
+        return sched, result
+
+    @settings(max_examples=100, deadline=None)
+    @given(central_cases())
+    def test_interleavings_are_observably_identical(self, case):
+        deps, order = case
+        naive_sched, naive = self._run(deps, order, watch=False)
+        watch_sched, watched = self._run(deps, order, watch=True)
+        assert observables(watched) == observables(naive)
+        assert sorted(
+            (repr(d), repr(r)) for d, r in watch_sched.residuals.items()
+        ) == sorted((repr(d), repr(r)) for d, r in naive_sched.residuals.items())
+
+    def test_component_skips_happen(self):
+        deps = [parse(f"~b{i} + a{i} . b{i}") for i in range(8)]
+        order = [Event(f"b{i}") for i in range(8)] + [
+            Event(f"a{i}") for i in range(8)
+        ]
+        sched, result = self._run(deps, order, watch=True)
+        counts = sched.watch.counts()
+        assert counts["skips"] > 0, counts
+        timeline = [repr(e.event) for e in result.entries]
+        # every a unparks exactly its own b, in attempt order
+        for i in range(8):
+            assert timeline.index(f"a{i}") < timeline.index(f"b{i}")

@@ -137,3 +137,75 @@ class TestAnalyzeReport:
         report = analyze(w)
         assert frozenset({E, F}) in report.promise_pairs
         assert "consensus" in report.summary()
+
+
+class TestExampleWorkflows:
+    """The compile-time analysis on the paper's running examples
+    (Examples 10-14) plus an unsatisfiable specification."""
+
+    def test_order_fulfillment_is_clean(self):
+        from repro.workloads.scenarios import make_order_fulfillment
+
+        workflow = make_order_fulfillment(True).workflow
+        report = analyze(workflow)
+        assert report.satisfiable
+        assert not report.conflicts
+        assert report.ok, report.summary()
+
+    def test_chain_workflow_mandates_nothing_up_front(self):
+        from repro.workloads.generators import chain_workflow
+
+        workflow = chain_workflow(4)
+        report = analyze(workflow)
+        assert report.satisfiable
+        assert report.vacuous  # the all-negative run discharges it
+        assert report.mandatory == frozenset()
+        assert not report.conflicts
+
+    def test_travel_booking_has_no_forbidden_events(self):
+        from repro.workloads.scenarios import make_travel_booking
+
+        workflow = make_travel_booking("failure").workflow
+        report = analyze(workflow)
+        assert report.satisfiable
+        assert report.forbidden == frozenset()
+        assert not report.conflicts
+
+    def test_mutex_workflow_is_satisfiable_and_conflict_free(self):
+        from repro.workloads.scenarios import make_mutex_scenario
+
+        workflow = make_mutex_scenario("t2").workflow
+        report = analyze(workflow)
+        assert report.satisfiable
+        assert not report.conflicts
+        assert not report.forbidden
+
+    def test_parametrized_ground_instance_analyzes_clean(self):
+        # Example 14's loop bodies, grounded at one iteration: the
+        # instances the distributed runner mints at run time pass the
+        # same static checks as hand-written dependencies
+        w = Workflow("mutex_ground")
+        w.add("b2_0 . b1_0 + ~e1_0 + ~b2_0 + e1_0 . b2_0")
+        w.add("b1_0 . b2_0 + ~e2_0 + ~b1_0 + e2_0 . b1_0")
+        w.add("~b1_0 + e1_0")
+        w.add("~b2_0 + e2_0")
+        report = analyze(w)
+        assert report.satisfiable
+        assert not report.conflicts
+
+    def test_unsatisfiable_spec_is_flagged(self):
+        w = Workflow("impossible")
+        w.add("e . f")
+        w.add("f . e")
+        w.add("~g + e")
+        report = analyze(w)
+        assert not report.satisfiable
+        assert report.conflicts
+        assert not report.ok
+        assert "CONFLICT" in report.summary()
+
+    def test_unsatisfiable_spec_helpers_agree(self):
+        deps = [parse("e"), parse("~e")]
+        assert not satisfiable(deps)
+        assert dependency_conflicts(deps) == [(deps[0], deps[1])]
+        assert redundant_dependencies(deps) == []
