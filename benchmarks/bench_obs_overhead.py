@@ -226,3 +226,88 @@ def test_bench_snapshots_under_faults(benchmark):
         f"\n[obs] SN1: {len(completed)}/{len(snaps)} snapshots complete, "
         f"{markers} markers ({share:.1%} of fabric traffic)"
     )
+
+
+# ----------------------------------------------------------------------
+# Experiment OB3: cost of the span profiler on SC1.
+#
+# The profiler wraps the hot scheduler phases (synthesis, delivery,
+# guard evaluation, watch wake-ups, cube ops) in explicit spans.  Off
+# -- the NULL_PROFILER default -- each instrumented site costs one
+# attribute read and a branch; on, each span costs two perf_counter
+# calls.  Both claims are pinned on SC1 (merged travel instances, the
+# scalability workload of Section 6): the profiled run stays
+# bit-identical, and the enabled profiler sits well under the loose
+# wall bound (measured <5%; EXPERIMENTS.md records the ratio).
+
+
+def _run_profiled(profiler=None, sample_every=None, count=6, seed=42):
+    from benchmarks.helpers import merged_travel_instances
+    from repro.sim.network import ConstantLatency
+
+    workflow, scripts = merged_travel_instances(count)
+    sched = DistributedScheduler(
+        workflow.dependencies,
+        sites=workflow.sites,
+        attributes=workflow.attributes,
+        latency=ConstantLatency(1.0),
+        rng=random.Random(seed),
+        profiler=profiler,
+        sample_every=sample_every,
+    )
+    result = sched.run(scripts, verify=False)
+    assert not result.unsettled
+    return sched, result
+
+
+def test_bench_profiler_on(benchmark):
+    from repro.obs.profile import Profiler
+
+    def run():
+        return _run_profiled(profiler=Profiler(), sample_every=1.0)
+
+    sched, _result = benchmark(run)
+    report = sched.profiler.report()
+    assert "synthesis" in report["phases"]
+    assert "delivery" in report["phases"]
+    spans = sum(node["calls"] for node in report["phases"].values())
+    print(
+        f"\n[obs] profiled SC1 run: {spans} spans, "
+        f"{len(report['phases'])} distinct phase paths"
+    )
+
+
+def test_bench_profiled_run_is_bit_identical():
+    from repro.obs.profile import Profiler
+
+    _, plain = _run_profiled()
+    _, profiled = _run_profiled(profiler=Profiler(), sample_every=1.0)
+    assert _timeline(plain) == _timeline(profiled)
+    assert plain.makespan == profiled.makespan
+    assert plain.messages == profiled.messages
+
+
+def test_bench_profiler_overhead_ratio():
+    """OB3's loose CI guard; EXPERIMENTS.md records the precise ratio."""
+    from repro.obs.profile import Profiler
+
+    rounds = 5
+    _run_profiled()  # warm-up: imports, guard compilation caches
+
+    def clock(**kwargs):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            _run_profiled(**kwargs)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    off = clock()
+    on = clock(profiler=Profiler())
+    sampled = clock(profiler=Profiler(), sample_every=1.0)
+    print(
+        f"\n[obs] SC1 wall: off={off * 1e3:.2f}ms on={on * 1e3:.2f}ms "
+        f"sampled={sampled * 1e3:.2f}ms ratio={on / off:.2f}"
+    )
+    assert on < off * 4.0, (off, on)
+    assert sampled < off * 5.0, (off, sampled)

@@ -12,8 +12,11 @@ Usage (also via ``python -m repro``):
     repro guard    "DEP" EVENT        # one guard (Example-9 style)
     repro trace check  TRACE.jsonl    # verify a recorded trace offline
     repro trace export TRACE.jsonl    # convert to chrome://tracing JSON
+    repro trace query  TRACE.jsonl    # filter, latencies, critical path
     repro explain  TRACE.jsonl EVENT  # why did/didn't EVENT fire?
     repro prom lint METRICS.prom      # validate Prometheus text output
+    repro profile  SPEC.wf            # phase-attributed wall-time profile
+    repro slo check REPORT.json SLO.json  # gate a run on thresholds
 
 ``run`` options: ``--scheduler {distributed,centralized,automata}``,
 ``--attempt EVENT=TIME`` (repeatable), ``--latency L``, ``--seed N``,
@@ -23,7 +26,11 @@ Usage (also via ``python -m repro``):
 stay parked for ``explain`` to dissect), and, on the distributed
 scheduler only: ``--snapshot-every N`` (consistent global snapshots on
 a virtual-time cadence), ``--snapshot-out FILE`` (write them as JSON),
-``--prom FILE`` (write metrics in Prometheus text format), and
+``--prom FILE`` (write metrics in Prometheus text format),
+``--profile [--profile-out FILE --profile-format F]`` (phase-attributed
+wall-time profile: text table, flamegraph collapsed stacks, or
+chrome://tracing JSON), ``--sample-every T`` (gauge time series on a
+virtual-time cadence, merged per shard in scale-out mode), and
 ``--shards N [--instances K] [--workers M]`` (scale-out mode: the spec
 becomes a template, K suffixed instances are stamped out by renaming
 its compiled guards, and N schedulers run them in a process pool;
@@ -33,8 +40,10 @@ Exit codes: ``run`` exits 0 only when the run is *clean* -- no
 dependency violations and no unsettled bases; 1 when either remains;
 2 on usage errors.  ``trace check`` exits 1 when the trace violates an
 invariant (an empty or truncated trace is reported, not a traceback);
-``explain`` exits 1 when the event never appears in the trace; file
-errors exit 2.
+``trace query`` exits 1 when the trace is empty, no record matches, or
+the requested analysis has no data; ``slo check`` exits 1 when any
+rule fails (a rule with no data fails closed); ``explain`` exits 1
+when the event never appears in the trace; file errors exit 2.
 """
 
 from __future__ import annotations
@@ -177,6 +186,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --shards: worker processes for the pool (default: "
         "one per shard, capped by CPU count; 1 = run in-process)",
     )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute wall time to scheduler phases (synthesis, guard "
+        "evaluation, delivery, ...) and report the breakdown "
+        "(distributed scheduler only)",
+    )
+    p_run.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="with --profile: write the profile to FILE instead of "
+        "embedding/printing it",
+    )
+    p_run.add_argument(
+        "--profile-format",
+        choices=("text", "collapsed", "chrome", "json"),
+        default="collapsed",
+        help="format for --profile-out: flamegraph collapsed stacks "
+        "(default), chrome://tracing JSON, raw JSON, or the text table",
+    )
+    p_run.add_argument(
+        "--sample-every",
+        type=float,
+        metavar="T",
+        help="sample gauge time series (parked events, channel backlog, "
+        "in-flight messages, fire/settle rates) every T virtual time "
+        "units; series ride in metrics under \"timeseries\" "
+        "(distributed scheduler only)",
+    )
 
     p_explain = sub.add_parser(
         "explain",
@@ -212,6 +250,102 @@ def _build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("trace_file")
     p_export.add_argument(
         "-o", "--output", help="write here instead of stdout"
+    )
+    p_query = trace_sub.add_parser(
+        "query", help="filter and analyze a recorded trace offline"
+    )
+    p_query.add_argument("trace_file", help="JSONL trace (from run --trace)")
+    p_query.add_argument(
+        "--event", help="only records about this event (base name matches "
+        "both e and ~e)"
+    )
+    p_query.add_argument(
+        "--site", help="only records at/from/to this site"
+    )
+    p_query.add_argument(
+        "--cat",
+        choices=(
+            "actor", "message", "guard", "session",
+            "round", "fault", "sync", "monitor",
+        ),
+        help="only records of this category",
+    )
+    p_query.add_argument("--op", help="only records with this op")
+    p_query.add_argument("--kind", help="only messages of this kind")
+    p_query.add_argument(
+        "--since", type=float, metavar="T", help="only records with t >= T"
+    )
+    p_query.add_argument(
+        "--until", type=float, metavar="T", help="only records with t <= T"
+    )
+    p_query.add_argument(
+        "--latencies",
+        action="store_true",
+        help="per-event attempt->fire latency summary (count, mean, "
+        "p50/p90/p99, max) over the matching records",
+    )
+    p_query.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="the causal chain ending at the last firing (of --event, "
+        "if given), compressed into per-site segments",
+    )
+    p_query.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output instead of text/JSONL",
+    )
+    p_query.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="print at most N matching records (0 = all)",
+    )
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run a spec under the phase profiler; print the breakdown",
+    )
+    p_profile.add_argument("spec")
+    p_profile.add_argument(
+        "--attempt",
+        action="append",
+        default=[],
+        metavar="EVENT=TIME",
+        help="scripted attempt, e.g. --attempt s_buy=0",
+    )
+    p_profile.add_argument("--latency", type=float, default=1.0)
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument(
+        "--format",
+        choices=("text", "collapsed", "chrome", "json"),
+        default="text",
+        help="text table (default), flamegraph collapsed stacks, "
+        "chrome://tracing JSON, or raw JSON",
+    )
+    p_profile.add_argument(
+        "-o", "--output", help="write here instead of stdout"
+    )
+    p_profile.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="text format: show only the top N phases by self time",
+    )
+
+    p_slo = sub.add_parser(
+        "slo", help="service-level objectives over run reports"
+    )
+    slo_sub = p_slo.add_subparsers(dest="slo_command", required=True)
+    p_slo_check = slo_sub.add_parser(
+        "check",
+        help="evaluate declarative thresholds against a run --json report",
+    )
+    p_slo_check.add_argument(
+        "report_file", help="JSON report from ``repro run --json``"
+    )
+    p_slo_check.add_argument(
+        "slo_file",
+        help='SLO document: {"slos": [{"indicator"|"path", "min"/"max"}]}',
+    )
+    p_slo_check.add_argument(
+        "--json", action="store_true",
+        help="machine-readable per-rule results instead of text",
     )
     return parser
 
@@ -265,23 +399,31 @@ def _cmd_guard(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    workflow = load(args.spec)
+def _parse_attempts(specs) -> list[ScriptedAttempt] | None:
+    """Parse ``--attempt EVENT=TIME`` flags; None (after a message) on error."""
     attempts = []
-    for spec in args.attempt:
+    for spec in specs:
         name, _, time_text = spec.partition("=")
         if not time_text:
             print(f"bad --attempt (want EVENT=TIME): {spec!r}", file=sys.stderr)
-            return 2
+            return None
         event_expr = parse(name.strip())
         from repro.algebra.expressions import Atom
 
         if not isinstance(event_expr, Atom):
             print(f"bad --attempt event: {name!r}", file=sys.stderr)
-            return 2
+            return None
         attempts.append(
             ScriptedAttempt(float(time_text), event_expr.event)
         )
+    return attempts
+
+
+def _cmd_run(args) -> int:
+    workflow = load(args.spec)
+    attempts = _parse_attempts(args.attempt)
+    if attempts is None:
+        return 2
     scheduler_cls = SCHEDULERS[args.scheduler]
     snapshotting = args.snapshot_every is not None or args.snapshot_out
     if snapshotting and args.scheduler != "distributed":
@@ -289,6 +431,20 @@ def _cmd_run(args) -> int:
             "--snapshot-every/--snapshot-out need --scheduler distributed",
             file=sys.stderr,
         )
+        return 2
+    if (args.profile or args.sample_every is not None) and (
+        args.scheduler != "distributed"
+    ):
+        print(
+            "--profile/--sample-every need --scheduler distributed",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sample_every is not None and args.sample_every <= 0:
+        print("--sample-every must be positive", file=sys.stderr)
+        return 2
+    if args.profile_out and not args.profile:
+        print("--profile-out needs --profile", file=sys.stderr)
         return 2
     if args.shards is not None:
         if args.scheduler != "distributed":
@@ -303,6 +459,13 @@ def _cmd_run(args) -> int:
             return 2
         return _cmd_run_sharded(args, workflow, attempts)
     tracer = Tracer() if (args.json or args.trace or snapshotting) else None
+    extra = {}
+    if args.profile:
+        from repro.obs.profile import Profiler
+
+        extra["profiler"] = Profiler()
+    if args.sample_every is not None:
+        extra["sample_every"] = args.sample_every
     sched = scheduler_cls(
         workflow.dependencies,
         sites=workflow.sites,
@@ -310,6 +473,7 @@ def _cmd_run(args) -> int:
         latency=ConstantLatency(args.latency),
         rng=random.Random(args.seed),
         tracer=tracer,
+        **extra,
     )
     if args.snapshot_every is not None:
         if args.snapshot_every <= 0:
@@ -332,6 +496,11 @@ def _cmd_run(args) -> int:
         from repro.obs.prom import write_prometheus
 
         write_prometheus(sched.metrics_report(), args.prom)
+    profile_report = (
+        extra["profiler"].report() if args.profile else None
+    )
+    if profile_report is not None and args.profile_out:
+        _write_profile(profile_report, args.profile_out, args.profile_format)
     if args.json:
         report = _run_report(
             result,
@@ -339,6 +508,8 @@ def _cmd_run(args) -> int:
             tracer.records if tracer is not None else None,
             args.trace,
         )
+        if profile_report is not None:
+            report["profile"] = profile_report
         if snapshotting:
             report["snapshots"] = {
                 "taken": len(snapshots),
@@ -351,11 +522,24 @@ def _cmd_run(args) -> int:
         if snapshotting:
             complete = sum(1 for s in snapshots if s["complete"])
             print(f"snapshots: {complete}/{len(snapshots)} complete")
+        if profile_report is not None and not args.profile_out:
+            from repro.obs.profile import format_report
+
+            print(format_report(profile_report))
         if result.violations:
             for violation in result.violations:
                 print(f"violation[{violation.kind}]: {violation.detail}")
     # the exit contract: clean means no violations AND every base settled
     return 0 if (not result.violations and not result.unsettled) else 1
+
+
+def _write_profile(profile_report: dict, path: str, fmt: str) -> None:
+    """Write a profiler report to ``path`` in the chosen format."""
+    from repro.obs.profile import dump
+
+    with open(path, "w", encoding="utf-8") as handle:
+        dump(profile_report, handle, fmt)
+    print(f"wrote profile ({fmt}) to {path}", file=sys.stderr)
 
 
 def _run_report(result, metrics, trace_records, trace_path) -> dict:
@@ -428,6 +612,8 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
         trace=tracing,
         settle=not args.no_settle,
         latency=args.latency,
+        profile=args.profile,
+        sample_every=args.sample_every,
     )
     sharded = run_sharded(tasks, workers=args.workers)
     result = sharded.result
@@ -439,10 +625,14 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
         from repro.obs.prom import write_prometheus
 
         write_prometheus(sharded.metrics, args.prom)
+    if sharded.profile is not None and args.profile_out:
+        _write_profile(sharded.profile, args.profile_out, args.profile_format)
     if args.json:
         report = _run_report(
             result, sharded.metrics, sharded.trace_records, args.trace
         )
+        if sharded.profile is not None:
+            report["profile"] = sharded.profile
         report["sharding"] = {
             "shards": sharded.shards,
             "instances": count,
@@ -455,6 +645,10 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
             f"sharded: {count} instances over {sharded.shards} shard(s), "
             f"{sharded.workers} worker(s)"
         )
+        if sharded.profile is not None and not args.profile_out:
+            from repro.obs.profile import format_report
+
+            print(format_report(sharded.profile))
         if result.violations:
             for violation in result.violations:
                 print(f"violation[{violation.kind}]: {violation.detail}")
@@ -462,6 +656,8 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if args.trace_command == "query":
+        return _cmd_trace_query(args)
     if args.trace_command == "check":
         try:
             count, diagnostics = check_file(args.trace_file)
@@ -510,6 +706,183 @@ def _cmd_trace(args) -> int:
         print(f"wrote {len(chrome['traceEvents'])} events to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_trace_query(args) -> int:
+    """``repro trace query``: filter + offline analytics over a trace.
+
+    Exit contract (satellite of ``trace check``): 0 with results; 1
+    when the trace is empty, nothing matches the filter, or the
+    requested analysis has no data (so scripts notice silence instead
+    of blessing it); 2 on unreadable files.
+    """
+    from repro.obs.query import critical_path, filter_records, latency_summary
+
+    try:
+        records = read_jsonl(args.trace_file)
+    except OSError as exc:
+        print(f"{args.trace_file}: cannot read: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"{args.trace_file}: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(
+            f"{args.trace_file}: empty trace (no records); nothing to "
+            "query -- was the run traced (run --trace FILE)?",
+            file=sys.stderr,
+        )
+        return 1
+    matched = filter_records(
+        records,
+        event=args.event,
+        site=args.site,
+        cat=args.cat,
+        op=args.op,
+        kind=args.kind,
+        since=args.since,
+        until=args.until,
+    )
+    if not matched:
+        print(
+            f"{args.trace_file}: 0 of {len(records)} records match the "
+            "filter",
+            file=sys.stderr,
+        )
+        return 1
+    analytics = args.latencies or args.critical_path
+    out: dict = {"records": len(records), "matched": len(matched)}
+    if args.latencies:
+        summary = latency_summary(matched)
+        if not summary:
+            print(
+                "no attempt->fire pairs among the matching records",
+                file=sys.stderr,
+            )
+            return 1
+        out["latencies"] = summary
+    if args.critical_path:
+        # causality needs the *whole* trace: a filtered-out send on
+        # another site may still carry the chain
+        segments = critical_path(records, event=args.event)
+        if not segments:
+            print("nothing fired; no critical path", file=sys.stderr)
+            return 1
+        out["critical_path"] = segments
+    shown = matched if args.limit <= 0 else matched[: args.limit]
+    if args.json:
+        if not analytics:
+            out["events"] = shown
+        print(json.dumps(out, indent=2))
+        return 0
+    if args.latencies:
+        header = f"{'event':<24} {'count':>5} {'mean':>8} "
+        header += f"{'p50':>8} {'p90':>8} {'p99':>8} {'max':>8}"
+        print(header)
+        for event, stats in out["latencies"].items():
+            print(
+                f"{event:<24} {stats['count']:>5} {stats['mean']:>8.3f} "
+                f"{stats['p50']:>8.3f} {stats['p90']:>8.3f} "
+                f"{stats['p99']:>8.3f} {stats['max']:>8.3f}"
+            )
+    if args.critical_path:
+        print("critical path (earliest segment first):")
+        for seg in out["critical_path"]:
+            via = (
+                f" <- {seg['via_kind']} #{seg['via_mid']}"
+                if seg["via_kind"] else ""
+            )
+            print(
+                f"  {seg['site']}: t={seg['from_t']:g}..{seg['to_t']:g} "
+                f"({seg['records']} records){via}"
+            )
+    if not analytics:
+        for record in shown:
+            print(json.dumps(record, sort_keys=True))
+        print(
+            f"{len(matched)} of {len(records)} records match",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """``repro profile``: one profiled distributed run of a spec."""
+    from repro.obs.profile import Profiler, dump, format_report
+
+    workflow = load(args.spec)
+    attempts = _parse_attempts(args.attempt)
+    if attempts is None:
+        return 2
+    profiler = Profiler()
+    sched = DistributedScheduler(
+        workflow.dependencies,
+        sites=workflow.sites,
+        attributes=workflow.attributes,
+        latency=ConstantLatency(args.latency),
+        rng=random.Random(args.seed),
+        profiler=profiler,
+    )
+    scripts = [AgentScript("cli", attempts)] if attempts else []
+    sched.run(scripts)
+    report = profiler.report()
+    if args.output:
+        _write_profile(report, args.output, args.format)
+        return 0
+    if args.format == "text":
+        print(format_report(report, limit=args.limit))
+    else:
+        dump(report, sys.stdout, args.format)
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    """``repro slo check``: gate a ``run --json`` report on thresholds.
+
+    Exit contract: 0 when every rule passes; 1 when any rule fails
+    (including "no data" -- an empty report must not pass a latency
+    gate); 2 on unreadable files or a malformed SLO document.
+    """
+    from repro.obs.query import evaluate_slos
+
+    documents = []
+    for path in (args.report_file, args.slo_file):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            print(f"{path}: cannot read: {exc}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"{path}: not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(document, dict):
+            print(f"{path}: expected a JSON object", file=sys.stderr)
+            return 2
+        documents.append(document)
+    report, slo_doc = documents
+    try:
+        results = evaluate_slos(report, slo_doc)
+    except ValueError as exc:
+        print(f"{args.slo_file}: {exc}", file=sys.stderr)
+        return 2
+    failures = [r for r in results if not r["ok"]]
+    if args.json:
+        print(json.dumps(
+            {"ok": not failures, "results": results}, indent=2
+        ))
+        return 0 if not failures else 1
+    for r in results:
+        status = "PASS" if r["ok"] else "FAIL"
+        print(f"{status}  {r['name']}: {r['detail']}")
+    if failures:
+        print(
+            f"{len(failures)} of {len(results)} SLO rule(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(results)} SLO rule(s) hold")
     return 0
 
 
@@ -583,6 +956,8 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "explain": _cmd_explain,
         "prom": _cmd_prom,
+        "profile": _cmd_profile,
+        "slo": _cmd_slo,
     }[args.command]
     try:
         return handler(args)

@@ -40,12 +40,43 @@ artifact:
   reports from the scale-out runner (:mod:`repro.scale`) into single
   artifacts that still satisfy the checker and exporter, with
   shard-prefixed site names and re-based message ids.
+* :mod:`repro.obs.profile` -- a span-based phase profiler with
+  hierarchical attribution (synthesis, template stamping, guard
+  evaluation, cube ops, watch wakes, delivery, retransmits, sync
+  rounds), self-vs-cumulative time, per-site/per-event breakdowns, and
+  collapsed-stack / Chrome-trace exporters.  The default
+  :data:`NULL_PROFILER` is inert, mirroring :data:`NULL_TRACER`.
+* :mod:`repro.obs.timeseries` -- a :class:`TimeSeriesRegistry` of
+  sim-time gauge series (parked events, channel backlog, in-flight
+  messages, fires per interval) sampled on the simulator's clock, with
+  per-shard merging as fleet-total step functions.
+* :mod:`repro.obs.query` -- the offline trace analytics engine behind
+  ``repro trace query`` and ``repro slo check``: record filters,
+  attempt->fire latency percentiles (cross-checked against the
+  lifecycle histograms), critical-path extraction, and declarative SLO
+  evaluation over ``run --json`` reports.
 """
 
 from repro.obs.check import Diagnostic, check_file, check_records
 from repro.obs.export import to_chrome
-from repro.obs.merge import merge_metrics, merge_traces, shard_prefix
+from repro.obs.merge import (
+    merge_metrics,
+    merge_profiles,
+    merge_timeseries,
+    merge_traces,
+    shard_prefix,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, NullProfiler, Profiler
+from repro.obs.query import (
+    KNOWN_INDICATORS,
+    critical_path,
+    evaluate_slos,
+    filter_records,
+    histogram_cross_check,
+    latency_summary,
+)
+from repro.obs.timeseries import TimeSeriesRegistry
 from repro.obs.prom import lint_prometheus, render_prometheus, write_prometheus
 from repro.obs.provenance import (
     NULL_PROVENANCE,
@@ -63,21 +94,33 @@ __all__ = [
     "Diagnostic",
     "Explanation",
     "Fact",
+    "KNOWN_INDICATORS",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_PROVENANCE",
     "NULL_TRACER",
+    "NullProfiler",
     "NullProvenance",
     "NullTracer",
+    "Profiler",
     "ProvenanceLog",
     "Snapshot",
     "SnapshotCoordinator",
+    "TimeSeriesRegistry",
     "Tracer",
     "check_file",
     "check_records",
     "check_snapshot",
+    "critical_path",
+    "evaluate_slos",
     "explain_records",
+    "filter_records",
+    "histogram_cross_check",
+    "latency_summary",
     "lint_prometheus",
     "merge_metrics",
+    "merge_profiles",
+    "merge_timeseries",
     "merge_traces",
     "minimal_unblocking_sets",
     "read_jsonl",

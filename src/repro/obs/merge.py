@@ -30,12 +30,32 @@ and per-site breakdowns are united under the same shard prefixes the
 trace uses.  Symbolic-kernel statistics are *process-local cache
 snapshots*, not additive work counters, so they merge by element-wise
 maximum -- the report shows the hottest shard's cache shape rather
-than a fictitious sum over caches that shared nothing.
+than a fictitious sum over caches that shared nothing.  The one
+exception is ``kernel["watch"]``: the scheduler overlays its *own*
+watch-index work counters (wakes/skips/rewatches/registered) there, so
+those are additive across shards and merge by sum.
+
+Profiler reports merge through
+:func:`repro.obs.profile.merge_profiles` (re-exported here) -- span
+times and call counts are additive -- and time-series registries
+through :func:`merge_timeseries`, which sums each gauge as a step
+function over the union of the shards' sample times.
 """
 
 from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
+
+from repro.obs.profile import merge_profiles
+from repro.obs.timeseries import step_sum
+
+__all__ = [
+    "merge_metrics",
+    "merge_profiles",
+    "merge_timeseries",
+    "merge_traces",
+    "shard_prefix",
+]
 
 
 def shard_prefix(shard: int) -> str:
@@ -165,6 +185,37 @@ def _elementwise_max(values: Sequence[Any]) -> Any:
     return first
 
 
+def _elementwise_sum(values: Sequence[Any]) -> Any:
+    """Element-wise sum of same-shaped nested dicts of numbers."""
+    first = values[0]
+    if isinstance(first, Mapping):
+        keys = sorted({key for value in values for key in value})
+        return {
+            key: _elementwise_sum([v[key] for v in values if key in v])
+            for key in keys
+        }
+    if isinstance(first, (int, float)) and not isinstance(first, bool):
+        return sum(values)
+    return first
+
+
+def _merge_kernel(sections: Sequence[Mapping[str, Any]]) -> dict:
+    """Merge per-shard ``kernel`` sections.
+
+    Cache-shape snapshots (interning/synthesis/simplify/memo) take the
+    element-wise max -- summing caches that shared nothing would
+    fabricate work.  The ``watch`` subsection is different: each
+    scheduler overlays its own wake/skip/rewatch/registered counters
+    there (see ``metrics_report``), which count real per-shard work
+    and therefore sum.
+    """
+    merged = _elementwise_max(sections)
+    watch = [s["watch"] for s in sections if isinstance(s.get("watch"), Mapping)]
+    if watch:
+        merged["watch"] = _elementwise_sum(watch)
+    return merged
+
+
 def _merge_network(sections: Sequence[tuple[str, Mapping[str, Any]]]) -> dict:
     out: dict[str, Any] = {}
     keys = sorted({key for _, section in sections for key in section})
@@ -228,7 +279,13 @@ def merge_metrics(
         merged["network"] = _merge_network(network)
     kernel = [report["kernel"] for report in reports if report.get("kernel")]
     if kernel:
-        merged["kernel"] = _elementwise_max(kernel)
+        merged["kernel"] = _merge_kernel(kernel)
+    timeseries = [
+        report["timeseries"] for report in reports
+        if report.get("timeseries")
+    ]
+    if timeseries:
+        merged["timeseries"] = merge_timeseries(timeseries)
     faults = [report["faults"] for report in reports if report.get("faults")]
     if faults:
         totals: dict[str, float] = {}
@@ -237,3 +294,32 @@ def merge_metrics(
                 totals[key] = totals.get(key, 0) + value
         merged["faults"] = dict(sorted(totals.items()))
     return merged
+
+
+# ----------------------------------------------------------------------
+# time series
+
+def merge_timeseries(registries: Sequence[Mapping[str, Any]]) -> dict:
+    """Merge per-shard :meth:`TimeSeriesRegistry.as_dict` payloads.
+
+    Every series present in any shard appears in the merged result;
+    its points are the step-function sum over the union of the shards'
+    sample times (:func:`repro.obs.timeseries.step_sum`), so merged
+    sample times are non-decreasing and each merged value is the fleet
+    total at that instant.  The merged interval is the coarsest of the
+    inputs (the merged series is only as fine as its sparsest shard).
+    """
+    if not registries:
+        raise ValueError("merge_timeseries needs at least one registry")
+    names = sorted({
+        name for reg in registries for name in reg.get("series", {})
+    })
+    return {
+        "interval": max(reg.get("interval", 1.0) for reg in registries),
+        "series": {
+            name: step_sum([
+                reg.get("series", {}).get(name, []) for reg in registries
+            ])
+            for name in names
+        },
+    }

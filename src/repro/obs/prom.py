@@ -196,6 +196,27 @@ def render_prometheus(report: dict[str, Any], prefix: str = "repro_") -> str:
         fam.add(value)
         families.append(fam)
 
+    series = report.get("timeseries", {}).get("series", {})
+    for name in sorted(series):
+        points = series[name]
+        if not points:
+            continue
+        base = f"{prefix}ts_{_sanitize(name)}"
+        fam = _Family(
+            base, "gauge",
+            f"sampled time series {name} (last value at quiescence)",
+        )
+        fam.add(points[-1][1])
+        peak_fam = _Family(
+            f"{base}_peak", "gauge", f"peak sampled value of {name}"
+        )
+        peak_fam.add(max(v for _, v in points))
+        samples_fam = _Family(
+            f"{base}_samples", "gauge", f"number of samples of {name}"
+        )
+        samples_fam.add(len(points))
+        families.extend([fam, peak_fam, samples_fam])
+
     faults = report.get("faults", {})
     for key in sorted(faults):
         fam = _Family(

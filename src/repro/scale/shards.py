@@ -28,7 +28,8 @@ from typing import Iterable, Sequence
 
 from repro.algebra.parser import parse
 from repro.algebra.symbols import Event
-from repro.obs.merge import merge_metrics, merge_traces
+from repro.obs.merge import merge_metrics, merge_profiles, merge_traces
+from repro.obs.profile import Profiler
 from repro.obs.tracer import Tracer
 from repro.scheduler.agents import AgentScript, ScriptedAttempt
 from repro.scheduler.events import (
@@ -144,8 +145,10 @@ class ShardTask:
     trace: bool = False
     settle: bool = True
     latency: float | None = None  # constant per-hop latency, None = default
+    profile: bool = False
+    sample_every: float | None = None
 
-    def build_template(self) -> WorkflowTemplate:
+    def build_template(self, profiler=None) -> WorkflowTemplate:
         workflow = Workflow(
             self.workflow_name,
             dependencies=[parse(text) for text in self.dependencies],
@@ -157,7 +160,7 @@ class ShardTask:
                 _event_from_repr(event): site for event, site in self.sites
             },
         )
-        return WorkflowTemplate(workflow)
+        return WorkflowTemplate(workflow, profiler=profiler)
 
 
 @dataclass(frozen=True)
@@ -181,6 +184,7 @@ class ShardOutcome:
     trace_records: tuple[dict, ...] | None
     fast_instantiations: int
     fallback_instantiations: int
+    profile: dict | None = None
 
 
 @dataclass
@@ -192,6 +196,7 @@ class ShardedResult:
     trace_records: list[dict] | None
     outcomes: list[ShardOutcome]
     workers: int
+    profile: dict | None = None
 
     @property
     def shards(self) -> int:
@@ -213,6 +218,8 @@ def plan_shards(
     trace: bool = False,
     settle: bool = True,
     latency: float | None = None,
+    profile: bool = False,
+    sample_every: float | None = None,
 ) -> list[ShardTask]:
     """Partition ``instances`` round-robin into ``shards`` tasks.
 
@@ -262,6 +269,8 @@ def plan_shards(
             trace=trace,
             settle=settle,
             latency=latency,
+            profile=profile,
+            sample_every=sample_every,
         )
         for shard in range(shards)
     ]
@@ -275,7 +284,8 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     """Execute one shard (top-level so worker processes can import it)."""
     from repro.scheduler.guard_scheduler import DistributedScheduler
 
-    template = task.build_template()
+    profiler = Profiler() if task.profile else None
+    template = task.build_template(profiler=profiler)
     merged, guards = template.instantiate_merged(
         [instance.suffix for instance in task.instances]
     )
@@ -295,6 +305,8 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
         reliable=task.reliable,
         batch_announcements=task.batch_announcements,
         tracer=tracer,
+        profiler=profiler,
+        sample_every=task.sample_every,
     )
     scripts = [
         spec.build()
@@ -331,6 +343,7 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
         trace_records=tuple(tracer.records) if tracer is not None else None,
         fast_instantiations=template.fast_instantiations,
         fallback_instantiations=template.fallback_instantiations,
+        profile=profiler.report() if profiler is not None else None,
     )
 
 
@@ -418,10 +431,14 @@ def run_sharded(
         trace_records = merge_traces(
             [outcome.trace_records for outcome in outcomes]
         )
+    profile = None
+    if all(outcome.profile is not None for outcome in outcomes):
+        profile = merge_profiles([outcome.profile for outcome in outcomes])
     return ShardedResult(
         result=result,
         metrics=metrics,
         trace_records=trace_records,
         outcomes=outcomes,
         workers=workers,
+        profile=profile,
     )

@@ -87,6 +87,9 @@ class EventActor:
         scheduler: "DistributedScheduler",
     ):
         self.event = event
+        #: cached ``repr(event)`` -- profiled hot paths label every
+        #: span with it, and the repr never changes
+        self.event_label = repr(event)
         self.guard = guard
         #: the durable (logged) guard: the compiled artifact plus any
         #: run-time reconfigurations, *without* the volatile
@@ -148,7 +151,15 @@ class EventActor:
             event.base, C_OCC if event.negated else E_OCC,
             source="announce", origin=event,
         )
-        self.guard = self.guard.simplify_under(self.knowledge)
+        profiler = self.sched.profiler
+        if profiler.active:
+            profiler.push("cube_ops", site=self.site, event=self.event_label)
+            try:
+                self.guard = self.guard.simplify_under(self.knowledge)
+            finally:
+                profiler.pop()
+        else:
+            self.guard = self.guard.simplify_under(self.knowledge)
         self.try_fire()
         self._process_pending_grants()
 
@@ -274,24 +285,35 @@ class EventActor:
 
     def _evaluate_guard(self, knowledge: dict[Event, int]) -> str:
         """Decide fire/park/never for the residual guard under
-        ``knowledge`` (Section 4.3's evaluation rule), optionally timed
-        and traced.  The untraced path computes nothing extra."""
+        ``knowledge`` (Section 4.3's evaluation rule), optionally
+        timed, traced, and profiled.  The untraced, unprofiled path
+        computes nothing extra beyond the evaluation counter."""
         sched = self.sched
+        sched.metrics.inc("guard_evals", site=self.site)
         timed = sched.tracer.active or sched.metrics.timed
-        if not timed:
+        profiled = sched.profiler.active
+        if not timed and not profiled:
             if self.guard.region_subsumes(knowledge):
                 return "fire"
             if not self.guard.possible_under(knowledge):
                 return "never"
             return "park"
-        start = time.perf_counter()
-        if self.guard.region_subsumes(knowledge):
-            verdict = "fire"
-        elif not self.guard.possible_under(knowledge):
-            verdict = "never"
-        else:
-            verdict = "park"
-        elapsed = time.perf_counter() - start
+        if profiled:
+            sched.profiler.push(
+                "guard_eval", site=self.site, event=self.event_label
+            )
+        try:
+            start = time.perf_counter()
+            if self.guard.region_subsumes(knowledge):
+                verdict = "fire"
+            elif not self.guard.possible_under(knowledge):
+                verdict = "never"
+            else:
+                verdict = "park"
+            elapsed = time.perf_counter() - start
+        finally:
+            if profiled:
+                sched.profiler.pop()
         if sched.metrics.timed:
             sched.metrics.observe("guard_eval_seconds", elapsed, site=self.site)
         if sched.tracer.active:

@@ -46,6 +46,7 @@ from repro.scheduler.messages import (
     TriggerMsg,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.provenance import (
     NULL_PROVENANCE,
     Explanation,
@@ -53,6 +54,7 @@ from repro.obs.provenance import (
     explain_actor,
 )
 from repro.obs.snapshot import Snapshot, SnapshotCoordinator
+from repro.obs.timeseries import TimeSeriesRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.scheduler.monitors import RequirementMonitor
 from repro.sim.clock import Simulator
@@ -139,11 +141,16 @@ class DistributedScheduler:
         tracer=None,
         metrics: MetricsRegistry | None = None,
         provenance: bool | None = None,
+        profiler=None,
+        sample_every: float | None = None,
     ):
         self.dependencies = list(dependencies)
         self.policy = policy or SchedulerPolicy()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: span profiler with hierarchical phase attribution; the inert
+        #: default keeps every instrumentation site a one-branch no-op
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         record_provenance = (
             self.tracer.active if provenance is None else provenance
         )
@@ -158,6 +165,7 @@ class DistributedScheduler:
             drop_probability=drop_probability,
             duplicate_probability=duplicate_probability,
             tracer=self.tracer,
+            profiler=self.profiler,
         )
         self.faults: FaultInjector | None = None
         if fault_plan is not None:
@@ -199,9 +207,16 @@ class DistributedScheduler:
         #: global snapshot protocol driver (lazy list of snapshots)
         self.snapshots = SnapshotCoordinator(self)
 
-        table = dict(guards) if guards is not None else workflow_guards(
-            self.dependencies
-        )
+        if guards is not None:
+            table = dict(guards)
+        elif self.profiler.active:
+            self.profiler.push("synthesis")
+            try:
+                table = workflow_guards(self.dependencies)
+            finally:
+                self.profiler.pop()
+        else:
+            table = workflow_guards(self.dependencies)
         if minimize_guards:
             from repro.temporal.simplify import minimize
 
@@ -239,6 +254,12 @@ class DistributedScheduler:
         self._settled: dict[Event, Event] = {}  # base -> signed occurrence
         self._waiters: dict[Event, list] = {}  # base -> callbacks on settle
         self._no_progress_bases: set[Event] = set()
+        #: sampled telemetry series (None until enabled); the sampler
+        #: only reads state, so an instrumented run stays bit-identical
+        self.timeseries: TimeSeriesRegistry | None = None
+        self._sampler = None
+        if sample_every is not None:
+            self.enable_timeseries(sample_every)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -375,7 +396,16 @@ class DistributedScheduler:
                 actor.note_occurrence(message.event)
                 return
             self.watch.note_wake()
-            actor.observe_occurrence(message.event)
+            if self.profiler.active:
+                self.profiler.push(
+                    "watch_wake", site=actor.site, event=actor.event_label
+                )
+                try:
+                    actor.observe_occurrence(message.event)
+                finally:
+                    self.profiler.pop()
+            else:
+                actor.observe_occurrence(message.event)
         elif isinstance(message, PromiseRequest):
             actor.on_promise_request(message)
         elif isinstance(message, PromiseGrant):
@@ -724,6 +754,16 @@ class DistributedScheduler:
         self._recovering[site] = {"started": self.sim.now, "outstanding": 0}
         if self.tracer.active:
             self.tracer.sync(self.sim.now, site, "begin")
+        if self.profiler.active:
+            self.profiler.push("sync_round", site=site)
+            try:
+                self._recover_site_body(site)
+            finally:
+                self.profiler.pop()
+        else:
+            self._recover_site_body(site)
+
+    def _recover_site_body(self, site: str) -> None:
         restarted = self._site_actors(site)
         for actor in restarted:
             actor.recover()
@@ -821,6 +861,17 @@ class DistributedScheduler:
         state: dict = {"waiting": len(targets), "facts": []}
 
         def finish() -> None:
+            if self.profiler.active:
+                self.profiler.push("monitor_sync", site=site)
+                try:
+                    for _index, event in sorted(
+                        state["facts"], key=lambda f: f[0]
+                    ):
+                        monitor.observe(event)
+                    monitor.evaluate()
+                finally:
+                    self.profiler.pop()
+                return
             for _index, event in sorted(state["facts"], key=lambda f: f[0]):
                 monitor.observe(event)
             monitor.evaluate()
@@ -880,6 +931,8 @@ class DistributedScheduler:
         report["kernel"]["watch"] = dict(
             report["kernel"]["watch"], **self.watch.counts()
         )
+        if self.timeseries is not None:
+            report["timeseries"] = self.timeseries.as_dict()
         if self.faults is not None:
             report["faults"] = {
                 "crashes": self.faults.crash_count,
@@ -1026,6 +1079,47 @@ class DistributedScheduler:
         self.sim.schedule(every, tick)
 
     # ------------------------------------------------------------------
+    # observability: sampled time series
+
+    def enable_timeseries(self, every: float) -> TimeSeriesRegistry:
+        """Sample telemetry gauges every ``every`` units of sim time.
+
+        Series: parked events, session-layer channel backlog,
+        network-level in-flight messages, simulator heap depth, and
+        per-interval deltas of fires/settlements/messages.  Sampling
+        piggybacks on the simulator's clock advance
+        (:meth:`Simulator.sample_every`): it is read-only, adds no
+        heap events, and never changes the makespan or message
+        streams; :meth:`run` takes one closing sample at quiescence so
+        the series end at the final state.
+        """
+        if self.timeseries is None:
+            self.timeseries = TimeSeriesRegistry(interval=every)
+            self._sampler = self.sim.sample_every(every, self._sample)
+        return self.timeseries
+
+    def _session_backlog(self) -> int:
+        """Unacknowledged session-layer payloads (0 on a raw channel)."""
+        channel = self.channel
+        if isinstance(channel, BatchingChannel):
+            channel = channel.inner
+        if isinstance(channel, ReliableNetwork):
+            return channel.in_flight()
+        return 0
+
+    def _sample(self, t: float) -> None:
+        ts = self.timeseries
+        ts.record("parked_events", t, len(self._parked_now))
+        ts.record("channel_backlog", t, self._session_backlog())
+        ts.record("inflight_messages", t, self.network.inflight)
+        ts.record("sim_pending", t, self.sim.pending)
+        ts.record_total("fires_per_interval", t, self.metrics.counter("fired"))
+        ts.record_total("settlements_per_interval", t, len(self._settled))
+        ts.record_total(
+            "messages_per_interval", t, self.network.stats.messages
+        )
+
+    # ------------------------------------------------------------------
     # driving a run
 
     def attempt(self, event: Event, at: float | None = None) -> None:
@@ -1078,6 +1172,9 @@ class DistributedScheduler:
         self.sim.run()
         if settle:
             self._drain(max_rounds)
+        if self.timeseries is not None:
+            # closing sample so the series end at the final state
+            self._sample(self.sim.now)
         self._finalize(verify)
         return self.result
 

@@ -32,6 +32,9 @@ class Simulator:
         #: lazy removal -- one set is the whole cancel bookkeeping
         self._live: set[int] = set()
         self.processed = 0
+        #: periodic samplers notified as the clock advances (see
+        #: :meth:`sample_every`); empty-list check is the whole cost
+        self._samplers: list[PeriodicSampler] = []
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` to fire ``delay`` time units from now.
@@ -82,9 +85,32 @@ class Simulator:
         time, seq, callback = heapq.heappop(self._heap)
         self._live.discard(seq)
         self.now = time
+        if self._samplers:
+            for sampler in self._samplers:
+                sampler.on_advance(time)
         self.processed += 1
         callback()
         return True
+
+    def sample_every(
+        self, every: float, sampler: Callable[[float], None]
+    ) -> "PeriodicSampler":
+        """Invoke ``sampler(t)`` now and at every ``every``-unit boundary.
+
+        The sampler is *not* a scheduled callback: it piggybacks on
+        :meth:`step`, firing whenever the clock crosses a sampling
+        boundary on its way to the next real event (stamped with the
+        boundary time, before that event's callback runs).  It
+        therefore never appears in the heap, never extends a run or
+        its makespan, and keeps working across multiple :meth:`run`
+        phases without re-arming.  Samplers must only read state.
+        Returns a handle whose ``cancel()`` detaches it.
+        """
+        if every <= 0:
+            raise ValueError(f"sampling interval must be positive: {every}")
+        handle = PeriodicSampler(self, every, sampler)
+        self._samplers.append(handle)
+        return handle
 
     def run(self, until: float | None = None, max_events: int = 1_000_000) -> None:
         """Run until the heap drains, the horizon passes, or the budget
@@ -103,3 +129,34 @@ class Simulator:
                 )
             self.step()
             fired += 1
+
+
+class PeriodicSampler:
+    """Read-only sampling hook created by :meth:`Simulator.sample_every`.
+
+    Takes one sample at creation, then one per ``every``-unit boundary
+    the clock crosses (stamped at the boundary, i.e. with the state
+    the simulation carried into it -- state only changes at events).
+    """
+
+    def __init__(
+        self, sim: Simulator, every: float, sampler: Callable[[float], None]
+    ):
+        self._sim = sim
+        self.every = every
+        self._sampler = sampler
+        sampler(sim.now)
+        self._next = sim.now + every
+
+    def on_advance(self, time: float) -> None:
+        """The clock reached ``time``; emit any crossed boundaries."""
+        while time >= self._next:
+            self._sampler(self._next)
+            self._next += self.every
+
+    def cancel(self) -> None:
+        """Detach from the simulator; no further samples."""
+        try:
+            self._sim._samplers.remove(self)
+        except ValueError:
+            pass

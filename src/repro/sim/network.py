@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.clock import Simulator
 
@@ -198,6 +199,7 @@ class Network:
         drop_probability: float = 0.0,
         duplicate_probability: float = 0.0,
         tracer=None,
+        profiler=None,
     ):
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
@@ -211,7 +213,12 @@ class Network:
         self.duplicate_probability = duplicate_probability
         #: observability hook; the inert default keeps this a no-op
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: span profiler wrapping delivery handlers; inert by default
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.stats = NetworkStats()
+        #: messages sent but not yet delivered (drops never count);
+        #: the time-series sampler reads this as a point-in-time gauge
+        self.inflight = 0
         #: optional callback ``(src, dst, kind, payload)`` consulted at
         #: each delivery, before the handler runs.  Installed only
         #: while a global snapshot is recording in-channel messages
@@ -274,6 +281,7 @@ class Network:
             deliver_at = arrival
         self.stats.record(kind, src, dst, deliver_at - self.sim.now)
         self.journal.append((self.sim.now, deliver_at, src, dst, kind))
+        self.inflight += 1
         if self.tracer.active:
             # stamp the physical transmission; the delivery records its
             # receive against the same message id and send stamp
@@ -281,18 +289,34 @@ class Network:
             mid, send_lc = tracer.message_send(sim.now, src, dst, kind)
 
             def deliver() -> None:
+                self.inflight -= 1
                 tracer.message_recv(sim.now, src, dst, kind, mid, send_lc)
                 if self.delivery_hook is not None:
                     self.delivery_hook(src, dst, kind, payload)
-                handler(payload)
+                if self.profiler.active:
+                    self.profiler.push("delivery", site=dst)
+                    try:
+                        handler(payload)
+                    finally:
+                        self.profiler.pop()
+                else:
+                    handler(payload)
 
             self.sim.schedule_at(deliver_at, deliver)
         else:
 
             def deliver_plain() -> None:
+                self.inflight -= 1
                 if self.delivery_hook is not None:
                     self.delivery_hook(src, dst, kind, payload)
-                handler(payload)
+                if self.profiler.active:
+                    self.profiler.push("delivery", site=dst)
+                    try:
+                        handler(payload)
+                    finally:
+                        self.profiler.pop()
+                else:
+                    handler(payload)
 
             self.sim.schedule_at(deliver_at, deliver_plain)
 

@@ -209,8 +209,17 @@ class ReliableNetwork:
             self.net.tracer.session(
                 self.sim.now, src, "retransmit",
                 dst=key[1], kind=pending.kind, seq=seq, retry=pending.retries)
-        self._transmit(key, epoch, seq, pending)
-        self._arm_timer(key, epoch, seq, pending)
+        profiler = self.net.profiler
+        if profiler.active:
+            profiler.push("retransmit", site=src)
+            try:
+                self._transmit(key, epoch, seq, pending)
+                self._arm_timer(key, epoch, seq, pending)
+            finally:
+                profiler.pop()
+        else:
+            self._transmit(key, epoch, seq, pending)
+            self._arm_timer(key, epoch, seq, pending)
 
     # ------------------------------------------------------------------
     # receiving

@@ -33,6 +33,7 @@ from typing import Iterable, Mapping
 
 from repro.algebra.expressions import Atom, Choice, Conj, Expr, Seq
 from repro.algebra.symbols import Event
+from repro.obs.profile import NULL_PROFILER
 from repro.scheduler.agents import AgentScript, ScriptedAttempt
 from repro.temporal.cubes import GuardExpr
 from repro.temporal.guards import rename_guard_table, workflow_guards
@@ -110,8 +111,11 @@ class WorkflowTemplate:
     ['c_book_i0', 'c_buy_i0']
     """
 
-    def __init__(self, workflow: Workflow):
+    def __init__(self, workflow: Workflow, profiler=None):
         self.workflow = workflow
+        #: span profiler attributing synthesis vs stamping time;
+        #: inert by default (:data:`repro.obs.profile.NULL_PROFILER`)
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self._guards: dict[Event, GuardExpr] | None = None
         bases = {e.base for e in workflow.alphabet()}
         bases.update(b.base for b in workflow.sites)
@@ -129,7 +133,14 @@ class WorkflowTemplate:
     def guards(self) -> dict[Event, GuardExpr]:
         """The template's guard table (synthesized once, lazily)."""
         if self._guards is None:
-            self._guards = workflow_guards(self.workflow.dependencies)
+            if self.profiler.active:
+                self.profiler.push("synthesis")
+                try:
+                    self._guards = workflow_guards(self.workflow.dependencies)
+                finally:
+                    self.profiler.pop()
+            else:
+                self._guards = workflow_guards(self.workflow.dependencies)
         return self._guards
 
     def mapping_for(self, suffix: str) -> dict[Event, Event]:
@@ -153,6 +164,15 @@ class WorkflowTemplate:
 
     def instantiate(self, suffix: str) -> WorkflowInstance:
         """Stamp out one instance: renamed events, sites, and guards."""
+        if self.profiler.active:
+            self.profiler.push("template_stamp")
+            try:
+                return self._instantiate(suffix)
+            finally:
+                self.profiler.pop()
+        return self._instantiate(suffix)
+
+    def _instantiate(self, suffix: str) -> WorkflowInstance:
         mapping = self.mapping_for(suffix)
         source = self.workflow
         instance = Workflow(

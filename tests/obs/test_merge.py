@@ -177,3 +177,74 @@ class TestMergeMetrics:
                 [{"counters": {}, "gauges": {}, "histograms": {}}],
                 prefixes=["a/", "b/"],
             )
+
+
+class TestMergeKernelWatch:
+    def test_watch_counters_sum_while_caches_max(self):
+        base = {"counters": {}, "gauges": {}, "histograms": {}}
+        a = dict(base, kernel={
+            "interning": {"events": 30},
+            "watch": {"wakes": 10, "skips": 2, "rewatches": 5,
+                      "registered": 8},
+        })
+        b = dict(base, kernel={
+            "interning": {"events": 40},
+            "watch": {"wakes": 4, "skips": 1, "rewatches": 3,
+                      "registered": 6},
+        })
+        merged = merge_metrics([a, b])["kernel"]
+        # cache snapshots: hottest shard's shape
+        assert merged["interning"] == {"events": 40}
+        # watch-index work counters: real per-shard work, additive
+        assert merged["watch"] == {
+            "wakes": 14, "skips": 3, "rewatches": 8, "registered": 14,
+        }
+
+    def test_watch_absent_in_some_shards(self):
+        base = {"counters": {}, "gauges": {}, "histograms": {}}
+        a = dict(base, kernel={"interning": {"events": 1}})
+        b = dict(base, kernel={"interning": {"events": 2},
+                               "watch": {"wakes": 7}})
+        merged = merge_metrics([a, b])["kernel"]
+        assert merged["watch"] == {"wakes": 7}
+
+
+class TestMergeTimeseries:
+    def _reg(self, interval, points):
+        return {"interval": interval, "series": points}
+
+    def test_step_function_sum_over_union(self):
+        from repro.obs.merge import merge_timeseries
+        from repro.obs.timeseries import monotone_in_time
+
+        a = self._reg(1.0, {"parked": [[0.0, 2.0], [2.0, 0.0]]})
+        b = self._reg(2.0, {"parked": [[1.0, 5.0]],
+                            "backlog": [[0.0, 1.0]]})
+        merged = merge_timeseries([a, b])
+        assert merged["interval"] == 2.0  # coarsest input
+        assert merged["series"]["parked"] == [
+            [0.0, 2.0], [1.0, 7.0], [2.0, 5.0],
+        ]
+        assert merged["series"]["backlog"] == [[0.0, 1.0]]
+        for pts in merged["series"].values():
+            assert monotone_in_time(pts)
+
+    def test_rides_through_merge_metrics(self):
+        from repro.obs.timeseries import TimeSeriesRegistry
+
+        base = {"counters": {}, "gauges": {}, "histograms": {}}
+        regs = []
+        for k in range(2):
+            reg = TimeSeriesRegistry(interval=1.0)
+            reg.record("parked", float(k), 3.0)
+            regs.append(dict(base, timeseries=reg.as_dict()))
+        merged = merge_metrics(regs)
+        assert merged["timeseries"]["series"]["parked"] == [
+            [0.0, 3.0], [1.0, 6.0],
+        ]
+
+    def test_rejects_empty(self):
+        from repro.obs.merge import merge_timeseries
+
+        with pytest.raises(ValueError):
+            merge_timeseries([])

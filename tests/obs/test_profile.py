@@ -1,0 +1,170 @@
+"""The span-based phase profiler (repro.obs.profile)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    dump,
+    format_report,
+    merge_profiles,
+    to_chrome,
+    to_collapsed,
+)
+
+
+class TestNullProfiler:
+    def test_inert_and_shared(self):
+        assert NULL_PROFILER.active is False
+        assert isinstance(NULL_PROFILER, NullProfiler)
+        NULL_PROFILER.push("anything", site="s", event="e")
+        NULL_PROFILER.pop()
+
+    def test_report_is_empty(self):
+        report = NULL_PROFILER.report()
+        assert report["phases"] == {}
+        assert report["by_site"] == {}
+        assert report["by_event"] == {}
+
+
+class TestProfiler:
+    def test_nesting_builds_paths(self):
+        prof = Profiler()
+        prof.push("delivery")
+        prof.push("watch_wake")
+        prof.push("cube_ops")
+        prof.pop()
+        prof.pop()
+        prof.pop()
+        report = prof.report()
+        assert set(report["phases"]) == {
+            "delivery",
+            "delivery/watch_wake",
+            "delivery/watch_wake/cube_ops",
+        }
+
+    def test_self_plus_children_equals_cumulative(self):
+        prof = Profiler()
+        prof.push("outer")
+        prof.push("inner")
+        prof.pop()
+        prof.push("inner")
+        prof.pop()
+        prof.pop()
+        report = prof.report()
+        outer = report["phases"]["outer"]
+        inner = report["phases"]["outer/inner"]
+        assert inner["calls"] == 2
+        assert outer["calls"] == 1
+        assert outer["cum_seconds"] >= outer["self_seconds"]
+        assert outer["self_seconds"] == pytest.approx(
+            outer["cum_seconds"] - inner["cum_seconds"]
+        )
+
+    def test_by_site_and_event_use_leaf_phase(self):
+        prof = Profiler()
+        prof.push("delivery", site="s1")
+        prof.push("guard_eval", site="s1", event="e")
+        prof.pop()
+        prof.pop()
+        report = prof.report()
+        # tables key phase -> label, attributing SELF time
+        assert set(report["by_site"]) == {"delivery", "guard_eval"}
+        assert set(report["by_site"]["guard_eval"]) == {"s1"}
+        assert set(report["by_event"]) == {"guard_eval"}
+        assert set(report["by_event"]["guard_eval"]) == {"e"}
+
+    def test_report_with_open_span_raises(self):
+        prof = Profiler()
+        prof.push("open")
+        with pytest.raises(RuntimeError, match="open"):
+            prof.report()
+        prof.pop()
+        assert "open" in prof.report()["phases"]
+
+    def test_pop_without_push_raises(self):
+        with pytest.raises(IndexError):
+            Profiler().pop()
+
+
+def _sample_report():
+    prof = Profiler()
+    prof.push("a", site="s0")
+    prof.push("b", site="s0", event="e")
+    prof.pop()
+    prof.pop()
+    prof.push("a", site="s1")
+    prof.pop()
+    return prof.report()
+
+
+class TestExporters:
+    def test_collapsed_lines(self):
+        lines = to_collapsed(_sample_report()).splitlines()
+        assert len(lines) == 2
+        stacks = {line.rsplit(" ", 1)[0] for line in lines}
+        assert stacks == {"a", "a;b"}
+        for line in lines:
+            int(line.rsplit(" ", 1)[1])  # self time in integer usec
+
+    def test_chrome_events_nest(self):
+        chrome = to_chrome(_sample_report())
+        events = chrome["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        by_name = {e["name"]: e for e in events}
+        parent, child = by_name["a"], by_name["b"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_format_report_sorted_and_limited(self):
+        text = format_report(_sample_report())
+        assert "phase" in text.splitlines()[0]
+        assert "a/b" in text
+        limited = format_report(_sample_report(), limit=1)
+        assert "a/b" not in limited
+
+    @pytest.mark.parametrize("fmt", ["collapsed", "chrome", "json", "text"])
+    def test_dump_formats(self, fmt):
+        buffer = io.StringIO()
+        dump(_sample_report(), buffer, fmt)
+        text = buffer.getvalue()
+        assert text
+        if fmt in ("chrome", "json"):
+            json.loads(text)
+
+    def test_dump_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            dump(_sample_report(), io.StringIO(), "svg")
+
+
+class TestMergeProfiles:
+    def test_sums_calls_and_times(self):
+        a, b = _sample_report(), _sample_report()
+        merged = merge_profiles([a, b])
+        for path, node in merged["phases"].items():
+            assert node["calls"] == (
+                a["phases"][path]["calls"] + b["phases"][path]["calls"]
+            )
+            assert node["self_seconds"] == pytest.approx(
+                a["phases"][path]["self_seconds"]
+                + b["phases"][path]["self_seconds"]
+            )
+
+    def test_sums_site_and_event_tables(self):
+        a, b = _sample_report(), _sample_report()
+        merged = merge_profiles([a, b])
+        assert merged["by_site"]["b"]["s0"] == pytest.approx(
+            a["by_site"]["b"]["s0"] + b["by_site"]["b"]["s0"]
+        )
+        assert merged["by_event"]["b"]["e"] == pytest.approx(
+            a["by_event"]["b"]["e"] + b["by_event"]["b"]["e"]
+        )
+
+    def test_empty_and_single(self):
+        assert merge_profiles([])["phases"] == {}
+        one = _sample_report()
+        assert merge_profiles([one])["phases"] == one["phases"]

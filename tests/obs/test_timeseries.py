@@ -1,0 +1,116 @@
+"""Sim-time telemetry series and the simulator sampling hook."""
+
+import pytest
+
+from repro.obs.timeseries import (
+    TimeSeriesRegistry,
+    monotone_in_time,
+    step_sum,
+)
+from repro.sim.clock import Simulator
+
+
+class TestRegistry:
+    def test_record_and_read_back(self):
+        reg = TimeSeriesRegistry(interval=2.0)
+        reg.record("parked", 0.0, 3)
+        reg.record("parked", 2.0, 5)
+        assert reg.series("parked") == [(0.0, 3.0), (2.0, 5.0)]
+        assert reg.names == ["parked"]
+        assert reg.last("parked") == 5.0
+        assert reg.peak("parked") == 5.0
+
+    def test_missing_series(self):
+        reg = TimeSeriesRegistry()
+        assert reg.series("nope") == []
+        assert reg.last("nope") is None
+        assert reg.peak("nope") is None
+
+    def test_record_total_yields_deltas(self):
+        reg = TimeSeriesRegistry()
+        reg.record_total("fires", 0.0, 0)
+        reg.record_total("fires", 1.0, 4)
+        reg.record_total("fires", 2.0, 4)
+        reg.record_total("fires", 3.0, 9)
+        assert [v for _, v in reg.series("fires")] == [0.0, 4.0, 0.0, 5.0]
+
+    def test_dict_round_trip(self):
+        reg = TimeSeriesRegistry(interval=0.5)
+        reg.record("a", 0.0, 1)
+        reg.record("a", 0.5, 2)
+        reg.record("b", 0.0, 7)
+        data = reg.as_dict()
+        assert data["interval"] == 0.5
+        clone = TimeSeriesRegistry.from_dict(data)
+        assert clone.as_dict() == data
+
+
+class TestStepSum:
+    def test_union_of_times_and_carried_values(self):
+        a = [[0.0, 1.0], [2.0, 3.0]]
+        b = [[1.0, 10.0]]
+        merged = step_sum([a, b])
+        assert merged == [[0.0, 1.0], [1.0, 11.0], [2.0, 13.0]]
+        assert monotone_in_time(merged)
+
+    def test_shard_counts_zero_before_first_sample(self):
+        merged = step_sum([[[5.0, 2.0]], [[0.0, 1.0]]])
+        assert merged == [[0.0, 1.0], [5.0, 3.0]]
+
+    def test_empty_inputs(self):
+        assert step_sum([]) == []
+        assert step_sum([[], []]) == []
+
+    def test_monotone_in_time_detects_disorder(self):
+        assert monotone_in_time([[0, 1], [1, 2]])
+        assert not monotone_in_time([[1, 1], [0, 2]])
+
+
+class TestSimulatorSampling:
+    def test_samples_at_boundaries_without_heap_events(self):
+        sim = Simulator()
+        seen = []
+        sim.sample_every(1.0, seen.append)
+        sim.schedule(0.5, lambda: None)
+        sim.schedule(3.5, lambda: None)
+        sim.run()
+        # one sample at arming plus each crossed whole-unit boundary
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+        # sampling never extends the run past the last real event
+        assert sim.now == 3.5
+
+    def test_sampler_sees_boundary_time_not_event_time(self):
+        sim = Simulator()
+        stamps = []
+        sim.sample_every(2.0, lambda t: stamps.append((t, sim.now)))
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        # the clock has already advanced to the event when the
+        # boundary fires; the *stamp* is the boundary
+        assert stamps == [(0.0, 0.0), (2.0, 5.0), (4.0, 5.0)]
+
+    def test_survives_multiple_run_phases(self):
+        sim = Simulator()
+        seen = []
+        sim.sample_every(1.0, seen.append)
+        sim.schedule(1.5, lambda: None)
+        sim.run()
+        sim.schedule(2.0, lambda: None)  # fires at t=3.5
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_cancel_detaches(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.sample_every(1.0, seen.append)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()
+        handle.cancel()  # idempotent
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert seen == [0.0, 1.0]
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().sample_every(0.0, lambda t: None)

@@ -187,3 +187,82 @@ class TestExecution:
         spec = InstanceSpec(suffix="_i0", scripts=())
         with pytest.raises(AttributeError):
             spec.suffix = "_i1"
+
+
+class TestShardedObservability:
+    def _run(self, **plan_kwargs):
+        tasks = plan_shards(
+            TEMPLATE, travel_instances(4), 2, seed=3, **plan_kwargs
+        )
+        return run_sharded(tasks, workers=1)
+
+    def test_profile_merged_across_shards(self):
+        sharded = self._run(profile=True)
+        assert sharded.profile is not None
+        phases = sharded.profile["phases"]
+        # synthesis happens once per worker, under template stamping
+        assert "template_stamp" in phases
+        assert "template_stamp/synthesis" in phases
+        # merged self/cum times are the sums of the per-shard reports
+        for path, node in phases.items():
+            per_shard = [
+                outcome.profile["phases"][path]
+                for outcome in sharded.outcomes
+                if path in outcome.profile["phases"]
+            ]
+            assert node["calls"] == sum(n["calls"] for n in per_shard)
+            assert node["self_seconds"] == pytest.approx(
+                sum(n["self_seconds"] for n in per_shard)
+            )
+
+    def test_unprofiled_run_has_no_profile(self):
+        sharded = self._run()
+        assert sharded.profile is None
+        assert all(o.profile is None for o in sharded.outcomes)
+
+    def test_timeseries_merged_monotone_fleet_totals(self):
+        from repro.obs.timeseries import monotone_in_time
+
+        sharded = self._run(sample_every=1.0)
+        series = sharded.metrics["timeseries"]["series"]
+        assert "parked_events" in series
+        assert "inflight_messages" in series
+        for name, points in series.items():
+            assert monotone_in_time(points), name
+        # a merged gauge's peak can never exceed the sum of shard peaks
+        for name, points in series.items():
+            shard_peaks = sum(
+                max((v for _, v in o.metrics["timeseries"]["series"][name]),
+                    default=0.0)
+                for o in sharded.outcomes
+            )
+            assert max(v for _, v in points) <= shard_peaks + 1e-9, name
+
+    def test_profiling_keeps_observables_identical(self):
+        plain = self._run()
+        profiled = self._run(profile=True, sample_every=1.0)
+        assert [
+            (repr(e.event), e.time, e.outcome) for e in plain.result.entries
+        ] == [
+            (repr(e.event), e.time, e.outcome)
+            for e in profiled.result.entries
+        ]
+        assert plain.result.makespan == profiled.result.makespan
+        assert plain.result.messages == profiled.result.messages
+
+    def test_watch_and_interning_counters_survive_prom_export(self):
+        # regression: the sharded merge used to element-wise max the
+        # watch-index work counters along with the cache snapshots,
+        # under-reporting fleet work; they must sum -- and both watch
+        # and interning kernel stats must reach the Prometheus export
+        sharded = self._run(sample_every=1.0)
+        watch = sharded.metrics["kernel"]["watch"]
+        for key, value in watch.items():
+            assert value == sum(
+                o.metrics["kernel"]["watch"][key] for o in sharded.outcomes
+            ), key
+        text = render_prometheus(sharded.metrics)
+        assert lint_prometheus(text) == []
+        assert "repro_kernel_watch_wakes" in text
+        assert "repro_kernel_interning" in text
+        assert "repro_ts_parked_events" in text

@@ -452,3 +452,251 @@ class TestShardedRun:
             ]
         )
         assert code == 2
+
+
+class TestRunProfileAndSampling:
+    def test_profile_json_embeds_report(self, spec_file, capsys):
+        code = main([
+            "run", spec_file, "--attempt", "e=0", "--profile", "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        phases = report["profile"]["phases"]
+        assert "synthesis" in phases
+        assert any(path.endswith("guard_eval") for path in phases)
+        for node in phases.values():
+            assert node["cum_seconds"] >= node["self_seconds"] >= 0.0
+
+    def test_profile_text_prints_table(self, spec_file, capsys):
+        assert main(["run", spec_file, "--attempt", "e=0", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "self_ms" in out
+
+    def test_profile_out_writes_collapsed(self, spec_file, tmp_path, capsys):
+        flame = tmp_path / "flame.txt"
+        code = main([
+            "run", spec_file, "--attempt", "e=0",
+            "--profile", "--profile-out", str(flame),
+        ])
+        assert code == 0
+        lines = flame.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, usec = line.rpartition(" ")
+            assert stack
+            int(usec)
+
+    def test_sample_every_json_carries_series(self, spec_file, capsys):
+        code = main([
+            "run", spec_file, "--attempt", "e=0",
+            "--sample-every", "1", "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        series = report["metrics"]["timeseries"]["series"]
+        assert "parked_events" in series
+        assert "inflight_messages" in series
+        for points in series.values():
+            times = [t for t, _ in points]
+            assert times == sorted(times)
+
+    def test_profile_needs_distributed(self, spec_file, capsys):
+        code = main([
+            "run", spec_file, "--scheduler", "centralized", "--profile",
+        ])
+        assert code == 2
+        assert "distributed" in capsys.readouterr().err
+
+    def test_bad_sample_interval(self, spec_file, capsys):
+        assert main(["run", spec_file, "--sample-every", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_profile_out_needs_profile(self, spec_file, capsys):
+        code = main(["run", spec_file, "--profile-out", "x.txt"])
+        assert code == 2
+        assert "--profile" in capsys.readouterr().err
+
+    def test_sharded_profile_and_series(self, spec_file, capsys):
+        code = main([
+            "run", spec_file, "--attempt", "e=0",
+            "--shards", "2", "--instances", "2", "--workers", "1",
+            "--profile", "--sample-every", "1", "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "template_stamp" in report["profile"]["phases"]
+        assert "parked_events" in report["metrics"]["timeseries"]["series"]
+
+
+class TestProfileCommand:
+    def test_text_table(self, spec_file, capsys):
+        assert main(["profile", spec_file, "--attempt", "e=0"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "synthesis" in out
+
+    def test_collapsed_to_file(self, spec_file, tmp_path, capsys):
+        out_file = tmp_path / "p.collapsed"
+        code = main([
+            "profile", spec_file, "--attempt", "e=0",
+            "--format", "collapsed", "-o", str(out_file),
+        ])
+        assert code == 0
+        assert "synthesis" in out_file.read_text()
+
+    def test_chrome_to_stdout(self, spec_file, capsys):
+        assert main(["profile", spec_file, "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+
+
+@pytest.fixture
+def traced_run(spec_file, tmp_path, capsys):
+    """A traced run: (report dict, trace path)."""
+    trace = tmp_path / "t.jsonl"
+    report_path = tmp_path / "report.json"
+    code = main([
+        "run", spec_file, "--attempt", "e=0",
+        "--json", "--trace", str(trace),
+    ])
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    report_path.write_text(json.dumps(report))
+    return report, str(trace), str(report_path)
+
+
+class TestTraceQuery:
+    def test_filtered_records_jsonl(self, traced_run, capsys):
+        _, trace, _ = traced_run
+        code = main(["trace", "query", trace, "--cat", "message",
+                     "--op", "send", "--limit", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["cat"] == "message" and record["op"] == "send"
+        assert "records match" in captured.err
+
+    def test_latencies_agree_with_timeline_p99(self, traced_run, capsys):
+        from repro.obs.query import percentile
+
+        report, trace, _ = traced_run
+        code = main(["trace", "query", trace, "--latencies", "--json"])
+        assert code == 0
+        out = json.loads(capsys.readouterr().out)
+        # cross-check: pooled p99 from the trace equals the timeline's
+        all_trace = []
+        for event, stats in out["latencies"].items():
+            matching = [
+                e["time"] - e["attempted_at"]
+                for e in report["timeline"]
+                if e["event"] == event and e["outcome"] == "accepted"
+            ]
+            assert stats["count"] == len(matching)
+            assert stats["max"] == pytest.approx(max(matching))
+            all_trace.extend(matching)
+        timeline_lats = [
+            e["time"] - e["attempted_at"]
+            for e in report["timeline"] if e["outcome"] == "accepted"
+        ]
+        assert percentile(sorted(all_trace), 99) == percentile(
+            sorted(timeline_lats), 99
+        )
+
+    def test_critical_path_text(self, traced_run, capsys):
+        _, trace, _ = traced_run
+        assert main(["trace", "query", trace, "--critical-path"]) == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_empty_trace_exits_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "query", str(empty)]) == 1
+        assert "empty trace" in capsys.readouterr().err
+
+    def test_no_match_exits_one(self, traced_run, capsys):
+        _, trace, _ = traced_run
+        assert main(["trace", "query", trace, "--event", "zz_missing"]) == 1
+        assert "0 of" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["trace", "query", "/nonexistent/t.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestSloCheck:
+    def _slo(self, tmp_path, doc):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_passing_gate(self, traced_run, tmp_path, capsys):
+        _, _, report_path = traced_run
+        slo = self._slo(tmp_path, {"slos": [
+            {"indicator": "p99_attempt_to_fire", "max": 100.0},
+            {"indicator": "violations", "max": 0},
+            {"indicator": "fired", "min": 1},
+        ]})
+        assert main(["slo", "check", report_path, slo]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 3
+        assert "hold" in out
+
+    def test_tightened_threshold_fails_nonzero(
+        self, traced_run, tmp_path, capsys
+    ):
+        _, _, report_path = traced_run
+        slo = self._slo(tmp_path, {"slos": [
+            {"indicator": "p99_attempt_to_fire", "max": 0.0},
+        ]})
+        assert main(["slo", "check", report_path, slo]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "failed" in captured.err
+
+    def test_empty_report_fails_closed(self, tmp_path, capsys):
+        report = tmp_path / "empty.json"
+        report.write_text("{}")
+        slo = self._slo(tmp_path, {"slos": [
+            {"indicator": "p99_attempt_to_fire", "max": 100.0},
+        ]})
+        assert main(["slo", "check", str(report), slo]) == 1
+        assert "no data" in capsys.readouterr().out
+
+    def test_json_output(self, traced_run, tmp_path, capsys):
+        _, _, report_path = traced_run
+        slo = self._slo(tmp_path, {"slos": [
+            {"indicator": "makespan", "max": 1000.0},
+        ]})
+        assert main(["slo", "check", report_path, slo, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["results"][0]["name"] == "makespan"
+
+    def test_malformed_slo_exits_two(self, traced_run, tmp_path, capsys):
+        _, _, report_path = traced_run
+        slo = self._slo(tmp_path, {"slos": [{"indicator": "bogus",
+                                             "max": 1}]})
+        assert main(["slo", "check", report_path, slo]) == 2
+        assert "unknown SLO indicator" in capsys.readouterr().err
+
+    def test_missing_and_invalid_files_exit_two(self, tmp_path, capsys):
+        good = self._slo(tmp_path, {"slos": [{"indicator": "fired",
+                                              "min": 0}]})
+        assert main(["slo", "check", "/nonexistent.json", good]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["slo", "check", str(bad), good]) == 2
+        array = tmp_path / "array.json"
+        array.write_text("[]")
+        assert main(["slo", "check", str(array), good]) == 2
+        capsys.readouterr()
+
+    def test_committed_example_slo_passes(self, traced_run, capsys):
+        _, _, report_path = traced_run
+        import pathlib
+
+        example = pathlib.Path(__file__).parent.parent / "examples/slo.json"
+        assert main(["slo", "check", report_path, str(example)]) == 0
+        capsys.readouterr()
