@@ -1,0 +1,105 @@
+"""Experiment SC7: the Example 13 mutex family across shards.
+
+SC6 (bench_scale_schedulers / bench_scale_latency) shards *independent*
+instances; here every cluster of critical-section tasks is coupled by
+cross-instance mutex dependencies, so the sharded runs exercise the
+cross-shard machinery end to end: constraint-aware min-cut placement
+(cut 0, no routing), round-robin placement with announcements routed
+over the exactly-once gateway channel, and work-stealing rebalancing
+of a deliberately skewed layout.  Absolute timings are the perf
+suite's job (``perf_suite.py`` gates the N=256 speedups); this bench
+pins the *shape* at a CI-friendly size: every variant settles exactly
+the merged baseline's event set.
+"""
+
+import random
+
+import pytest
+
+from repro.scale import instance_spec, plan_shards, run_sharded
+from repro.scheduler import DistributedScheduler
+from repro.workloads.scenarios import make_mutex_family
+
+N = 16
+CLUSTER = 4
+SHARDS = 4
+
+
+def family():
+    return make_mutex_family(N, cluster=CLUSTER)
+
+
+def merged_baseline():
+    workflow, scripts = family().merged()
+    sched = DistributedScheduler(
+        workflow.dependencies,
+        sites=workflow.sites,
+        attributes=workflow.attributes,
+        rng=random.Random(9),
+    )
+    result = sched.run(scripts)
+    assert result.ok, result.violations
+    return result
+
+
+def sharded_run(steal=False, **plan_kwargs):
+    fam = family()
+    instances = [
+        instance_spec(suffix, scripts) for suffix, scripts in fam.instances
+    ]
+    tasks = plan_shards(
+        fam.template,
+        instances,
+        SHARDS,
+        seed=1,
+        cross_deps=fam.cross_dependencies,
+        **plan_kwargs,
+    )
+    return tasks, run_sharded(tasks, workers=1, steal=steal)
+
+
+def settled(result):
+    return sorted(repr(entry.event) for entry in result.entries)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return merged_baseline()
+
+
+def test_bench_mutex_merged(benchmark):
+    result = benchmark.pedantic(merged_baseline, rounds=3, iterations=1)
+    assert len(result.entries) == 2 * N
+
+
+def test_bench_mutex_min_cut(benchmark, baseline):
+    tasks, run = benchmark.pedantic(
+        lambda: sharded_run(placement="min_cut"), rounds=3, iterations=1
+    )
+    # clusters colocate: nothing crosses the cut, nothing routes
+    assert tasks.cut_weight == 0
+    assert run.cross_messages == 0
+    assert run.result.ok, run.result.violations
+    assert settled(run.result) == settled(baseline)
+
+
+def test_bench_mutex_round_robin_routed(benchmark, baseline):
+    tasks, run = benchmark.pedantic(sharded_run, rounds=3, iterations=1)
+    # round-robin splits every cluster: the coupling routes instead
+    assert tasks.cut_weight > 0
+    assert run.cross_messages > 0
+    assert run.result.ok, run.result.violations
+    assert settled(run.result) == settled(baseline)
+
+
+def test_bench_mutex_skewed_with_stealing(benchmark, baseline):
+    # shard 0 gets 3/4 of the clusters; stealing rebalances it
+    skew = [list(range(0, 12)), [12, 13, 14, 15], [], []]
+    tasks, run = benchmark.pedantic(
+        lambda: sharded_run(assignment=skew, steal=True),
+        rounds=3,
+        iterations=1,
+    )
+    assert run.steals > 0
+    assert run.result.ok, run.result.violations
+    assert settled(run.result) == settled(baseline)

@@ -19,7 +19,12 @@ Runs three workload families and emits a machine-readable
   process-pool runner vs one merged scheduler (required: sharded
   wall-clock wins; on a single-core host the win comes from dodging
   the merged scheduler's superlinear settlement scan, not from
-  parallelism).
+  parallelism);
+* **cross-shard** (SC7, when :mod:`repro.scale.engine` is available)
+  -- the Example 13 mutex family at N in {64, 256}, merged vs min-cut
+  sharded (required: the N=256 min-cut run wins), round-robin with
+  gateway routing, and a skewed layout with and without work stealing
+  (required: stealing wins over the skew it rebalances).
 
 Timings are reported both raw and *normalized* by a pure-Python
 calibration spin, so a checked-in baseline from one machine can gate
@@ -82,6 +87,9 @@ EXACT_FIELDS = (
     "table_size",
     "wakes",
     "skips",
+    "cut_weight",
+    "cross_messages",
+    "steals",
 )
 
 
@@ -385,6 +393,150 @@ def bench_scale_out(rounds: int) -> dict:
     return out
 
 
+def _supports_cross_shard() -> bool:
+    try:
+        from repro.scale.engine import run_group  # noqa: F401
+        from repro.workloads.scenarios import make_mutex_family  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def bench_scale_mutex(rounds: int) -> dict:
+    """SC7: the Example 13 mutex family, merged vs sharded 3 ways.
+
+    Unlike SC6's independent travel instances, every cluster of four
+    critical-section tasks here is *coupled* by cross-instance mutex
+    dependencies, so sharding is only legal with the cross-shard
+    machinery: min-cut placement colocates each cluster (cut 0),
+    round-robin splits every cluster and routes the announcements over
+    the exactly-once gateway channel, and a deliberately skewed
+    explicit layout exercises work-stealing rebalancing.
+    """
+    from repro.scale import instance_spec, plan_shards, run_sharded
+    from repro.workloads.scenarios import make_mutex_family
+
+    out: dict[str, dict] = {}
+    # N=256 runs take seconds each; cap repetitions in full mode
+    heavy_rounds = min(rounds, 3)
+
+    def merged(n):
+        family = make_mutex_family(n, cluster=4)
+        workflow, scripts = family.merged()
+        sched = DistributedScheduler(
+            workflow.dependencies,
+            sites=workflow.sites,
+            attributes=workflow.attributes,
+            rng=random.Random(9),
+        )
+        result = sched.run(scripts)
+        assert result.ok, result.violations
+        return result
+
+    def sharded(n, reps, **plan_kwargs):
+        family = make_mutex_family(n, cluster=4)
+        instances = [
+            instance_spec(suffix, scripts)
+            for suffix, scripts in family.instances
+        ]
+        steal = plan_kwargs.pop("steal", False)
+
+        def run():
+            tasks = plan_shards(
+                family.template,
+                instances,
+                4,
+                seed=1,
+                cross_deps=family.cross_dependencies,
+                **plan_kwargs,
+            )
+            return tasks, run_sharded(tasks, workers=4, steal=steal)
+
+        seconds, (tasks, sharded_run) = _best_of(run, reps)
+        assert sharded_run.result.ok, sharded_run.result.violations
+        return seconds, tasks, sharded_run
+
+    def record(seconds, result, **extra):
+        row = {
+            "seconds": seconds,
+            "makespan": result.makespan,
+            "messages": result.messages,
+            "settled": len(result.entries),
+        }
+        row.update(extra)
+        return row
+
+    for n, reps in ((64, rounds), (256, heavy_rounds)):
+        merged_best, merged_result = _best_of(lambda n=n: merged(n), reps)
+        out[f"sc7_mutex_n{n}_merged"] = record(merged_best, merged_result)
+
+        cut_best, tasks, cut_run = sharded(n, reps, placement="min_cut")
+        out[f"sc7_mutex_n{n}_min_cut"] = record(
+            cut_best,
+            cut_run.result,
+            cut_weight=tasks.cut_weight,
+            cross_messages=cut_run.cross_messages,
+            speedup_vs_merged=merged_best / cut_best if cut_best else 0.0,
+        )
+        assert tasks.cut_weight == 0, (
+            "min-cut placement must colocate the mutex clusters "
+            f"(cut {tasks.cut_weight})"
+        )
+        assert (
+            {repr(e.event) for e in cut_run.result.entries}
+            == {repr(e.event) for e in merged_result.entries}
+        ), "sharded mutex run settled a different event set than merged"
+
+        if n == 256:
+            assert cut_best < merged_best, (
+                "the min-cut sharded N=256 mutex family is required to "
+                "beat the merged single scheduler: "
+                f"{cut_best:.3f}s vs {merged_best:.3f}s"
+            )
+
+            routed_best, rr_tasks, routed = sharded(n, heavy_rounds)
+            out["sc7_mutex_n256_routed"] = record(
+                routed_best,
+                routed.result,
+                cut_weight=rr_tasks.cut_weight,
+                cross_messages=routed.cross_messages,
+            )
+            assert rr_tasks.cut_weight > 0 and routed.cross_messages > 0
+            assert (
+                {repr(e.event) for e in routed.result.entries}
+                == {repr(e.event) for e in merged_result.entries}
+            ), "routed mutex run settled a different event set than merged"
+
+            # skewed layout: shard 0 gets 3/4 of the clusters
+            skew = [
+                list(range(0, 192)),
+                list(range(192, 208)),
+                list(range(208, 224)),
+                list(range(224, 256)),
+            ]
+            skew_best, _tasks, skew_run = sharded(
+                n, heavy_rounds, assignment=skew
+            )
+            out["sc7_mutex_n256_skewed"] = record(skew_best, skew_run.result)
+            steal_best, _tasks, steal_run = sharded(
+                n, heavy_rounds, assignment=skew, steal=True
+            )
+            out["sc7_mutex_n256_steal"] = record(
+                steal_best, steal_run.result, steals=steal_run.steals
+            )
+            assert steal_run.steals > 0
+            assert (
+                {repr(e.event) for e in steal_run.result.entries}
+                == {repr(e.event) for e in skew_run.result.entries}
+            ), "stealing changed what the skewed mutex run settled"
+            assert steal_best < skew_best, (
+                "work stealing is required to beat the skewed layout it "
+                f"rebalances: {steal_best:.3f}s vs {skew_best:.3f}s"
+            )
+    return out
+
+
 def _pf3_run(n: int, hubs: int, watch: bool):
     """The PF3 workload: ``n`` parked guards that have already stopped
     caring about the ``hubs`` shared bases.
@@ -544,6 +696,8 @@ def collect(quick: bool) -> dict:
     if _supports_sharding():
         workloads.update(bench_template_synthesis(rounds))
         workloads.update(bench_scale_out(rounds))
+    if _supports_cross_shard():
+        workloads.update(bench_scale_mutex(rounds))
     if _supports_watching():
         workloads.update(bench_watch_scaling(rounds))
     workloads.update(bench_chaos(rounds))
@@ -554,6 +708,7 @@ def collect(quick: bool) -> dict:
         "batching": _supports_batching(),
         "sharding": _supports_sharding(),
         "watching": _supports_watching(),
+        "cross_shard": _supports_cross_shard(),
     }
     try:
         from repro.algebra.expressions import intern_stats  # noqa: F401

@@ -187,6 +187,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "one per shard, capped by CPU count; 1 = run in-process)",
     )
     p_run.add_argument(
+        "--placement",
+        choices=("round-robin", "min-cut"),
+        default="round-robin",
+        help="with --shards: how instances are placed -- round-robin "
+        "(baseline) or min-cut (the constraint-aware partitioner "
+        "colocates instances coupled by --cross-dep dependencies, "
+        "minimizing routed cross-shard announcements)",
+    )
+    p_run.add_argument(
+        "--cross-dep",
+        action="append",
+        default=[],
+        metavar="EXPR",
+        help="with --shards: a dependency over events of *different* "
+        "instances (suffixed names, e.g. \"~b_i1 + e_i0 . b_i1\"); "
+        "repeatable.  Shards sharing one co-simulate, exchanging "
+        "announcements over an exactly-once session channel",
+    )
+    p_run.add_argument(
+        "--steal",
+        action="store_true",
+        help="with --shards: split independent shards into stealable "
+        "dependency-closed chunks and rebalance them across workers "
+        "by deterministic work stealing",
+    )
+    p_run.add_argument(
         "--profile",
         action="store_true",
         help="attribute wall time to scheduler phases (synthesis, guard "
@@ -604,18 +630,24 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
             )
         instances.append(instance_spec(suffix, scripts))
     tracing = bool(args.json or args.trace)
-    tasks = plan_shards(
-        workflow,
-        instances,
-        args.shards,
-        seed=args.seed,
-        trace=tracing,
-        settle=not args.no_settle,
-        latency=args.latency,
-        profile=args.profile,
-        sample_every=args.sample_every,
-    )
-    sharded = run_sharded(tasks, workers=args.workers)
+    try:
+        tasks = plan_shards(
+            workflow,
+            instances,
+            args.shards,
+            seed=args.seed,
+            trace=tracing,
+            settle=not args.no_settle,
+            latency=args.latency,
+            profile=args.profile,
+            sample_every=args.sample_every,
+            placement=args.placement.replace("-", "_"),
+            cross_deps=args.cross_dep,
+        )
+    except ValueError as exc:
+        print(f"cannot plan shards: {exc}", file=sys.stderr)
+        return 2
+    sharded = run_sharded(tasks, workers=args.workers, steal=args.steal)
     result = sharded.result
     if args.trace and sharded.trace_records is not None:
         with open(args.trace, "w", encoding="utf-8") as handle:
@@ -637,13 +669,25 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
             "shards": sharded.shards,
             "instances": count,
             "workers": sharded.workers,
+            "placement": args.placement,
+            "cut_weight": getattr(tasks, "cut_weight", 0),
+            "cross_messages": sharded.cross_messages,
+            "steals": sharded.steals,
         }
         print(json.dumps(report, indent=2))
     else:
         print(result_to_text(result))
+        extras = ""
+        if args.cross_dep:
+            extras += (
+                f", cut {getattr(tasks, 'cut_weight', 0)}"
+                f", {sharded.cross_messages} routed message(s)"
+            )
+        if args.steal:
+            extras += f", {sharded.steals} steal(s)"
         print(
             f"sharded: {count} instances over {sharded.shards} shard(s), "
-            f"{sharded.workers} worker(s)"
+            f"{sharded.workers} worker(s){extras}"
         )
         if sharded.profile is not None and not args.profile_out:
             from repro.obs.profile import format_report

@@ -1,5 +1,5 @@
-"""Scale-out execution: shard independent workflow instances across
-worker processes.
+"""Scale-out execution: shard workflow instances across worker
+processes -- including instances coupled by cross-shard constraints.
 
 The paper's Example 12 workload -- ``N`` independent instances of one
 workflow template, distinguished only by an identifier suffix -- has
@@ -11,35 +11,65 @@ package partitions the instances into shards, runs one scheduler per
 shard in a process pool, and merges the results, metrics, and causal
 traces back into single artifacts (:mod:`repro.obs.merge`).
 
-Determinism contract: for a fixed ``(seed, shard count)`` the merged
-outcome is identical regardless of worker count -- the partition is a
-pure function of the shard count, each shard's RNG seed is derived
-from the run seed and the shard index alone, and shards share no
-state.  Changing the *shard count* regroups instances and therefore
-legitimately changes message interleavings within each scheduler
-(settled outcomes stay the same; timings may not).
+Example 13-style workloads add *cross-instance* dependencies (mutual
+exclusion, resource pools).  Those route through three further layers:
+
+* :mod:`repro.scale.partition` -- a planning pass over the
+  per-dependency guard tables builds the inter-instance shared-event
+  graph and places instances to minimize the cut
+  (``placement="min_cut"``), keeping coupled instances colocated;
+* :mod:`repro.scale.engine` -- shards a spanning dependency couples
+  anyway run co-simulated on one virtual clock, exchanging
+  announcements and certificate traffic through an exactly-once FIFO
+  gateway channel;
+* work stealing (``run_sharded(steal=True)``) -- independent shards
+  split into dependency-closed chunks that idle workers steal from
+  the most-loaded queue, deterministically.
+
+Determinism contract: for a fixed ``(seed, shard count, placement)``
+the merged outcome is identical regardless of worker count -- the
+partition is a pure function of the plan inputs, each shard's RNG
+seed is derived from the run seed and the shard index alone, and all
+inter-shard traffic flows on the shared simulator's deterministic
+clock.  Changing the *shard count* or placement regroups instances
+and therefore legitimately changes message interleavings within each
+scheduler (settled outcomes stay the same; timings may not).
 """
 
+from repro.scale.partition import (
+    PartitionPlan,
+    partition_instances,
+    plan_partition,
+    shared_event_graph,
+)
 from repro.scale.shards import (
     InstanceSpec,
     ScriptSpec,
     ShardOutcome,
+    ShardPlan,
     ShardTask,
     ShardedResult,
     instance_spec,
     plan_shards,
     run_sharded,
     shard_seed,
+    shutdown_pool,
 )
 
 __all__ = [
     "InstanceSpec",
+    "PartitionPlan",
     "ScriptSpec",
     "ShardOutcome",
+    "ShardPlan",
     "ShardTask",
     "ShardedResult",
     "instance_spec",
+    "partition_instances",
+    "plan_partition",
     "plan_shards",
     "run_sharded",
     "shard_seed",
+    "shared_event_graph",
+    "shutdown_pool",
 ]

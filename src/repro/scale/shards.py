@@ -21,9 +21,11 @@ metrics/trace artifacts (:mod:`repro.obs.merge`).
 
 from __future__ import annotations
 
+import atexit
+import logging
 import random
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.algebra.parser import parse
@@ -41,6 +43,8 @@ from repro.scheduler.events import (
 )
 from repro.workflows.spec import Workflow
 from repro.workflows.template import WorkflowTemplate
+
+logger = logging.getLogger(__name__)
 
 
 def _event_repr(event: Event) -> str:
@@ -147,6 +151,15 @@ class ShardTask:
     latency: float | None = None  # constant per-hop latency, None = default
     profile: bool = False
     sample_every: float | None = None
+    #: cross-instance dependency reprs this shard participates in; a
+    #: dependency whose instances span several shards appears on every
+    #: one of them (and couples them into one execution group)
+    cross_dependencies: tuple[str, ...] = ()
+    #: drop/duplicate probabilities of the cross-shard channel
+    cross_drop: float = 0.0
+    cross_dup: float = 0.0
+    #: work-stealing sub-unit of the shard (0 when the shard runs whole)
+    chunk: int = 0
 
     def build_template(self, profiler=None) -> WorkflowTemplate:
         workflow = Workflow(
@@ -185,6 +198,7 @@ class ShardOutcome:
     fast_instantiations: int
     fallback_instantiations: int
     profile: dict | None = None
+    chunk: int = 0
 
 
 @dataclass
@@ -197,14 +211,36 @@ class ShardedResult:
     outcomes: list[ShardOutcome]
     workers: int
     profile: dict | None = None
+    #: announcements + protocol traffic routed between shards
+    cross_messages: int = 0
+    #: instances reassigned off their home shard by work stealing
+    steals: int = 0
 
     @property
     def shards(self) -> int:
-        return len(self.outcomes)
+        return len({outcome.shard for outcome in self.outcomes})
 
 
 # ----------------------------------------------------------------------
 # planning
+
+
+class ShardPlan(list):
+    """A shard task list plus the planning pass's metadata.
+
+    Behaves exactly like the plain ``list[ShardTask]`` earlier
+    releases returned; the extra attributes record how the
+    constraint-aware partitioner placed the instances (benchmarks and
+    the CLI report them).
+    """
+
+    placement: str = "round_robin"
+    cut_weight: int = 0
+    total_weight: int = 0
+    #: per shard, the instance indices it owns
+    assignment: tuple[tuple[int, ...], ...] = ()
+    #: shard ids coupled by spanning dependencies, as components
+    groups: tuple[tuple[int, ...], ...] = ()
 
 
 def plan_shards(
@@ -220,19 +256,45 @@ def plan_shards(
     latency: float | None = None,
     profile: bool = False,
     sample_every: float | None = None,
-) -> list[ShardTask]:
-    """Partition ``instances`` round-robin into ``shards`` tasks.
+    placement: str = "round_robin",
+    cross_deps: Sequence = (),
+    assignment: Sequence[Sequence[int]] | None = None,
+    cross_drop_probability: float = 0.0,
+    cross_duplicate_probability: float = 0.0,
+) -> ShardPlan:
+    """Partition ``instances`` into ``shards`` tasks.
 
-    ``workflow`` is the un-suffixed template.  The partition and the
-    per-shard seeds depend only on ``(instances, shards, seed)`` --
-    never on worker count -- which is what makes sharded runs
-    reproducible across machines and pool sizes.
+    ``workflow`` is the un-suffixed template.  ``cross_deps`` are
+    dependencies (expressions or their texts) coupling *different*
+    instances; every shard owning one of a dependency's instances
+    carries it, and shards sharing a spanning dependency form one
+    execution group (run co-simulated by :mod:`repro.scale.engine`).
+    ``placement`` chooses the partitioner: ``"round_robin"`` (the
+    baseline) or ``"min_cut"`` (the constraint-aware greedy
+    partitioner over the shared-event graph); an explicit
+    ``assignment`` (instance-index lists per shard) overrides both.
+
+    The partition and the per-shard seeds depend only on
+    ``(instances, shards, seed, placement, cross_deps)`` -- never on
+    worker count -- which is what makes sharded runs reproducible
+    across machines and pool sizes.
     """
     if shards < 1:
         raise ValueError(f"need at least one shard, got {shards}")
     if not instances:
         raise ValueError("plan_shards needs at least one instance")
-    shards = min(shards, len(instances))
+    if placement not in ("round_robin", "min_cut"):
+        raise ValueError(
+            f"unknown placement {placement!r}; "
+            "expected 'round_robin' or 'min_cut'"
+        )
+    if shards > len(instances):
+        logger.warning(
+            "plan_shards: clamping %d shards to %d instance(s) -- "
+            "a shard cannot own less than one instance",
+            shards, len(instances),
+        )
+        shards = len(instances)
     dependencies = tuple(repr(dep) for dep in workflow.dependencies)
     attributes = tuple(
         sorted(
@@ -255,7 +317,54 @@ def plan_shards(
             for event, site in workflow.sites.items()
         )
     )
-    return [
+    from repro.scale.partition import (
+        dependency_instances,
+        plan_partition,
+    )
+
+    suffixes = [instance.suffix for instance in instances]
+    cross = [
+        parse(dep) if isinstance(dep, str) else dep for dep in cross_deps
+    ]
+    if assignment is None and placement == "round_robin":
+        # the legacy layout, expressed as an explicit assignment so the
+        # same planning pass derives cut/spanning/groups for it
+        assignment = [
+            list(range(len(instances)))[shard::shards]
+            for shard in range(shards)
+        ]
+    partition = plan_partition(
+        len(instances), shards, cross, suffixes, assignment=assignment
+    )
+    shard_of = {
+        index: shard
+        for shard, part in enumerate(partition.assignment)
+        for index in part
+    }
+    # each cross dependency travels to every shard owning one of its
+    # instances; shards sharing one are coupled into a group
+    per_shard_cross: list[list[str]] = [[] for _ in range(shards)]
+    for dep in cross:
+        owners = sorted(
+            {shard_of[i] for i in dependency_instances(dep, suffixes)}
+        )
+        for owner in owners:
+            per_shard_cross[owner].append(repr(dep))
+    # an explicit assignment may leave a shard with no instances; such
+    # a shard has nothing to run (and nothing to own), so it is
+    # dropped from the task list -- the shard ids of the others stay
+    empty = [
+        shard
+        for shard in range(shards)
+        if not partition.assignment[shard]
+    ]
+    if empty:
+        logger.warning(
+            "plan_shards: dropping %d empty shard(s) %s from the "
+            "explicit assignment",
+            len(empty), empty,
+        )
+    plan = ShardPlan(
         ShardTask(
             shard=shard,
             seed=shard_seed(seed, shard),
@@ -263,7 +372,9 @@ def plan_shards(
             dependencies=dependencies,
             attributes=attributes,
             sites=sites,
-            instances=tuple(instances[shard::shards]),
+            instances=tuple(
+                instances[index] for index in partition.assignment[shard]
+            ),
             reliable=reliable,
             batch_announcements=batch_announcements,
             trace=trace,
@@ -271,9 +382,19 @@ def plan_shards(
             latency=latency,
             profile=profile,
             sample_every=sample_every,
+            cross_dependencies=tuple(per_shard_cross[shard]),
+            cross_drop=cross_drop_probability,
+            cross_dup=cross_duplicate_probability,
         )
         for shard in range(shards)
-    ]
+        if partition.assignment[shard]
+    )
+    plan.placement = placement
+    plan.cut_weight = partition.cut_weight
+    plan.total_weight = partition.total_weight
+    plan.assignment = partition.assignment
+    plan.groups = partition.groups
+    return plan
 
 
 # ----------------------------------------------------------------------
@@ -281,7 +402,13 @@ def plan_shards(
 
 
 def _run_shard(task: ShardTask) -> ShardOutcome:
-    """Execute one shard (top-level so worker processes can import it)."""
+    """Execute one shard (top-level so worker processes can import it).
+
+    Any ``cross_dependencies`` on the task are fully local here (the
+    planner sends spanning ones through :func:`repro.scale.engine.
+    run_group` instead): they are enforced and verified exactly like
+    workflow dependencies.
+    """
     from repro.scheduler.guard_scheduler import DistributedScheduler
 
     profiler = Profiler() if task.profile else None
@@ -307,15 +434,28 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
         tracer=tracer,
         profiler=profiler,
         sample_every=task.sample_every,
+        cross_dependencies=[
+            parse(text) for text in task.cross_dependencies
+        ],
     )
     scripts = [
         spec.build()
         for instance in task.instances
         for spec in instance.scripts
     ]
-    result = scheduler.run(scripts, settle=task.settle)
+    scheduler.run(scripts, settle=task.settle)
+    return _flatten_outcome(task, scheduler, tracer, profiler, template)
+
+
+def _flatten_outcome(
+    task: ShardTask, scheduler, tracer, profiler, template
+) -> ShardOutcome:
+    """Flatten a finished shard scheduler to wire-format plain data
+    (shared by the independent path above and the group engine)."""
+    result = scheduler.result
     return ShardOutcome(
         shard=task.shard,
+        chunk=task.chunk,
         entries=tuple(
             (
                 _event_repr(entry.event),
@@ -350,44 +490,294 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
 # ----------------------------------------------------------------------
 # execution + merge
 
+#: the process pool is hoisted to module level so repeated
+#: ``run_sharded`` calls (benchmark loops, long-lived services) reuse
+#: warm workers instead of forking a fresh pool per call
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
 
-def _execute(tasks: Sequence[ShardTask], workers: int) -> list[ShardOutcome]:
-    if workers <= 1 or len(tasks) <= 1:
-        return [_run_shard(task) for task in tasks]
-    try:
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS < workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
         import multiprocessing
 
         context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks)), mp_context=context
-        ) as pool:
-            return list(pool.map(_run_shard, tasks))
-    except (OSError, ImportError, PermissionError, ValueError):
-        # no usable process pool (platform without fork, or a sandbox
-        # that denies semaphores): same plan, one process -- shards are
-        # independent, so the merged outcome is identical
-        return [_run_shard(task) for task in tasks]
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear the persistent worker pool down (idempotent)."""
+    global _POOL, _POOL_WORKERS
+    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_pool)
+
+
+def _run_work(group: tuple[ShardTask, ...]):
+    """Execute one work item: a lone shard, or a coupled group
+    co-simulated on a shared clock.  Top-level so worker processes can
+    import it; always returns an engine ``GroupOutcome``."""
+    from repro.scale.engine import GroupOutcome, run_group
+
+    if len(group) == 1:
+        return GroupOutcome(
+            outcomes=[_run_shard(group[0])],
+            cross_stats={},
+            cross_violations=[],
+        )
+    return run_group(group)
+
+
+def _execute(
+    work: Sequence[tuple[ShardTask, ...]], workers: int
+) -> list:
+    if workers <= 1 or len(work) <= 1:
+        return [_run_work(group) for group in work]
+    try:
+        pool = _get_pool(min(workers, len(work)))
+        return list(pool.map(_run_work, work))
+    except (OSError, ImportError, PermissionError, ValueError, RuntimeError):
+        # no usable process pool (platform without fork, a sandbox that
+        # denies semaphores, or a broken pool): same plan, one process
+        # -- work items are independent, so the merged outcome is
+        # identical
+        shutdown_pool()
+        return [_run_work(group) for group in work]
+
+
+def _task_groups(
+    tasks: Sequence[ShardTask],
+) -> list[tuple[ShardTask, ...]]:
+    """Partition tasks into execution groups.
+
+    Two shards carrying the same cross-dependency text share that
+    dependency's instances across the cut, so they must co-simulate;
+    the groups are the connected components of that relation.  Tasks
+    with no shared dependencies stay singleton -- the fully
+    independent fast path.
+    """
+    order = {id(task): index for index, task in enumerate(tasks)}
+    parent = list(range(len(tasks)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    by_text: dict[str, list[int]] = {}
+    for index, task in enumerate(tasks):
+        for text in task.cross_dependencies:
+            by_text.setdefault(text, []).append(index)
+    for indices in by_text.values():
+        for other in indices[1:]:
+            ra, rb = find(indices[0]), find(other)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+    components: dict[int, list[ShardTask]] = {}
+    for index, task in enumerate(tasks):
+        components.setdefault(find(index), []).append(task)
+    return [
+        tuple(members)
+        for _root, members in sorted(components.items())
+    ]
+
+
+def _chunk_task(task: ShardTask) -> list[ShardTask]:
+    """Split a lone shard into stealable chunks.
+
+    A chunk is a connected component of the shard's instances under
+    its (local) cross dependencies -- the smallest unit that can move
+    to another worker without breaking a dependency apart.  Chunk
+    contents and seeds are fixed here, before any execution, so the
+    merged outcome is independent of which worker ultimately runs
+    which chunk.
+    """
+    if len(task.instances) <= 1:
+        return [task]
+    from repro.scale.partition import dependency_instances
+
+    suffixes = [instance.suffix for instance in task.instances]
+    parent = list(range(len(suffixes)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    deps = [parse(text) for text in task.cross_dependencies]
+    members_of: list[frozenset[int]] = []
+    for dep in deps:
+        touched = sorted(dependency_instances(dep, suffixes))
+        members_of.append(frozenset(touched))
+        for other in touched[1:]:
+            ra, rb = find(touched[0]), find(other)
+            if ra != rb:
+                parent[max(ra, rb)] = min(ra, rb)
+    components: dict[int, list[int]] = {}
+    for index in range(len(suffixes)):
+        components.setdefault(find(index), []).append(index)
+    if len(components) <= 1:
+        return [task]
+    chunks = []
+    for chunk, (_root, indices) in enumerate(sorted(components.items())):
+        owned = set(indices)
+        chunks.append(
+            replace(
+                task,
+                chunk=chunk,
+                seed=shard_seed(task.seed, chunk),
+                instances=tuple(task.instances[i] for i in indices),
+                cross_dependencies=tuple(
+                    repr(dep)
+                    for dep, touched in zip(deps, members_of)
+                    if touched and touched <= owned
+                ),
+            )
+        )
+    return chunks
+
+
+def _steal_schedule(
+    chunked: dict[int, list[ShardTask]], workers: int
+):
+    """Deterministic work-stealing schedule over per-shard queues.
+
+    Queue depth is measured in scripted attempts (the work a chunk
+    will inject).  Workers are home-assigned to shards round-robin; a
+    worker whose home queue is empty steals from the *tail* of the
+    queue with the largest remaining backlog (ties toward the lowest
+    shard id).  Everything -- victim choice, chunk order, the gauges
+    -- is a pure function of the plan and ``workers``, so a sharded
+    run with stealing stays reproducible.
+
+    Returns ``(order, steals, stolen_instances, timeseries)``.
+    """
+    from repro.obs.timeseries import TimeSeriesRegistry
+
+    def weight(task: ShardTask) -> int:
+        return sum(
+            len(spec.attempts)
+            for instance in task.instances
+            for spec in instance.scripts
+        ) or 1
+
+    shard_ids = sorted(chunked)
+    queues = {shard: list(chunked[shard]) for shard in shard_ids}
+    backlog = {
+        shard: sum(weight(task) for task in queues[shard])
+        for shard in shard_ids
+    }
+    homes = [shard_ids[w % len(shard_ids)] for w in range(workers)]
+    busy = [0.0] * workers
+    series = TimeSeriesRegistry(interval=1.0)
+    order: list[ShardTask] = []
+    steals = 0
+    stolen_instances = 0
+    while any(queues.values()):
+        worker = min(range(workers), key=lambda w: (busy[w], w))
+        home = homes[worker]
+        if queues[home]:
+            task = queues[home].pop(0)
+        else:
+            victim = max(
+                (shard for shard in shard_ids if queues[shard]),
+                key=lambda shard: (backlog[shard], -shard),
+            )
+            task = queues[victim].pop()  # thief takes the tail
+            steals += 1
+            stolen_instances += len(task.instances)
+        backlog[task.shard] -= weight(task)
+        for shard in shard_ids:
+            series.record(
+                f"queue_depth_s{shard}", busy[worker], len(queues[shard])
+            )
+            series.record(
+                f"queue_backlog_s{shard}", busy[worker], backlog[shard]
+            )
+        order.append(task)
+        busy[worker] += weight(task)
+    return order, steals, stolen_instances, series
 
 
 def run_sharded(
-    tasks: Sequence[ShardTask], workers: int | None = None
+    tasks: Sequence[ShardTask],
+    workers: int | None = None,
+    steal: bool = False,
 ) -> ShardedResult:
     """Run a shard plan and merge the outcomes.
 
-    ``workers`` defaults to one per shard (capped by CPU count); any
-    value <= 1 runs in-process.  The merged :class:`ExecutionResult`
-    pools entries across shards in virtual-time order, sums the
-    additive counters, and maxes the per-scheduler aggregates
-    (makespan, peak site load).
+    ``workers`` defaults to one per work item (capped by CPU count);
+    any value <= 1 runs in-process.  Shards coupled by spanning cross
+    dependencies run co-simulated as one work item
+    (:mod:`repro.scale.engine`); independent shards run exactly as
+    before.  With ``steal=True``, independent shards are split into
+    stealable chunks (dependency-closed instance sets) and scheduled
+    by deterministic work stealing, recovering balance under skewed
+    placements.  The merged :class:`ExecutionResult` pools entries
+    across shards in virtual-time order, sums the additive counters,
+    and maxes the per-scheduler aggregates (makespan, peak site load).
     """
     if not tasks:
         raise ValueError("run_sharded needs at least one task")
+    groups = _task_groups(tasks)
+    steals = 0
+    stolen_instances = 0
+    steal_series = None
+    if steal:
+        chunked: dict[int, list[ShardTask]] = {}
+        coupled: list[tuple[ShardTask, ...]] = []
+        for group in groups:
+            if len(group) == 1:
+                task = group[0]
+                chunked[task.shard] = _chunk_task(task)
+            else:
+                # a coupled group co-simulates as one unit; it cannot
+                # be split without migrating scheduler state
+                coupled.append(group)
+        order, steals, stolen_instances, steal_series = _steal_schedule(
+            chunked, workers or _default_workers(len(chunked) or 1)
+        ) if chunked else ([], 0, 0, None)
+        work = [(task,) for task in order] + coupled
+    else:
+        work = groups
     if workers is None:
-        import os
+        workers = _default_workers(len(work))
+    group_outcomes = _execute(work, workers)
 
-        workers = min(len(tasks), os.cpu_count() or 1)
-    outcomes = _execute(tasks, workers)
-    outcomes.sort(key=lambda outcome: outcome.shard)
+    outcomes: list[ShardOutcome] = []
+    cross_reports: list[dict] = []
+    cross_violations: list[tuple[str, str]] = []
+    cross_messages = 0
+    cross_by_kind: dict[str, int] = {}
+    for group_outcome in group_outcomes:
+        outcomes.extend(group_outcome.outcomes)
+        if group_outcome.cross_stats:
+            stats = group_outcome.cross_stats
+            cross_reports.append({"network": stats})
+            cross_messages += stats.get("messages", 0)
+            for kind, count in stats.get("by_kind", {}).items():
+                cross_by_kind[kind] = cross_by_kind.get(kind, 0) + count
+        cross_violations.extend(group_outcome.cross_violations)
+    outcomes.sort(key=lambda outcome: (outcome.shard, outcome.chunk))
+    chunk_counts: dict[int, int] = {}
+    for outcome in outcomes:
+        chunk_counts[outcome.shard] = chunk_counts.get(outcome.shard, 0) + 1
+    prefixes = [
+        f"s{outcome.shard}/"
+        if chunk_counts[outcome.shard] == 1
+        else f"s{outcome.shard}c{outcome.chunk}/"
+        for outcome in outcomes
+    ]
 
     result = ExecutionResult()
     tagged: list[tuple[float, int, int, TraceEntry]] = []
@@ -423,13 +813,40 @@ def run_sharded(
         )
     tagged.sort(key=lambda item: item[:3])
     result.entries = [entry for _, _, _, entry in tagged]
+    # the cross-shard channel's traffic is part of the run's cost
+    result.messages += cross_messages
+    for kind, count in cross_by_kind.items():
+        by_kind[kind] = by_kind.get(kind, 0) + count
     result.messages_by_kind = dict(sorted(by_kind.items()))
+    result.violations.extend(
+        Violation(kind, detail) for kind, detail in cross_violations
+    )
 
-    metrics = merge_metrics([outcome.metrics for outcome in outcomes])
+    reports = [outcome.metrics for outcome in outcomes]
+    report_prefixes = list(prefixes)
+    # the gateway channels ride along as network-only pseudo-reports,
+    # so the merged metrics (and the Prometheus export) account for
+    # routed cross-shard traffic
+    for index, report in enumerate(cross_reports):
+        reports.append(report)
+        report_prefixes.append(f"x{index}/")
+    if steal:
+        steal_report: dict = {
+            "counters": {
+                "chunks_stolen": {"total": steals},
+                "instances_stolen": {"total": stolen_instances},
+            }
+        }
+        if steal_series is not None:
+            steal_report["timeseries"] = steal_series.as_dict()
+        reports.append(steal_report)
+        report_prefixes.append("steal/")
+    metrics = merge_metrics(reports, prefixes=report_prefixes)
     trace_records = None
     if all(outcome.trace_records is not None for outcome in outcomes):
         trace_records = merge_traces(
-            [outcome.trace_records for outcome in outcomes]
+            [outcome.trace_records for outcome in outcomes],
+            prefixes=prefixes,
         )
     profile = None
     if all(outcome.profile is not None for outcome in outcomes):
@@ -441,4 +858,12 @@ def run_sharded(
         outcomes=outcomes,
         workers=workers,
         profile=profile,
+        cross_messages=cross_messages,
+        steals=steals,
     )
+
+
+def _default_workers(work_items: int) -> int:
+    import os
+
+    return min(work_items, os.cpu_count() or 1)

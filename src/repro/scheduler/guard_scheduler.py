@@ -62,7 +62,7 @@ from repro.sim.faults import ChaosReport, FaultInjector, FaultPlan
 from repro.sim.network import BatchingChannel, LatencyModel, Network
 from repro.sim.reliable import ReliableNetwork
 from repro.temporal.cubes import GuardExpr
-from repro.temporal.guards import workflow_guards
+from repro.temporal.guards import guard_and, guard_table, workflow_guards
 from repro.temporal.watch import ALL, WatchIndex, watch_bases
 
 _DEFAULT_ATTRS = EventAttributes()
@@ -118,6 +118,16 @@ class DistributedScheduler:
         untraced run does not.  Pass ``True``/``False`` to force.
         :meth:`explain` works either way -- without the log it falls
         back to the settlement record for justifications.
+    sim / owned / cross_dependencies / gateway:
+        Cross-shard execution (see :mod:`repro.scale.engine`).  A
+        scheduler normally owns every base it knows about and runs on
+        a private simulator; in a coupled shard *group* each member
+        scheduler owns only its shard's bases (``owned``), shares one
+        ``sim`` with its peers, carries the spanning
+        ``cross_dependencies`` whose guards are conjoined onto its
+        owned events, and routes protocol traffic for unknown events
+        through the ``gateway``.  All four default to the
+        single-scheduler behaviour, which is byte-identical to before.
     """
 
     def __init__(
@@ -143,8 +153,17 @@ class DistributedScheduler:
         provenance: bool | None = None,
         profiler=None,
         sample_every: float | None = None,
+        sim: Simulator | None = None,
+        owned: Iterable[Event] | None = None,
+        cross_dependencies: Iterable[Expr] | None = None,
+        gateway=None,
     ):
         self.dependencies = list(dependencies)
+        self.cross_dependencies = list(cross_dependencies or ())
+        self._owned = (
+            None if owned is None else frozenset(e.base for e in owned)
+        )
+        self.gateway = gateway
         self.policy = policy or SchedulerPolicy()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -157,7 +176,7 @@ class DistributedScheduler:
         self.provenance = (
             ProvenanceLog() if record_provenance else NULL_PROVENANCE
         )
-        self.sim = Simulator()
+        self.sim = sim if sim is not None else Simulator()
         self.network = Network(
             self.sim,
             latency=latency,
@@ -217,6 +236,25 @@ class DistributedScheduler:
                 self.profiler.pop()
         else:
             table = workflow_guards(self.dependencies)
+        # cross-shard dependencies constrain our *owned* events too:
+        # conjoin each spanning dependency's guard contribution onto
+        # the owned side of its alphabet.  The remote bases those
+        # guards mention get no actors here -- their occurrences
+        # arrive through the gateway as routed announcements
+        # (:meth:`observe_remote`), waking the same watch indexes a
+        # local announcement would.
+        for dep in self.cross_dependencies:
+            for event, contribution in sorted(
+                guard_table(dep).items(), key=lambda kv: kv[0].sort_key()
+            ):
+                if not self._owns(event.base):
+                    continue
+                existing = table.get(event)
+                table[event] = (
+                    contribution
+                    if existing is None
+                    else guard_and([existing, contribution])
+                )
         if minimize_guards:
             from repro.temporal.simplify import minimize
 
@@ -267,6 +305,11 @@ class DistributedScheduler:
     def site_of(self, base: Event) -> str:
         return self._sites.get(base.base, f"site_{base.base.name}")
 
+    def _owns(self, base: Event) -> bool:
+        """Does this scheduler host ``base``'s actors?  Always true
+        outside a shard group."""
+        return self._owned is None or base.base in self._owned
+
     def attributes(self, base: Event) -> EventAttributes:
         return self._attributes.get(base.base, _DEFAULT_ATTRS)
 
@@ -279,7 +322,7 @@ class DistributedScheduler:
             by_site.setdefault(self.site_of(b), set()).add(b)
         for site, bases in sorted(by_site.items()):
             deps = [
-                d for d in self.dependencies
+                d for d in self.dependencies + self.cross_dependencies
                 if any(b in d.bases() for b in bases)
             ]
             if not deps:
@@ -323,6 +366,10 @@ class DistributedScheduler:
         bases: set[Event] = set()
         for d in self.dependencies:
             bases |= d.bases()
+        for d in self.cross_dependencies:
+            bases |= d.bases()
+        if self._owned is not None:
+            bases = {b for b in bases if b.base in self._owned}
         return frozenset(bases)
 
     # ------------------------------------------------------------------
@@ -331,6 +378,8 @@ class DistributedScheduler:
     def send_to_actor(self, src_event: Event, dst_event: Event, message) -> None:
         actor = self.actors.get(dst_event)
         if actor is None:
+            if self.gateway is not None:
+                self.gateway.route(self, src_event, dst_event, message)
             return
         self.channel.send(
             self.site_of(src_event.base),
@@ -346,6 +395,8 @@ class DistributedScheduler:
         if coordinator is None:
             coordinator = self.actors.get(base.base.complement)
         if coordinator is None:
+            if self.gateway is not None:
+                self.gateway.route_base(self, src_event, base, message)
             return
         self.channel.send(
             self.site_of(src_event.base),
@@ -589,6 +640,15 @@ class DistributedScheduler:
                 self.tracer.actor(self.sim.now, comp.site, comp.event, "dead")
             comp.cancel_protocols()
         self._rewatch_base(event)
+        self._fanout_occurrence(event)
+        if self.gateway is not None:
+            self.gateway.announce_from(self, event)
+
+    def _fanout_occurrence(self, event: Event) -> None:
+        """Fan an occurrence out to everything that listens locally:
+        guard subscribers, settlement waiters, requirement monitors.
+        Shared by local settlement (:meth:`record_occurrence`) and
+        routed remote announcements (:meth:`observe_remote`)."""
         # announcements to guard subscribers
         for sub_event in self._subscribers.get(event.base, ()):
             if sub_event.base == event.base:
@@ -607,6 +667,28 @@ class DistributedScheduler:
                 event,
                 (lambda m: (lambda ev: m.observe(ev)))(monitor),
             )
+
+    def observe_remote(self, event: Event) -> None:
+        """A routed announcement from another shard: ``event`` settled
+        at its owner.
+
+        Receiver-side dedup on the settlement map makes redelivery
+        (session-layer retransmit racing an ack, or a duplicate on the
+        raw fabric) idempotent.  The fact is recorded and fanned out
+        exactly like a local occurrence -- watched-literal wake
+        indexes decide who reacts, so guard-eval counts stay flat --
+        but no trace entry is appended: the owner shard's trace is the
+        single source of truth for the merged timeline.
+        """
+        base = event.base
+        if self._settled.get(base) is not None:
+            self.metrics.inc("remote_duplicates")
+            return
+        self._settled[base] = event
+        self.metrics.inc("remote_announcements")
+        self._fanout_occurrence(event)
+        # remote progress can revive bases we had given up settling
+        self._no_progress_bases.clear()
 
     # ------------------------------------------------------------------
     # run-time workflow modification (Section 1: "declarative
@@ -1211,6 +1293,10 @@ class DistributedScheduler:
             def orphaned(holder: tuple[Event, int], base=base) -> bool:
                 requester, round_id = holder
                 actor = self.actors.get(requester)
+                if actor is None and self.gateway is not None:
+                    # the requester may live on a peer shard: its
+                    # round state is just as consultable there
+                    actor = self.gateway.find_actor(requester)
                 if actor is None:
                     return True
                 if not actor.round_active or actor.round_id != round_id:
@@ -1331,4 +1417,14 @@ class DistributedScheduler:
                     )
                 )
         if verify:
-            self.result.verify(self.dependencies)
+            # local dependencies always; a cross dependency only when
+            # every base it mentions settles here -- spanning ones are
+            # verified by the group engine on the merged timeline,
+            # where both sides' entries exist
+            deps = list(self.dependencies)
+            deps.extend(
+                dep
+                for dep in self.cross_dependencies
+                if all(self._owns(b) for b in dep.bases())
+            )
+            self.result.verify(deps)

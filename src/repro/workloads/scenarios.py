@@ -145,6 +145,107 @@ def make_order_fulfillment(pay_clears: bool = True, suffix: str = "") -> Scenari
     )
 
 
+@dataclass
+class MutexFamily:
+    """Example 13 generalized to ``N`` contending tasks (SC7).
+
+    Each *instance* is one critical-section task (enter ``b``, exit
+    ``e``); mutual exclusion is not a per-instance dependency but a
+    *cross-instance* one, chaining consecutive instances within each
+    cluster of ``cluster`` tasks that contend for one resource.  The
+    template/instances/cross split matches what
+    :func:`repro.scale.plan_shards` consumes: the template ships
+    un-suffixed, instances carry their suffixed scripts, and the cross
+    dependencies are the coupling the constraint-aware partitioner
+    places around.
+    """
+
+    template: Workflow
+    #: ``(suffix, scripts)`` per instance, ready for ``instance_spec``
+    instances: list[tuple[str, list[AgentScript]]]
+    #: suffixed cross-instance mutex dependencies
+    cross_dependencies: list
+    #: instance indices contending for one resource
+    clusters: list[tuple[int, ...]]
+
+    def suffixes(self) -> list[str]:
+        return [suffix for suffix, _scripts in self.instances]
+
+    def merged(self) -> tuple[Workflow, list[AgentScript]]:
+        """One big workflow (all instances + cross deps) for the
+        single-scheduler baseline, with the same scripts."""
+        from repro.workflows.template import WorkflowTemplate
+
+        template = WorkflowTemplate(self.template)
+        workflow, _guards = template.instantiate_merged(self.suffixes())
+        for dep in self.cross_dependencies:
+            workflow.add(dep)
+        scripts = [s for _suffix, ss in self.instances for s in ss]
+        return workflow, scripts
+
+
+def make_mutex_family(
+    count: int,
+    cluster: int = 2,
+    enter_gap: float = 0.5,
+    exit_after: float = 3.0,
+) -> MutexFamily:
+    """``count`` Example-13 critical-section tasks in contention clusters.
+
+    Instance ``k`` (suffix ``_i{k}``) enters at ``(k % cluster) *
+    enter_gap`` and exits ``exit_after`` later (gated on its own
+    entry).  Within each cluster of ``cluster`` consecutive instances,
+    adjacent instances are coupled by the symmetric pair of Example-13
+    mutex dependencies, so a later task's entry waits on its
+    predecessor's exit -- across shards, that wait is exactly one
+    routed announcement.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one instance, got {count}")
+    if cluster < 1:
+        raise ValueError(f"cluster size must be positive, got {cluster}")
+    b, e = Event("b"), Event("e")
+    template = Workflow("mutex_cs")
+    template.add(klein_precedes(b, e))
+    template.add("~b + e")  # a task that enters is guaranteed to leave
+    template.set_attributes(e, guaranteed=True)
+    template.place_task("cs", b, e)
+
+    instances: list[tuple[str, list[AgentScript]]] = []
+    for k in range(count):
+        suffix = f"_i{k}"
+        enter = (k % cluster) * enter_gap
+        script = AgentScript(
+            f"cs{suffix}",
+            [
+                ScriptedAttempt(enter, Event(f"b{suffix}")),
+                ScriptedAttempt(
+                    enter + exit_after,
+                    Event(f"e{suffix}"),
+                    after=Event(f"b{suffix}"),
+                ),
+            ],
+        )
+        instances.append((suffix, [script]))
+
+    cross = []
+    clusters: list[tuple[int, ...]] = []
+    for start in range(0, count, cluster):
+        members = tuple(range(start, min(start + cluster, count)))
+        clusters.append(members)
+        for j, k in zip(members, members[1:]):
+            bj, ej = Event(f"b_i{j}"), Event(f"e_i{j}")
+            bk, ek = Event(f"b_i{k}"), Event(f"e_i{k}")
+            cross.append(mutex(bj, ej, bk, ek))
+            cross.append(mutex(bk, ek, bj, ej))
+    return MutexFamily(
+        template=template,
+        instances=instances,
+        cross_dependencies=cross,
+        clusters=clusters,
+    )
+
+
 def make_mutex_scenario(first: str = "t1") -> Scenario:
     """Example 13's mutual exclusion, propositional instance.
 

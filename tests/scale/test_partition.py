@@ -1,0 +1,124 @@
+"""Constraint-aware placement planning (repro.scale.partition)."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.scale.partition import (
+    dependency_instances,
+    instance_of,
+    partition_instances,
+    plan_partition,
+    shared_event_graph,
+)
+from repro.workloads.scenarios import make_mutex_family
+
+
+def family(count, cluster=2):
+    fam = make_mutex_family(count, cluster=cluster)
+    return fam.cross_dependencies, fam.suffixes()
+
+
+class TestInstanceMapping:
+    def test_longest_suffix_wins(self):
+        suffixes = [f"_i{k}" for k in range(12)]
+        (base,) = parse("b_i1").bases()
+        assert instance_of(base, suffixes) == 1
+        # _i11 ends with both _i1 and _i11; the longer match is right
+        (base,) = parse("b_i11").bases()
+        assert instance_of(base, suffixes) == 11
+
+    def test_foreign_event_maps_to_none(self):
+        (base,) = parse("q").bases()
+        assert instance_of(base, ["_i0", "_i1"]) is None
+
+    def test_dependency_instances(self):
+        cross, suffixes = family(4)
+        # each mutex dependency couples exactly two instances
+        for dep in cross:
+            assert len(dependency_instances(dep, suffixes)) == 2
+
+
+class TestSharedEventGraph:
+    def test_mutex_pair_weights_symmetric_edge(self):
+        cross, suffixes = family(2)
+        edges = shared_event_graph(cross, suffixes)
+        assert set(edges) == {(0, 1)}
+        assert edges[(0, 1)] > 0
+
+    def test_clusters_stay_disjoint(self):
+        cross, suffixes = family(6, cluster=2)
+        edges = shared_event_graph(cross, suffixes)
+        assert set(edges) == {(0, 1), (2, 3), (4, 5)}
+
+    def test_independent_instances_have_no_edges(self):
+        _cross, suffixes = family(4)
+        assert shared_event_graph([], suffixes) == {}
+
+
+class TestGreedyPartition:
+    def test_colocates_coupled_pairs(self):
+        cross, suffixes = family(8, cluster=2)
+        edges = shared_event_graph(cross, suffixes)
+        placed = partition_instances(8, 4, edges)
+        # every cluster lands on a single shard: the cut is zero
+        shard_of = {i: s for s, part in enumerate(placed) for i in part}
+        for (i, j), _w in edges.items():
+            assert shard_of[i] == shard_of[j]
+
+    def test_balances_under_capacity(self):
+        cross, suffixes = family(9, cluster=3)
+        edges = shared_event_graph(cross, suffixes)
+        placed = partition_instances(9, 3, edges)
+        assert sorted(len(part) for part in placed) == [3, 3, 3]
+
+    def test_deterministic(self):
+        cross, suffixes = family(16, cluster=4)
+        edges = shared_event_graph(cross, suffixes)
+        assert partition_instances(16, 4, edges) == partition_instances(
+            16, 4, edges
+        )
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            partition_instances(4, 0, {})
+
+
+class TestPlanPartition:
+    def test_min_cut_plan_has_no_spanning_deps(self):
+        cross, suffixes = family(8, cluster=2)
+        plan = plan_partition(8, 4, cross, suffixes)
+        assert plan.cut_weight == 0
+        assert plan.spanning == ()
+        assert plan.egress == {}
+        # independent shards stay their own singleton groups
+        assert plan.groups == ((0,), (1,), (2,), (3,))
+
+    def test_round_robin_layout_exposes_the_cut(self):
+        cross, suffixes = family(4, cluster=2)
+        plan = plan_partition(
+            4, 2, cross, suffixes, assignment=[[0, 2], [1, 3]]
+        )
+        assert plan.cut_weight == plan.total_weight > 0
+        assert len(plan.spanning) == len(cross)
+        # both clusters span both shards -> one coupled group
+        assert plan.groups == ((0, 1),)
+        # every egress base is subscribed to by the *other* shard
+        shard_of = {i: s for s, part in enumerate(plan.assignment) for i in part}
+        for base, subscribers in plan.egress.items():
+            owner = shard_of[instance_of(base, suffixes)]
+            assert owner not in subscribers
+
+    def test_explicit_assignment_must_cover_every_instance(self):
+        cross, suffixes = family(4)
+        with pytest.raises(ValueError):
+            plan_partition(4, 2, cross, suffixes, assignment=[[0, 1], [2]])
+        with pytest.raises(ValueError):
+            plan_partition(
+                4, 2, cross, suffixes, assignment=[[0, 1, 2], [2, 3]]
+            )
+
+    def test_plan_is_deterministic(self):
+        cross, suffixes = family(12, cluster=3)
+        assert plan_partition(12, 4, cross, suffixes) == plan_partition(
+            12, 4, cross, suffixes
+        )

@@ -76,9 +76,34 @@ class TestPlanning:
             ["_i0", "_i3", "_i6"], ["_i1", "_i4"], ["_i2", "_i5"],
         ]
 
-    def test_more_shards_than_instances_clamps(self):
-        tasks = plan_shards(TEMPLATE, travel_instances(2), 8, seed=0)
+    def test_more_shards_than_instances_clamps(self, caplog):
+        # regression: the clamp used to be silent -- it must warn
+        with caplog.at_level("WARNING", logger="repro.scale.shards"):
+            tasks = plan_shards(TEMPLATE, travel_instances(2), 8, seed=0)
         assert len(tasks) == 2
+        assert any(
+            "clamping" in record.message for record in caplog.records
+        )
+
+    def test_empty_explicit_shards_dropped_with_warning(self, caplog):
+        instances = travel_instances(3)
+        with caplog.at_level("WARNING", logger="repro.scale.shards"):
+            tasks = plan_shards(
+                TEMPLATE, instances, 3, seed=0,
+                assignment=[[0, 1, 2], [], []],
+            )
+        assert [task.shard for task in tasks] == [0]
+        assert len(tasks[0].instances) == 3
+        assert any(
+            "empty shard" in record.message for record in caplog.records
+        )
+
+    def test_plan_carries_partition_metadata(self):
+        tasks = plan_shards(TEMPLATE, travel_instances(4), 2, seed=0)
+        assert tasks.placement == "round_robin"
+        assert tasks.cut_weight == 0
+        assert tasks.assignment == ((0, 2), (1, 3))
+        assert tasks.groups == ((0,), (1,))
 
     def test_seed_mix_is_deterministic_and_separated(self):
         seeds = [shard_seed(42, k) for k in range(16)]
@@ -187,6 +212,81 @@ class TestExecution:
         spec = InstanceSpec(suffix="_i0", scripts=())
         with pytest.raises(AttributeError):
             spec.suffix = "_i1"
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_runs(self):
+        from repro.scale.shards import _get_pool, shutdown_pool
+
+        shutdown_pool()
+        pool = _get_pool(2)
+        assert _get_pool(2) is pool
+        assert _get_pool(1) is pool  # smaller requests reuse it too
+        bigger = _get_pool(3)
+        assert bigger is not pool
+        shutdown_pool()
+
+    def test_default_workers_bounded_by_work(self):
+        from repro.scale.shards import _default_workers
+
+        assert _default_workers(1) == 1
+        assert 1 <= _default_workers(64) <= 64
+
+    def test_run_sharded_defaults_workers(self):
+        tasks = plan_shards(TEMPLATE, travel_instances(2), 2, seed=0)
+        sharded = run_sharded(tasks)  # workers unset
+        assert sharded.result.ok
+        assert sharded.workers >= 1
+
+
+class TestWorkStealing:
+    def _tasks(self, count=6, shards=2, seed=3, **kwargs):
+        return plan_shards(
+            TEMPLATE, travel_instances(count), shards, seed=seed, **kwargs
+        )
+
+    def test_steal_preserves_settled_outcomes(self):
+        tasks = self._tasks()
+        plain = run_sharded(tasks, workers=1)
+        stolen = run_sharded(tasks, workers=1, steal=True)
+        assert stolen.result.ok, stolen.result.violations
+        assert sorted(
+            repr(e.event) for e in plain.result.entries
+        ) == sorted(repr(e.event) for e in stolen.result.entries)
+
+    def test_steal_outcomes_identical_across_worker_counts(self):
+        # the steal *schedule* responds to worker count (that is the
+        # point of rebalancing) but the merged observables must not
+        tasks = self._tasks()
+        a = run_sharded(tasks, workers=1, steal=True)
+        b = run_sharded(tasks, workers=3, steal=True)
+        assert [
+            (repr(e.event), e.time, e.outcome) for e in a.result.entries
+        ] == [(repr(e.event), e.time, e.outcome) for e in b.result.entries]
+        assert a.result.makespan == b.result.makespan
+        assert a.result.messages == b.result.messages
+
+    def test_steal_schedule_deterministic_for_fixed_workers(self):
+        tasks = self._tasks()
+        a = run_sharded(tasks, workers=2, steal=True)
+        b = run_sharded(tasks, workers=2, steal=True)
+        assert a.steals == b.steals
+        assert [o.chunk for o in a.outcomes] == [o.chunk for o in b.outcomes]
+
+    def test_steal_counters_reach_merged_metrics(self):
+        tasks = self._tasks(count=8, shards=2)
+        stolen = run_sharded(tasks, workers=1, steal=True)
+        counters = stolen.metrics.get("counters", {})
+        assert "chunks_stolen" in counters
+        assert counters["instances_stolen"]["total"] == stolen.steals
+        series = stolen.metrics["timeseries"]["series"]
+        assert any(name.startswith("queue_depth_s") for name in series)
+        assert any(name.startswith("queue_backlog_s") for name in series)
+
+    def test_stolen_trace_passes_checker(self):
+        tasks = self._tasks(count=6, shards=2, trace=True)
+        stolen = run_sharded(tasks, workers=1, steal=True)
+        assert check_records(stolen.trace_records) == []
 
 
 class TestShardedObservability:

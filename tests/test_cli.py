@@ -401,6 +401,8 @@ class TestShardedRun:
         report = json.loads(capsys.readouterr().out)
         assert report["sharding"] == {
             "shards": 2, "instances": 6, "workers": 1,
+            "placement": "round-robin", "cut_weight": 0,
+            "cross_messages": 0, "steals": 0,
         }
         assert report["ok"] is True
 
@@ -414,6 +416,75 @@ class TestShardedRun:
         assert code == 0
         report = json.loads(capsys.readouterr().out)
         assert report["sharding"]["instances"] == 3
+
+    MUTEX = (
+        "workflow mutex_cs\n"
+        "dep ~b + ~e + b . e\n"
+        "dep ~b + e\n"
+        "attr e guaranteed\n"
+        "site cs b e\n"
+    )
+    MUTEX_CROSS = [
+        "--cross-dep", "b_i1 . b_i0 + ~e_i0 + ~b_i1 + e_i0 . b_i1",
+        "--cross-dep", "b_i0 . b_i1 + ~e_i1 + ~b_i0 + e_i1 . b_i0",
+    ]
+
+    @pytest.fixture
+    def mutex_spec(self, tmp_path):
+        path = tmp_path / "mutex.wf"
+        path.write_text(self.MUTEX)
+        return str(path)
+
+    def test_cross_deps_route_between_shards(self, mutex_spec, capsys):
+        code = main(
+            [
+                "run", mutex_spec, "--scheduler", "distributed",
+                "--attempt", "b=0", "--attempt", "e=3",
+                "--shards", "2", "--instances", "2", "--workers", "1",
+                *self.MUTEX_CROSS, "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["sharding"]["cut_weight"] > 0
+        assert report["sharding"]["cross_messages"] > 0
+
+    def test_min_cut_placement_colocates(self, mutex_spec, capsys):
+        code = main(
+            [
+                "run", mutex_spec, "--scheduler", "distributed",
+                "--attempt", "b=0", "--attempt", "e=3",
+                "--shards", "2", "--instances", "4", "--workers", "1",
+                "--placement", "min-cut", *self.MUTEX_CROSS,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "cut 0, 0 routed message(s)" in out
+
+    def test_steal_reports_in_text_output(self, travel_spec, capsys):
+        code = main(
+            [
+                "run", travel_spec, "--scheduler", "distributed",
+                *self.ATTEMPTS, "--shards", "2", "--instances", "6",
+                "--workers", "1", "--steal",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "steal(s)" in out
+
+    def test_unplannable_cross_dep_exits_two(self, mutex_spec, capsys):
+        code = main(
+            [
+                "run", mutex_spec, "--scheduler", "distributed",
+                "--attempt", "b=0", "--shards", "2", "--instances", "2",
+                "--cross-dep", "b_i0 . (",
+            ]
+        )
+        assert code == 2
+        assert "cannot plan shards" in capsys.readouterr().err
 
     def test_shards_require_distributed_scheduler(self, travel_spec, capsys):
         code = main(
