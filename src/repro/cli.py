@@ -17,11 +17,25 @@ Usage (also via ``python -m repro``):
     repro prom lint METRICS.prom      # validate Prometheus text output
     repro profile  SPEC.wf            # phase-attributed wall-time profile
     repro slo check REPORT.json SLO.json  # gate a run on thresholds
+    repro diff     A.jsonl B.jsonl    # causally diff two traces
+    repro runs     {list,show,gc,compare,regress}  # run registry
+
+Trace files ending in ``.gz`` are written and read gzip-compressed
+everywhere (``run --trace``, ``trace check/export/query``, ``explain``,
+``diff``).
 
 ``run`` options: ``--scheduler {distributed,centralized,automata}``,
 ``--attempt EVENT=TIME`` (repeatable), ``--latency L``, ``--seed N``,
+``--jitter J`` (uniform random delivery jitter around the base
+latency, seeded by ``--seed`` -- makes the seed observable in traces),
 ``--json`` (machine-readable result + metrics + trace on stdout),
 ``--trace FILE`` (write the causal event trace as JSONL),
+``--flight-record N`` (ring-buffered flight-recorder tracing: keep
+only the newest N records in memory; ``--flight-dump FILE`` dumps the
+retained window when the run misbehaves), ``--slo FILE`` (gate the
+run on an SLO document; failures arm the flight recorder and flip the
+exit code), ``--record`` (store the finished run in the regression
+registry; ``--runs-dir DIR`` overrides ``.repro/runs``),
 ``--no-settle`` (leave unattempted bases unsettled -- parked events
 stay parked for ``explain`` to dissect), and, on the distributed
 scheduler only: ``--snapshot-every N`` (consistent global snapshots on
@@ -37,13 +51,19 @@ its compiled guards, and N schedulers run them in a process pool;
 timeline, trace, and metrics come back merged).
 
 Exit codes: ``run`` exits 0 only when the run is *clean* -- no
-dependency violations and no unsettled bases; 1 when either remains;
-2 on usage errors.  ``trace check`` exits 1 when the trace violates an
-invariant (an empty or truncated trace is reported, not a traceback);
-``trace query`` exits 1 when the trace is empty, no record matches, or
-the requested analysis has no data; ``slo check`` exits 1 when any
-rule fails (a rule with no data fails closed); ``explain`` exits 1
-when the event never appears in the trace; file errors exit 2.
+dependency violations, no unsettled bases, and (with ``--slo``) no
+failed SLO rule; 1 when any remains; 2 on usage errors.  ``trace
+check`` exits 1 when the trace violates an invariant (an empty or
+truncated trace is reported, not a traceback); ``trace query`` exits 1
+when the trace is empty, no record matches, or the requested analysis
+has no data; ``slo check`` exits 1 when any rule fails (a rule with no
+data fails closed); ``explain`` exits 1 when the event never appears
+in the trace; ``diff`` exits 0 when the traces are causally identical,
+1 when they diverge (the first divergent event and its root-cause
+chain are printed), 2 when either trace is empty or unusable; ``runs
+compare`` follows ``diff``; ``runs regress`` exits 0 when the newest
+stored run holds the line, 1 when an indicator (or SLO) regressed, 2
+with fewer than two stored runs; file errors exit 2.
 """
 
 from __future__ import annotations
@@ -54,14 +74,14 @@ import random
 import sys
 
 from repro.algebra.parser import parse
-from repro.obs import Tracer, check_file, read_jsonl, to_chrome
+from repro.obs import Tracer, check_file, open_trace, read_jsonl, to_chrome
 from repro.scheduler import (
     AutomataScheduler,
     CentralizedScheduler,
     DistributedScheduler,
 )
 from repro.scheduler.agents import AgentScript, ScriptedAttempt
-from repro.sim.network import ConstantLatency
+from repro.sim.network import ConstantLatency, UniformLatency
 from repro.temporal.guards import guard as synthesize_guard
 from repro.viz import (
     automaton_to_dot,
@@ -129,6 +149,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--latency", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        metavar="J",
+        help="deliver each message after latency +/- J (uniform, seeded "
+        "by --seed); default 0 = constant latency",
+    )
+    p_run.add_argument(
         "--json",
         action="store_true",
         help="print a machine-readable JSON report "
@@ -137,7 +165,42 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--trace",
         metavar="FILE",
-        help="record the run's causal event trace as JSONL to FILE",
+        help="record the run's causal event trace as JSONL to FILE "
+        "(gzip when FILE ends in .gz)",
+    )
+    p_run.add_argument(
+        "--flight-record",
+        type=int,
+        metavar="N",
+        help="flight-recorder tracing: keep only the newest N trace "
+        "records in a ring (fault records are pinned); --trace and "
+        "--json then carry the retained window with a self-describing "
+        "header the checker understands",
+    )
+    p_run.add_argument(
+        "--flight-dump",
+        metavar="FILE",
+        help="with --flight-record: dump the retained window to FILE "
+        "when the run misbehaves (violations, unsettled bases, failed "
+        "SLO rules, checker diagnostics, crashes)",
+    )
+    p_run.add_argument(
+        "--slo",
+        metavar="FILE",
+        help="gate the run on an SLO document (as in ``repro slo "
+        "check``); failures print, arm the flight recorder, and make "
+        "the run exit 1",
+    )
+    p_run.add_argument(
+        "--record",
+        action="store_true",
+        help="store the finished run (report, trace, profile, config) "
+        "in the content-addressed run registry for ``repro runs``",
+    )
+    p_run.add_argument(
+        "--runs-dir",
+        metavar="DIR",
+        help="with --record: registry directory (default: .repro/runs)",
     )
     p_run.add_argument(
         "--no-settle",
@@ -373,6 +436,74 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="machine-readable per-rule results instead of text",
     )
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="causally diff two recorded traces and localize where "
+        "they first diverge",
+    )
+    p_diff.add_argument("trace_a", help="JSONL trace (gzip transparent)")
+    p_diff.add_argument("trace_b")
+    p_diff.add_argument(
+        "--json", action="store_true",
+        help="machine-readable divergence report instead of text",
+    )
+
+    p_runs = sub.add_parser(
+        "runs",
+        help="the cross-run regression registry (.repro/runs)",
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    runs_common = argparse.ArgumentParser(add_help=False)
+    runs_common.add_argument(
+        "--dir", metavar="DIR",
+        help="registry directory (default: .repro/runs)",
+    )
+    p_runs_list = runs_sub.add_parser(
+        "list", parents=[runs_common], help="stored runs, oldest first"
+    )
+    p_runs_list.add_argument("--json", action="store_true")
+    p_runs_show = runs_sub.add_parser(
+        "show", parents=[runs_common],
+        help="one stored run's meta, indicators, and files",
+    )
+    p_runs_show.add_argument(
+        "run", help="run id, unique id prefix, or name"
+    )
+    p_runs_gc = runs_sub.add_parser(
+        "gc", parents=[runs_common], help="drop the oldest stored runs"
+    )
+    p_runs_gc.add_argument(
+        "--keep", type=int, default=20, metavar="N",
+        help="how many newest runs to keep (default 20)",
+    )
+    p_runs_compare = runs_sub.add_parser(
+        "compare", parents=[runs_common],
+        help="trace-diff two stored runs (exit contract of ``diff``)",
+    )
+    p_runs_compare.add_argument("run_a")
+    p_runs_compare.add_argument("run_b")
+    p_runs_compare.add_argument("--json", action="store_true")
+    p_runs_regress = runs_sub.add_parser(
+        "regress", parents=[runs_common],
+        help="trend indicators: newest stored run vs the best earlier "
+        "value of each (lower is better)",
+    )
+    p_runs_regress.add_argument(
+        "--indicator", action="append", default=[], metavar="NAME",
+        help="indicator to trend (repeatable; default: the standard "
+        "latency/message/guard set)",
+    )
+    p_runs_regress.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="R",
+        help="relative slack over the best stored value (default 0.10)",
+    )
+    p_runs_regress.add_argument(
+        "--slo", metavar="FILE",
+        help="additionally gate the newest run's report on an SLO "
+        "document",
+    )
+    p_runs_regress.add_argument("--json", action="store_true")
     return parser
 
 
@@ -472,6 +603,23 @@ def _cmd_run(args) -> int:
     if args.profile_out and not args.profile:
         print("--profile-out needs --profile", file=sys.stderr)
         return 2
+    if args.jitter < 0:
+        print("--jitter must be non-negative", file=sys.stderr)
+        return 2
+    if args.flight_record is not None and args.flight_record < 1:
+        print("--flight-record must be at least 1", file=sys.stderr)
+        return 2
+    if args.flight_dump and args.flight_record is None:
+        print("--flight-dump needs --flight-record", file=sys.stderr)
+        return 2
+    if args.runs_dir and not args.record:
+        print("--runs-dir needs --record", file=sys.stderr)
+        return 2
+    slo_doc = None
+    if args.slo:
+        slo_doc = _load_json_object(args.slo)
+        if slo_doc is None:
+            return 2
     if args.shards is not None:
         if args.scheduler != "distributed":
             print("--shards needs --scheduler distributed", file=sys.stderr)
@@ -483,8 +631,29 @@ def _cmd_run(args) -> int:
                 file=sys.stderr,
             )
             return 2
-        return _cmd_run_sharded(args, workflow, attempts)
-    tracer = Tracer() if (args.json or args.trace or snapshotting) else None
+        if args.jitter:
+            print(
+                "--jitter is not supported with --shards (shard latency "
+                "models are planned per shard)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.flight_dump:
+            print(
+                "--flight-dump is not supported with --shards (each shard "
+                "keeps its own ring; the merged window rides in --trace)",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_run_sharded(args, workflow, attempts, slo_doc)
+    if args.flight_record is not None:
+        from repro.obs.recorder import FlightRecorder
+
+        tracer = FlightRecorder(args.flight_record, dump_path=args.flight_dump)
+    elif args.json or args.trace or snapshotting or args.record:
+        tracer = Tracer()
+    else:
+        tracer = None
     extra = {}
     if args.profile:
         from repro.obs.profile import Profiler
@@ -496,7 +665,7 @@ def _cmd_run(args) -> int:
         workflow.dependencies,
         sites=workflow.sites,
         attributes=workflow.attributes,
-        latency=ConstantLatency(args.latency),
+        latency=_latency_model(args),
         rng=random.Random(args.seed),
         tracer=tracer,
         **extra,
@@ -516,6 +685,46 @@ def _cmd_run(args) -> int:
         if args.snapshot_out:
             with open(args.snapshot_out, "w", encoding="utf-8") as handle:
                 json.dump(snapshots, handle, indent=2)
+    report = None
+    if args.json or args.slo or args.record:
+        report = _run_report(
+            result,
+            sched.metrics_report(),
+            tracer.records if tracer is not None else None,
+            args.trace,
+        )
+    slo_failures = []
+    if slo_doc is not None:
+        slo_results = _evaluate_slo_gate(report, slo_doc, args.slo)
+        if slo_results is None:
+            return 2
+        slo_failures = [r for r in slo_results if not r["ok"]]
+        report["slo"] = {"ok": not slo_failures, "results": slo_results}
+    if args.flight_record is not None:
+        from repro.obs.check import check_records
+
+        diags = check_records(tracer.window_records())
+        if diags:
+            tracer.note_anomaly(
+                f"{len(diags)} checker diagnostic(s) on the retained window"
+            )
+        if result.violations:
+            tracer.note_anomaly(
+                f"{len(result.violations)} dependency violation(s)"
+            )
+        if result.unsettled:
+            tracer.note_anomaly(f"{len(result.unsettled)} unsettled base(s)")
+        for failure in slo_failures:
+            tracer.note_anomaly(f"SLO failed: {failure['name']}")
+        dumped = tracer.flush()
+        if dumped:
+            print(
+                f"flight recorder: retained window dumped to {dumped}",
+                file=sys.stderr,
+            )
+        if report is not None:
+            # refresh post-flush so dumps/anomalies counters are final
+            report["metrics"]["recorder"] = tracer.recorder_stats()
     if args.trace and tracer is not None:
         tracer.dump(args.trace)
     if args.prom:
@@ -527,13 +736,14 @@ def _cmd_run(args) -> int:
     )
     if profile_report is not None and args.profile_out:
         _write_profile(profile_report, args.profile_out, args.profile_format)
-    if args.json:
-        report = _run_report(
-            result,
-            sched.metrics_report(),
-            tracer.records if tracer is not None else None,
-            args.trace,
+    if args.record:
+        _store_run(
+            args,
+            report,
+            tracer.window_records() if tracer is not None else None,
+            profile_report,
         )
+    if args.json:
         if profile_report is not None:
             report["profile"] = profile_report
         if snapshotting:
@@ -555,8 +765,96 @@ def _cmd_run(args) -> int:
         if result.violations:
             for violation in result.violations:
                 print(f"violation[{violation.kind}]: {violation.detail}")
-    # the exit contract: clean means no violations AND every base settled
-    return 0 if (not result.violations and not result.unsettled) else 1
+    # the exit contract: clean means no violations, every base settled,
+    # and every --slo rule holding
+    return 0 if (
+        not result.violations and not result.unsettled and not slo_failures
+    ) else 1
+
+
+def _latency_model(args):
+    """The run's delivery-latency model.
+
+    ``--jitter J`` spreads each delivery uniformly over
+    ``[latency - J, latency + J]`` (clamped at 0), drawn from the
+    run's seeded rng -- without it the rng is never consulted and
+    every ``--seed`` produces the same trace.
+    """
+    if args.jitter:
+        return UniformLatency(
+            max(0.0, args.latency - args.jitter), args.latency + args.jitter
+        )
+    return ConstantLatency(args.latency)
+
+
+def _load_json_object(path: str) -> dict | None:
+    """Read a JSON object from ``path``; None (after a message) on error."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        print(f"{path}: cannot read: {exc}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"{path}: not valid JSON: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(document, dict):
+        print(f"{path}: expected a JSON object", file=sys.stderr)
+        return None
+    return document
+
+
+def _evaluate_slo_gate(report, slo_doc, slo_path) -> list[dict] | None:
+    """``run --slo``: evaluate the document against the run's report.
+
+    Prints each failing rule to stderr; returns the per-rule results,
+    or None (exit 2) for a malformed document.
+    """
+    from repro.obs.query import evaluate_slos
+
+    try:
+        results = evaluate_slos(report, slo_doc)
+    except ValueError as exc:
+        print(f"{slo_path}: {exc}", file=sys.stderr)
+        return None
+    for rule in results:
+        if not rule["ok"]:
+            print(
+                f"SLO FAIL  {rule['name']}: {rule['detail']}",
+                file=sys.stderr,
+            )
+    return results
+
+
+def _store_run(args, report, records, profile_report, shards=None) -> None:
+    """``run --record``: persist the finished run in the registry."""
+    from repro.obs.registry import RunRegistry
+
+    config = {
+        "spec": args.spec,
+        "scheduler": args.scheduler,
+        "seed": args.seed,
+        "latency": args.latency,
+        "jitter": args.jitter,
+        "attempts": list(args.attempt),
+        "settle": not args.no_settle,
+        "flight_record": args.flight_record,
+        "shards": args.shards,
+        "instances": args.instances,
+    }
+    registry = RunRegistry(args.runs_dir) if args.runs_dir else RunRegistry()
+    meta = registry.store(
+        report,
+        records=records,
+        profile=profile_report,
+        config=config,
+        shards=shards,
+    )
+    dedup = " (deduplicated)" if meta.get("deduplicated") else ""
+    print(
+        f"recorded run {meta['id']}{dedup} in {registry.root}",
+        file=sys.stderr,
+    )
 
 
 def _write_profile(profile_report: dict, path: str, fmt: str) -> None:
@@ -596,7 +894,7 @@ def _run_report(result, metrics, trace_records, trace_path) -> dict:
     return report
 
 
-def _cmd_run_sharded(args, workflow, attempts) -> int:
+def _cmd_run_sharded(args, workflow, attempts, slo_doc=None) -> int:
     """``repro run --shards N``: template-instantiate and shard out.
 
     The spec is the *template*; ``--attempt`` scripts are template-
@@ -629,7 +927,10 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
                 )
             )
         instances.append(instance_spec(suffix, scripts))
-    tracing = bool(args.json or args.trace)
+    tracing = bool(
+        args.json or args.trace or args.record
+        or args.flight_record is not None
+    )
     try:
         tasks = plan_shards(
             workflow,
@@ -643,6 +944,7 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
             sample_every=args.sample_every,
             placement=args.placement.replace("-", "_"),
             cross_deps=args.cross_dep,
+            flight_record=args.flight_record,
         )
     except ValueError as exc:
         print(f"cannot plan shards: {exc}", file=sys.stderr)
@@ -650,7 +952,7 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
     sharded = run_sharded(tasks, workers=args.workers, steal=args.steal)
     result = sharded.result
     if args.trace and sharded.trace_records is not None:
-        with open(args.trace, "w", encoding="utf-8") as handle:
+        with open_trace(args.trace, "w") as handle:
             for record in sharded.trace_records:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
     if args.prom:
@@ -659,10 +961,39 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
         write_prometheus(sharded.metrics, args.prom)
     if sharded.profile is not None and args.profile_out:
         _write_profile(sharded.profile, args.profile_out, args.profile_format)
-    if args.json:
+    report = None
+    if args.json or args.slo or args.record:
         report = _run_report(
             result, sharded.metrics, sharded.trace_records, args.trace
         )
+    slo_failures = []
+    if slo_doc is not None:
+        slo_results = _evaluate_slo_gate(report, slo_doc, args.slo)
+        if slo_results is None:
+            return 2
+        slo_failures = [r for r in slo_results if not r["ok"]]
+        report["slo"] = {"ok": not slo_failures, "results": slo_results}
+    if args.record:
+        shard_rows = [
+            {
+                "shard": outcome.shard,
+                "makespan": outcome.makespan,
+                "messages": outcome.messages,
+                "violations": len(outcome.violations),
+                "unsettled": len(outcome.unsettled),
+                "trace_records": (
+                    len(outcome.trace_records)
+                    if outcome.trace_records is not None else None
+                ),
+                "recorder": outcome.metrics.get("recorder"),
+            }
+            for outcome in sharded.outcomes
+        ]
+        _store_run(
+            args, report, sharded.trace_records, sharded.profile,
+            shards=shard_rows,
+        )
+    if args.json:
         if sharded.profile is not None:
             report["profile"] = sharded.profile
         report["sharding"] = {
@@ -696,7 +1027,9 @@ def _cmd_run_sharded(args, workflow, attempts) -> int:
         if result.violations:
             for violation in result.violations:
                 print(f"violation[{violation.kind}]: {violation.detail}")
-    return 0 if (not result.violations and not result.unsettled) else 1
+    return 0 if (
+        not result.violations and not result.unsettled and not slo_failures
+    ) else 1
 
 
 def _cmd_trace(args) -> int:
@@ -988,6 +1321,164 @@ def _cmd_prom(args) -> int:
     return 1
 
 
+def _cmd_diff(args) -> int:
+    """``repro diff A B``: causally align two traces, localize divergence.
+
+    Exit contract: 0 when causally identical (volatile fields --
+    Lamport counters, message ids, wall-clock guard timings -- are
+    ignored, so a same-seed re-run diffs clean); 1 when divergent,
+    naming the first divergent event per site, classifying the
+    divergence, and printing the root-cause chain back through the
+    causal machinery; 2 when either trace is empty, unreadable, or
+    structurally unusable.
+    """
+    from repro.obs.diff import diff_files
+
+    try:
+        diff = diff_files(args.trace_a, args.trace_b)
+    except OSError as exc:
+        print(f"cannot read: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"unusable trace: {exc}", file=sys.stderr)
+        return 2
+    if diff.records_a == 0 or diff.records_b == 0:
+        for path, count in (
+            (args.trace_a, diff.records_a), (args.trace_b, diff.records_b)
+        ):
+            if count == 0:
+                print(
+                    f"{path}: empty trace (no records); nothing to diff "
+                    "-- was the run traced?",
+                    file=sys.stderr,
+                )
+        return 2
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2))
+    else:
+        print(diff.summary())
+    return 0 if diff.identical else 1
+
+
+def _cmd_runs(args) -> int:
+    """``repro runs ...``: the cross-run regression registry.
+
+    ``list``/``show``/``gc`` manage the store; ``compare`` trace-diffs
+    two stored runs (exit contract of ``repro diff``); ``regress``
+    trends the standard indicators, newest stored run against the best
+    earlier value of each (0 holds, 1 regressed, 2 too little history).
+    """
+    import datetime
+
+    from repro.obs.registry import RunRegistry
+
+    registry = RunRegistry(args.dir) if args.dir else RunRegistry()
+
+    def stamp(created) -> str:
+        if not created:
+            return "-"
+        return datetime.datetime.fromtimestamp(created).strftime(
+            "%Y-%m-%d %H:%M:%S"
+        )
+
+    if args.runs_command == "list":
+        metas = registry.list_runs()
+        if args.json:
+            print(json.dumps(metas, indent=2))
+            return 0
+        if not metas:
+            print(f"no stored runs in {registry.root}")
+            return 0
+        print(
+            f"{'id':<12} {'created':<19} {'ok':<3} {'makespan':>8} "
+            f"{'msgs':>6} {'viol':>4} {'uns':>4}  name"
+        )
+        for meta in metas:
+            summary = meta.get("summary", {})
+            print(
+                f"{meta['id']:<12} {stamp(meta.get('created')):<19} "
+                f"{'yes' if summary.get('ok') else 'no':<3} "
+                f"{summary.get('makespan', 0):>8g} "
+                f"{summary.get('messages', 0):>6} "
+                f"{summary.get('violations', 0):>4} "
+                f"{summary.get('unsettled', 0):>4}  "
+                f"{meta.get('name') or '-'}"
+            )
+        return 0
+
+    if args.runs_command == "show":
+        try:
+            shown = registry.show(args.run)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 1
+        print(json.dumps(shown, indent=2))
+        return 0
+
+    if args.runs_command == "gc":
+        if args.keep < 0:
+            print("--keep must be non-negative", file=sys.stderr)
+            return 2
+        removed = registry.gc(args.keep)
+        print(
+            f"removed {len(removed)} run(s), kept "
+            f"{len(registry.list_runs())} in {registry.root}"
+        )
+        for run_id in removed:
+            print(f"  {run_id}")
+        return 0
+
+    if args.runs_command == "compare":
+        try:
+            diff = registry.compare(args.run_a, args.run_b)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as exc:
+            print(f"cannot compare: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(diff.as_dict(), indent=2))
+        else:
+            print(diff.summary())
+        return 0 if diff.identical else 1
+
+    # regress
+    slo_doc = None
+    if args.slo:
+        slo_doc = _load_json_object(args.slo)
+        if slo_doc is None:
+            return 2
+    try:
+        outcome = registry.regress(
+            indicators=args.indicator or None,
+            tolerance=args.tolerance,
+            slo_doc=slo_doc,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(outcome, indent=2))
+        return 1 if outcome["regressed"] else 0
+    latest = outcome["latest"]
+    print(
+        f"latest run {latest['id']} vs best of "
+        f"{outcome['baseline_runs']} earlier run(s):"
+    )
+    for row in outcome["indicators"]:
+        status = "PASS" if row["ok"] else "FAIL"
+        print(f"{status}  {row['indicator']}: {row['detail']}")
+    for rule in outcome.get("slo", []):
+        status = "PASS" if rule["ok"] else "FAIL"
+        print(f"{status}  slo:{rule['name']}: {rule['detail']}")
+    if outcome["regressed"]:
+        print("regression detected", file=sys.stderr)
+        return 1
+    print("no regression")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
@@ -1002,6 +1493,8 @@ def main(argv: list[str] | None = None) -> int:
         "prom": _cmd_prom,
         "profile": _cmd_profile,
         "slo": _cmd_slo,
+        "diff": _cmd_diff,
+        "runs": _cmd_runs,
     }[args.command]
     try:
         return handler(args)

@@ -55,9 +55,28 @@ artifact:
   attempt->fire latency percentiles (cross-checked against the
   lifecycle histograms), critical-path extraction, and declarative SLO
   evaluation over ``run --json`` reports.
+* :mod:`repro.obs.diff` -- the trace differ behind ``repro diff``:
+  causal per-site alignment of two traces (volatile fields dropped),
+  localization of the first divergent event, a divergence-kind
+  classifier (guard verdict flip, message reorder, crash-schedule
+  mismatch, rng drift, settlement mismatch), and a root-cause chain
+  walked backward through the causal machinery of :mod:`~.query`.
+* :mod:`repro.obs.recorder` -- the flight recorder
+  (``repro run --flight-record N``): a ring-buffered
+  :class:`~repro.obs.recorder.FlightRecorder` that keeps the last *N*
+  records per category in constant memory, counts evictions into
+  ``metrics_report()``/Prometheus, and dumps the retained window --
+  with a self-describing header the checker understands -- when an
+  SLO violation, invariant failure, or crash arms it.
+* :mod:`repro.obs.registry` -- the cross-run regression registry
+  (``repro runs ...``): a content-addressed ``.repro/runs/`` store of
+  reports, traces, and profiles, with ``compare`` (reusing the
+  differ) and ``regress`` (indicator trending against the best stored
+  baseline, optionally SLO-gated).
 """
 
 from repro.obs.check import Diagnostic, check_file, check_records
+from repro.obs.diff import Divergence, TraceDiff, diff_files, diff_traces
 from repro.obs.export import to_chrome
 from repro.obs.merge import (
     merge_metrics,
@@ -70,12 +89,16 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import NULL_PROFILER, NullProfiler, Profiler
 from repro.obs.query import (
     KNOWN_INDICATORS,
+    causal_chain,
+    chain_segments,
     critical_path,
     evaluate_slos,
     filter_records,
     histogram_cross_check,
     latency_summary,
 )
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import RunRegistry
 from repro.obs.timeseries import TimeSeriesRegistry
 from repro.obs.prom import lint_prometheus, render_prometheus, write_prometheus
 from repro.obs.provenance import (
@@ -88,12 +111,20 @@ from repro.obs.provenance import (
     minimal_unblocking_sets,
 )
 from repro.obs.snapshot import Snapshot, SnapshotCoordinator, check_snapshot
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, read_jsonl
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    open_trace,
+    read_jsonl,
+)
 
 __all__ = [
     "Diagnostic",
+    "Divergence",
     "Explanation",
     "Fact",
+    "FlightRecorder",
     "KNOWN_INDICATORS",
     "MetricsRegistry",
     "NULL_PROFILER",
@@ -104,14 +135,20 @@ __all__ = [
     "NullTracer",
     "Profiler",
     "ProvenanceLog",
+    "RunRegistry",
     "Snapshot",
     "SnapshotCoordinator",
     "TimeSeriesRegistry",
+    "TraceDiff",
     "Tracer",
+    "causal_chain",
+    "chain_segments",
     "check_file",
     "check_records",
     "check_snapshot",
     "critical_path",
+    "diff_files",
+    "diff_traces",
     "evaluate_slos",
     "explain_records",
     "filter_records",
@@ -123,6 +160,7 @@ __all__ = [
     "merge_timeseries",
     "merge_traces",
     "minimal_unblocking_sets",
+    "open_trace",
     "read_jsonl",
     "render_prometheus",
     "shard_prefix",

@@ -31,7 +31,24 @@ coherent:
     every distributed ``fired`` transition is justified by an earlier
     same-site guard evaluation with verdict ``fire`` (or an explicit
     ``forced`` transition for nonrejectable events), and every firing
-    was preceded by an ``attempted`` transition for that event.
+    was preceded by an ``attempted`` transition for that event;
+``truncated``
+    (file checking only) the last line of the file has no trailing
+    newline -- the writer always ends a trace with one, so its absence
+    means the run crashed mid-write and the final record may be
+    incomplete even if it happens to parse.
+
+**Flight-recorder windows.**  A trace dumped from a ring-buffer tracer
+(:class:`repro.obs.tracer.Tracer` with ``ring=N``) starts with a
+``cat="recorder"``/``op="window"`` header naming what was evicted: the
+highest evicted Lamport stamp per site and the highest evicted message
+id.  The checker uses the header to distinguish "the causal prefix was
+evicted" from a genuine violation: per-site clocks are seeded from the
+evicted stamps, a ``recv`` whose ``mid`` is at or below the horizon may
+have lost its ``send`` to eviction, and fire-justification records for
+a site with evictions may themselves be evicted.  In-window safety
+(double-fire, clock monotonicity among retained records, FIFO among
+retained deliveries) is still enforced.
 
 Each violation is reported as a :class:`Diagnostic` carrying the
 0-based record index (= line number - 1 in the JSONL file), a stable
@@ -43,6 +60,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from typing import Iterable
+
+from repro.obs.tracer import open_trace
 
 _ENVELOPE = ("lc", "t", "site", "cat", "op")
 
@@ -76,6 +95,9 @@ def check_records(records: Iterable[dict]) -> list[Diagnostic]:
     occurred: dict[str, tuple[int, str]] = {}
     attempted: set[str] = set()
     guard_fire_ok: set[tuple[str, str]] = set()  # (site, event) justified
+    evicted_lc: dict[str, int] = {}  # flight-recorder window seeds
+    mid_horizon = 0
+    justification_evicted = False  # window dropped actor/guard records
 
     for index, record in enumerate(records):
         # -- schema ----------------------------------------------------
@@ -93,9 +115,31 @@ def check_records(records: Iterable[dict]) -> list[Diagnostic]:
                 index, "schema", f"lc must be a positive integer, got {lc!r}"))
             continue
 
+        # -- flight-recorder window header -----------------------------
+        if cat == "recorder" and op == "window":
+            for evicted_site, stamp in (record.get("evicted_lc") or {}).items():
+                if isinstance(stamp, int):
+                    evicted_lc[evicted_site] = max(
+                        evicted_lc.get(evicted_site, 0), stamp)
+                    site_clock[evicted_site] = max(
+                        site_clock.get(evicted_site, 0), stamp)
+            horizon = record.get("mid_horizon")
+            if isinstance(horizon, int):
+                mid_horizon = max(mid_horizon, horizon)
+            dropped = record.get("dropped") or {}
+            if dropped.get("actor") or dropped.get("guard"):
+                justification_evicted = True
+            site_clock[site] = max(site_clock.get(site, 0), lc)
+            continue
+
         # -- clock: per-site strict monotonicity -----------------------
         prev = site_clock.get(site, 0)
-        if lc <= prev:
+        if lc <= evicted_lc.get(site, 0):
+            # a pinned record (per-category retention None) survives in
+            # the ring from *before* the eviction horizon; its stamp
+            # legitimately precedes the window header's clock seed
+            pass
+        elif lc <= prev:
             diags.append(Diagnostic(
                 index, "clock",
                 f"site {site!r}: lc {lc} does not exceed previous stamp {prev}"))
@@ -109,9 +153,12 @@ def check_records(records: Iterable[dict]) -> list[Diagnostic]:
             sent_lc = record.get("sent_lc")
             entry = sends.get(mid)
             if entry is None:
-                diags.append(Diagnostic(
-                    index, "causal",
-                    f"recv of mid {mid} has no preceding send record"))
+                # below the window horizon the send may have been
+                # evicted from the ring -- absence proves nothing
+                if not (isinstance(mid, int) and mid <= mid_horizon):
+                    diags.append(Diagnostic(
+                        index, "causal",
+                        f"recv of mid {mid} has no preceding send record"))
             else:
                 send_index, send = entry
                 for field in ("src", "dst", "kind"):
@@ -166,11 +213,12 @@ def check_records(records: Iterable[dict]) -> list[Diagnostic]:
                         f"{first_index} (trace safety)"))
                 else:
                     occurred[base] = (index, event)
-                if event not in attempted:
+                if event not in attempted and not justification_evicted:
                     diags.append(Diagnostic(
                         index, "unjustified-fire",
                         f"{event} {op} without a preceding attempted record"))
-                if op == "fired" and (site, event) not in guard_fire_ok:
+                if (op == "fired" and (site, event) not in guard_fire_ok
+                        and not justification_evicted):
                     diags.append(Diagnostic(
                         index, "unjustified-fire",
                         f"{event} fired at {site!r} without a preceding guard "
@@ -184,20 +232,38 @@ def check_file(path) -> tuple[int, list[Diagnostic]]:
 
     Unparseable lines are reported as ``schema`` diagnostics rather
     than raising, so a truncated or hand-mangled trace still yields a
-    precise report.
+    precise report.  Gzipped traces are read transparently.  A missing
+    trailing newline on the final line -- the writer always ends a
+    trace with one -- is reported as a ``truncated`` diagnostic: the
+    run crashed mid-write, and the last record is counted but flagged
+    as possibly incomplete rather than silently accepted or dropped.
     """
     records: list[dict] = []
     diags: list[Diagnostic] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                diags.append(Diagnostic(
-                    len(records), "schema", f"line {lineno + 1}: invalid JSON ({exc})"))
+    last_line_complete = True
+    with open_trace(path, "r") as handle:
+        try:
+            for lineno, raw in enumerate(handle):
+                last_line_complete = raw.endswith("\n")
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    diags.append(Diagnostic(
+                        len(records), "schema",
+                        f"line {lineno + 1}: invalid JSON ({exc})"))
+        except EOFError as exc:  # gzip stream cut off mid-member
+            last_line_complete = False
+            diags.append(Diagnostic(
+                len(records), "truncated",
+                f"compressed stream ends early ({exc}); trailing records lost"))
+    if not last_line_complete:
+        diags.append(Diagnostic(
+            max(0, len(records) - 1), "truncated",
+            "last line has no trailing newline: the run likely crashed "
+            "mid-write, so the final record may be incomplete"))
     diags.extend(check_records(records))
     diags.sort(key=lambda d: d.index)
     return len(records), diags

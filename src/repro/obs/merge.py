@@ -98,6 +98,23 @@ def merge_traces(
             if isinstance(mid, int):
                 max_mid = max(max_mid, mid)
                 merged["mid"] = mid + mid_offset
+            if merged.get("cat") == "recorder":
+                # a flight-recorder window header names sites and mids
+                # in its shard's namespace; rewrite both so the merged
+                # header still describes the merged trace.  The mid
+                # horizon also counts toward the shard's max mid: the
+                # evicted sends it stands for may outnumber the
+                # retained ones.
+                evicted = merged.get("evicted_lc")
+                if isinstance(evicted, Mapping):
+                    merged["evicted_lc"] = {
+                        prefix + site: stamp
+                        for site, stamp in evicted.items()
+                    }
+                horizon = merged.get("mid_horizon")
+                if isinstance(horizon, int) and horizon:
+                    max_mid = max(max_mid, horizon)
+                    merged["mid_horizon"] = horizon + mid_offset
             tagged.append((merged["t"], shard, position, merged))
         mid_offset += max_mid
     tagged.sort(key=lambda item: item[:3])
@@ -293,7 +310,42 @@ def merge_metrics(
             for key, value in table.items():
                 totals[key] = totals.get(key, 0) + value
         merged["faults"] = dict(sorted(totals.items()))
+    recorder = section("recorder")
+    if recorder:
+        merged["recorder"] = _merge_recorder(recorder)
     return merged
+
+
+def _merge_recorder(sections: Sequence[tuple[str, Mapping[str, Any]]]) -> dict:
+    """Merge per-shard flight-recorder sections of ``metrics_report``.
+
+    Drop counts, retained counts, anomaly/dump counts are additive;
+    the ring capacity reported is the fleet total (each shard holds its
+    own ring); evicted stamps are united under shard-prefixed sites the
+    way the merged trace names them.
+    """
+    out: dict[str, Any] = {
+        "ring": sum(s.get("ring", 0) for _, s in sections),
+        "retained": sum(s.get("retained", 0) for _, s in sections),
+        "dropped_total": sum(s.get("dropped_total", 0) for _, s in sections),
+    }
+    dropped: dict[str, int] = {}
+    for _, section in sections:
+        for cat, count in (section.get("dropped") or {}).items():
+            dropped[cat] = dropped.get(cat, 0) + count
+    out["dropped"] = dict(sorted(dropped.items()))
+    out["evicted_lc"] = dict(sorted(
+        (prefix + site, stamp)
+        for prefix, section in sections
+        for site, stamp in (section.get("evicted_lc") or {}).items()
+    ))
+    out["mid_horizon"] = max(
+        (s.get("mid_horizon", 0) for _, s in sections), default=0
+    )
+    for key in ("anomalies", "dumps"):
+        if any(key in s for _, s in sections):
+            out[key] = sum(s.get(key, 0) for _, s in sections)
+    return out
 
 
 # ----------------------------------------------------------------------

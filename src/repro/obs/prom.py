@@ -226,6 +226,32 @@ def render_prometheus(report: dict[str, Any], prefix: str = "repro_") -> str:
         fam.add(faults[key])
         families.append(fam)
 
+    recorder = report.get("recorder")
+    if recorder:
+        dropped = _Family(
+            f"{prefix}recorder_dropped_records_total", "counter",
+            "trace records evicted from the flight-recorder ring",
+        )
+        dropped.add(recorder.get("dropped_total", 0))
+        for cat, count in sorted((recorder.get("dropped") or {}).items()):
+            dropped.add(count, cat=cat)
+        families.append(dropped)
+        for key, kind in (
+            ("ring", "gauge"),
+            ("retained", "gauge"),
+            ("mid_horizon", "gauge"),
+            ("anomalies", "gauge"),
+            ("dumps", "counter"),
+        ):
+            if key not in recorder:
+                continue
+            name = f"{prefix}recorder_{_sanitize(key)}"
+            if kind == "counter":
+                name += "_total"
+            fam = _Family(name, kind, f"flight recorder {key}")
+            fam.add(recorder[key])
+            families.append(fam)
+
     out: list[str] = []
     for fam in families:
         out.extend(fam.lines())

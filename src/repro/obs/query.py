@@ -185,51 +185,59 @@ def histogram_cross_check(
     return problems
 
 
-def critical_path(
-    records: Sequence[Mapping], event: str | None = None
-) -> list[dict]:
-    """Per-site segments of the causal chain ending at a firing.
+def causal_chain(records: Sequence[Mapping], target_idx: int) -> list[int]:
+    """Record indices of the causal chain ending at ``records[target_idx]``.
 
-    Starting from the last ``fired`` record (or the firing of
-    ``event``), walk backwards: within a site, to the previous record
-    of that site's stream; at a message ``recv``, across to the
-    matching ``send``.  The raw chain is compressed into segments
-    ``{"site", "from_t", "to_t", "records", "via_kind", "via_mid"}``
-    where ``via_*`` name the message that carried causality into the
-    segment (``None`` for the first).  Returns ``[]`` when nothing
-    fired.
+    Walks backwards from the target: within a site, to the previous
+    record of that site's stream; at a message ``recv``, across to the
+    matching ``send`` (when present -- a flight-recorder window may
+    have evicted it, which just ends that branch of the walk).  The
+    result is in record order and always ends with ``target_idx``.
+
+    This is the provenance walk behind :func:`critical_path`; the
+    trace differ (:mod:`repro.obs.diff`) reuses it to chain backwards
+    from a divergence point.
     """
     by_site: dict[str, list[int]] = {}
     pos_in_site: dict[int, int] = {}
     sends: dict[int, int] = {}
-    target_idx: int | None = None
-    for idx, r in enumerate(records):
+    for idx, r in enumerate(records[: target_idx + 1]):
+        if not isinstance(r, Mapping):
+            continue
         site = r.get("site")
         if site is not None:
             stream = by_site.setdefault(site, [])
             pos_in_site[idx] = len(stream)
             stream.append(idx)
         if r.get("cat") == "message" and r.get("op") == "send":
-            sends.setdefault(r["mid"], idx)
-        if r.get("cat") == "actor" and r.get("op") == "fired":
-            if event is None or _base(r.get("event", "")) == _base(event):
-                target_idx = idx
-    if target_idx is None:
-        return []
+            sends.setdefault(r.get("mid"), idx)
 
     chain: list[int] = []
-    idx = target_idx
+    idx: int | None = target_idx
     while idx is not None:
         chain.append(idx)
         r = records[idx]
         if r.get("cat") == "message" and r.get("op") == "recv":
-            idx = sends.get(r["mid"])
-            continue
-        stream = by_site[r["site"]]
-        pos = pos_in_site[idx]
+            prev = sends.get(r.get("mid"))
+            if prev is not None:
+                idx = prev
+                continue
+        stream = by_site.get(r.get("site"))
+        pos = pos_in_site.get(idx)
+        if stream is None or pos is None:
+            break
         idx = stream[pos - 1] if pos > 0 else None
     chain.reverse()
+    return chain
 
+
+def chain_segments(records: Sequence[Mapping], chain: Sequence[int]) -> list[dict]:
+    """Compress a causal chain into per-site segments.
+
+    Each segment is ``{"site", "from_t", "to_t", "records",
+    "via_kind", "via_mid"}`` where ``via_*`` name the message that
+    carried causality into the segment (``None`` for the first).
+    """
     segments: list[dict] = []
     via_kind = via_mid = None
     for idx in chain:
@@ -252,6 +260,26 @@ def critical_path(
         else:
             via_kind = via_mid = None
     return segments
+
+
+def critical_path(
+    records: Sequence[Mapping], event: str | None = None
+) -> list[dict]:
+    """Per-site segments of the causal chain ending at a firing.
+
+    Starting from the last ``fired`` record (or the firing of
+    ``event``), walk backwards via :func:`causal_chain` and compress
+    the raw chain with :func:`chain_segments`.  Returns ``[]`` when
+    nothing fired.
+    """
+    target_idx: int | None = None
+    for idx, r in enumerate(records):
+        if r.get("cat") == "actor" and r.get("op") == "fired":
+            if event is None or _base(r.get("event", "")) == _base(event):
+                target_idx = idx
+    if target_idx is None:
+        return []
+    return chain_segments(records, causal_chain(records, target_idx))
 
 
 # --------------------------------------------------------------------------

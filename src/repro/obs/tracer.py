@@ -30,12 +30,55 @@ Design rule for instrumentation sites: guard every call on
 ``tracer.active`` (and never compute record fields outside the guard),
 so the default :data:`NULL_TRACER` adds one attribute read and a
 branch to hot paths -- nothing else.
+
+``Tracer(ring=N)`` turns the unbounded in-memory record list into a
+bounded *flight-recorder window*: the newest ``N`` records are kept,
+older ones are evicted (counted per category, with the highest evicted
+Lamport stamp per site and the highest evicted message id remembered so
+the offline checker can reason about the missing prefix).  A
+``retention`` policy maps categories to ``None`` (pinned: never
+evicted -- the default for rare-but-crucial ``fault`` records) or to a
+dedicated per-category capacity.  Memory stays constant regardless of
+run length; see :mod:`repro.obs.recorder` for the auto-dump triggers.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
+from collections import deque
 from typing import Any, Iterable
+
+#: default per-category retention for ring mode: ``fault`` records
+#: (crash/restart) are pinned -- they are rare, and both the window
+#: checker and the flight recorder's dump triggers depend on them.
+DEFAULT_RETENTION: dict[str, int | None] = {"fault": None}
+
+#: synthetic site name carried by flight-recorder window headers
+RECORDER_SITE = "@recorder"
+
+
+def open_trace(path, mode: str = "r"):
+    """Open a trace file, transparently gzip-compressed.
+
+    Write modes compress when ``path`` ends in ``.gz``; read modes
+    sniff the gzip magic bytes, so a ``.gz`` trace renamed without its
+    suffix still reads.  Always returns a text-mode handle (UTF-8).
+    """
+    path = str(path)
+    if "r" in mode:
+        handle = open(path, "rb")
+        magic = handle.read(2)
+        handle.seek(0)
+        if magic == b"\x1f\x8b":
+            return io.TextIOWrapper(
+                gzip.GzipFile(fileobj=handle, mode="rb"), encoding="utf-8"
+            )
+        return io.TextIOWrapper(handle, encoding="utf-8")
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
 
 class NullTracer:
@@ -92,6 +135,13 @@ class NullTracer:
     def monitor(self, t, site, op, **fields):
         pass
 
+    def recorder_stats(self):
+        """Flight-recorder statistics; ``None`` unless in ring mode."""
+        return None
+
+    def window_records(self) -> list[dict]:
+        return []
+
     def dump(self, path):  # pragma: no cover - nothing to dump
         raise ValueError("the null tracer records nothing; pass a Tracer")
 
@@ -106,14 +156,58 @@ class Tracer(NullTracer):
     ``dump``/``dumps`` serialize to JSONL (one record per line);
     :func:`read_jsonl` reads such a file back for offline checking and
     export.
+
+    ``ring=N`` bounds storage to the newest ``N`` records (plus any
+    categories pinned or capped separately by ``retention``); see the
+    module docstring.  Without ``ring`` the tracer keeps everything,
+    exactly as before.
     """
 
     active = True
 
-    def __init__(self) -> None:
-        self.records: list[dict] = []
+    def __init__(
+        self,
+        ring: int | None = None,
+        retention: dict[str, int | None] | None = None,
+    ) -> None:
         self._clocks: dict[str, int] = {}
         self._next_mid = 0
+        if ring is not None and ring < 1:
+            raise ValueError(f"ring must be a positive capacity, got {ring!r}")
+        self._ring = ring
+        self._retention = (
+            dict(DEFAULT_RETENTION) if retention is None else dict(retention)
+        )
+        if ring is None:
+            self._records: list[dict] = []
+        else:
+            self._seq = 0
+            self._main: deque[tuple[int, dict]] = deque()
+            self._pinned: list[tuple[int, dict]] = []
+            self._cat_rings: dict[str, deque[tuple[int, dict]]] = {
+                cat: deque()
+                for cat, cap in self._retention.items()
+                if cap is not None
+            }
+            self.dropped: dict[str, int] = {}
+            self._evicted_lc: dict[str, int] = {}
+            self._mid_horizon = 0
+
+    @property
+    def records(self) -> list[dict]:
+        """Retained records in recording order.
+
+        In ring mode this materializes the window (pinned records
+        interleaved back into sequence position); treat it as a
+        read-only view and don't mutate it.
+        """
+        if self._ring is None:
+            return self._records
+        stores: list[Iterable[tuple[int, dict]]] = [self._main, self._pinned]
+        stores.extend(self._cat_rings.values())
+        entries = [entry for store in stores for entry in store]
+        entries.sort(key=lambda entry: entry[0])
+        return [record for _, record in entries]
 
     # ------------------------------------------------------------------
     # clock discipline
@@ -128,10 +222,33 @@ class Tracer(NullTracer):
         self._clocks[site] = stamp
         return stamp
 
+    def _evict(self, record: dict) -> None:
+        """Account one record falling off the ring."""
+        cat = record["cat"]
+        self.dropped[cat] = self.dropped.get(cat, 0) + 1
+        site = record["site"]
+        if record["lc"] > self._evicted_lc.get(site, 0):
+            self._evicted_lc[site] = record["lc"]
+        mid = record.get("mid")
+        if isinstance(mid, int) and mid > self._mid_horizon:
+            self._mid_horizon = mid
+
     def _emit(self, site: str, cat: str, op: str, t: float, lc: int, fields: dict) -> dict:
         record = {"lc": lc, "t": t, "site": site, "cat": cat, "op": op}
         record.update(fields)
-        self.records.append(record)
+        if self._ring is None:
+            self._records.append(record)
+            return record
+        seq = self._seq
+        self._seq = seq + 1
+        cap = self._retention.get(cat, self._ring)
+        if cap is None:
+            self._pinned.append((seq, record))
+            return record
+        store = self._cat_rings.get(cat, self._main)
+        if len(store) >= cap:
+            self._evict(store.popleft()[1])
+        store.append((seq, record))
         return record
 
     def local(self, t: float, site: str, cat: str, op: str, **fields: Any) -> dict:
@@ -260,29 +377,78 @@ class Tracer(NullTracer):
         return self._clocks.get(site, 0)
 
     # ------------------------------------------------------------------
+    # flight-recorder window
+
+    def recorder_stats(self) -> dict | None:
+        """Ring-mode bookkeeping for ``metrics_report()``; ``None`` when
+        the tracer is unbounded."""
+        if self._ring is None:
+            return None
+        retained = len(self._main) + len(self._pinned) + sum(
+            len(store) for store in self._cat_rings.values()
+        )
+        return {
+            "ring": self._ring,
+            "retained": retained,
+            "dropped": dict(sorted(self.dropped.items())),
+            "dropped_total": sum(self.dropped.values()),
+            "evicted_lc": dict(sorted(self._evicted_lc.items())),
+            "mid_horizon": self._mid_horizon,
+        }
+
+    def window_records(self) -> list[dict]:
+        """The retained window prefixed with its header record.
+
+        The header (``cat="recorder"``, ``op="window"``, synthetic site
+        :data:`RECORDER_SITE`) carries the eviction bookkeeping --
+        per-category drop counts, the highest evicted Lamport stamp per
+        site, and the message-id horizon -- so the offline checker can
+        tell "the causal prefix was evicted" from "the trace is wrong".
+        In unbounded mode this is just ``records``.
+        """
+        if self._ring is None:
+            return self.records
+        stats = self.recorder_stats()
+        header = {
+            "lc": 1,
+            "t": 0.0,
+            "site": RECORDER_SITE,
+            "cat": "recorder",
+            "op": "window",
+        }
+        header.update(stats)
+        return [header] + self.records
+
+    # ------------------------------------------------------------------
     # serialization
 
     def dumps(self) -> str:
-        return "\n".join(json.dumps(r, sort_keys=True) for r in self.records) + (
-            "\n" if self.records else ""
+        records = self.window_records() if self._ring is not None else self.records
+        return "\n".join(json.dumps(r, sort_keys=True) for r in records) + (
+            "\n" if records else ""
         )
 
     def dump(self, path) -> None:
-        """Write the trace as JSONL to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
+        """Write the trace as JSONL to ``path`` (gzipped for ``.gz``).
+
+        In ring mode this writes the flight-recorder window, header
+        included, so ``repro trace check`` can verify the dump."""
+        with open_trace(path, "w") as handle:
             handle.write(self.dumps())
 
 
 def read_jsonl(path) -> list[dict]:
     """Read a JSONL trace back into a list of records.
 
-    Raises :class:`ValueError` naming the offending line number when a
-    line is not valid JSON (e.g. a trace truncated by a crash mid-write),
-    and propagates :class:`OSError` for unreadable paths; callers that
-    want to *tolerate* damage line-by-line should parse themselves (the
-    offline checker does -- see :func:`repro.obs.check.check_file`)."""
+    Transparently decompresses gzipped traces (suffix or magic-byte
+    detection -- see :func:`open_trace`).  Raises :class:`ValueError`
+    naming the offending line number when a line is not valid JSON
+    (e.g. a trace truncated by a crash mid-write), and propagates
+    :class:`OSError` for unreadable paths; callers that want to
+    *tolerate* damage line-by-line should parse themselves (the offline
+    checker does -- see :func:`repro.obs.check.check_file`)."""
     records = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open_trace(path, "r") as handle:
         for number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

@@ -206,7 +206,7 @@ def _build_member(
     merged, guards = template.instantiate_merged(
         [instance.suffix for instance in task.instances]
     )
-    tracer = Tracer() if task.trace else None
+    tracer = task.build_tracer()
     latency = (
         ConstantLatency(task.latency) if task.latency is not None else None
     )

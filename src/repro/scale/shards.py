@@ -151,6 +151,10 @@ class ShardTask:
     latency: float | None = None  # constant per-hop latency, None = default
     profile: bool = False
     sample_every: float | None = None
+    #: flight-recorder mode: bound the shard's tracer to a ring of this
+    #: many records (implies tracing); the merged trace carries one
+    #: window header per shard
+    flight_record: int | None = None
     #: cross-instance dependency reprs this shard participates in; a
     #: dependency whose instances span several shards appears on every
     #: one of them (and couples them into one execution group)
@@ -160,6 +164,12 @@ class ShardTask:
     cross_dup: float = 0.0
     #: work-stealing sub-unit of the shard (0 when the shard runs whole)
     chunk: int = 0
+
+    def build_tracer(self) -> Tracer | None:
+        """The shard's tracer: ring-bounded when flight recording."""
+        if self.flight_record:
+            return Tracer(ring=self.flight_record)
+        return Tracer() if self.trace else None
 
     def build_template(self, profiler=None) -> WorkflowTemplate:
         workflow = Workflow(
@@ -261,6 +271,7 @@ def plan_shards(
     assignment: Sequence[Sequence[int]] | None = None,
     cross_drop_probability: float = 0.0,
     cross_duplicate_probability: float = 0.0,
+    flight_record: int | None = None,
 ) -> ShardPlan:
     """Partition ``instances`` into ``shards`` tasks.
 
@@ -385,6 +396,7 @@ def plan_shards(
             cross_dependencies=tuple(per_shard_cross[shard]),
             cross_drop=cross_drop_probability,
             cross_dup=cross_duplicate_probability,
+            flight_record=flight_record,
         )
         for shard in range(shards)
         if partition.assignment[shard]
@@ -416,7 +428,7 @@ def _run_shard(task: ShardTask) -> ShardOutcome:
     merged, guards = template.instantiate_merged(
         [instance.suffix for instance in task.instances]
     )
-    tracer = Tracer() if task.trace else None
+    tracer = task.build_tracer()
     latency = None
     if task.latency is not None:
         from repro.sim.network import ConstantLatency
@@ -480,7 +492,12 @@ def _flatten_outcome(
         not_yet_rounds=result.not_yet_rounds,
         triggered=result.triggered,
         metrics=scheduler.metrics_report(),
-        trace_records=tuple(tracer.records) if tracer is not None else None,
+        # window_records == records for an unbounded tracer; in flight-
+        # recorder mode it prepends the shard's window header so the
+        # merged trace stays checkable
+        trace_records=(
+            tuple(tracer.window_records()) if tracer is not None else None
+        ),
         fast_instantiations=template.fast_instantiations,
         fallback_instantiations=template.fallback_instantiations,
         profile=profiler.report() if profiler is not None else None,

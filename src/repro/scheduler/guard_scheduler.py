@@ -1020,6 +1020,9 @@ class DistributedScheduler:
                 "crashes": self.faults.crash_count,
                 "restarts": self.faults.restart_count,
             }
+        recorder = self.tracer.recorder_stats()
+        if recorder is not None:
+            report["recorder"] = recorder
         return report
 
     # ------------------------------------------------------------------

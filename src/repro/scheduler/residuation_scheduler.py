@@ -639,6 +639,9 @@ class CentralizedScheduler:
         report["kernel"]["watch"] = dict(
             report["kernel"]["watch"], **self.watch.counts()
         )
+        recorder = self.tracer.recorder_stats()
+        if recorder is not None:
+            report["recorder"] = recorder
         return report
 
     def _finalize(self, verify: bool) -> None:

@@ -115,11 +115,27 @@ def final_state(sched):
 
 
 def assert_equivalent(scenario, plan, seed, drop=0.0, dup=0.0):
+    naive_tr, watch_tr = Tracer(), Tracer()
     naive_sched, naive = run_engine(scenario, plan, seed, watch=False,
-                                    drop=drop, dup=dup)
+                                    drop=drop, dup=dup, tracer=naive_tr)
     watch_sched, watched = run_engine(scenario, plan, seed, watch=True,
-                                      drop=drop, dup=dup)
-    assert observables(watched) == observables(naive)
+                                      drop=drop, dup=dup, tracer=watch_tr)
+    if observables(watched) != observables(naive):
+        # localize before failing: diff the causal traces (minus the
+        # guard-evaluation records the naive engine legitimately emits
+        # extra) so the report names the first divergent site/event
+        # instead of dumping two observables dicts
+        from repro.obs.diff import diff_traces
+
+        diff = diff_traces(
+            [r for r in naive_tr.records if r.get("cat") != "guard"],
+            [r for r in watch_tr.records if r.get("cat") != "guard"],
+        )
+        raise AssertionError(
+            "watched engine diverged from naive engine "
+            f"(seed {seed}, drop {drop}, dup {dup}); trace diff:\n"
+            + diff.summary()
+        )
     assert final_state(watch_sched) == final_state(naive_sched)
     return naive_sched, watch_sched
 

@@ -771,3 +771,348 @@ class TestSloCheck:
         example = pathlib.Path(__file__).parent.parent / "examples/slo.json"
         assert main(["slo", "check", report_path, str(example)]) == 0
         capsys.readouterr()
+
+
+GZ_RUN = ["--attempt", "s_buy=0", "--attempt", "c_buy=2"]
+
+
+class TestGzipTraces:
+    """.gz traces are written compressed and read back transparently
+    by every consumer (check, export, query, explain, diff)."""
+
+    @pytest.fixture
+    def gz_trace(self, travel_spec, tmp_path, capsys):
+        path = tmp_path / "run.jsonl.gz"
+        assert main(["run", travel_spec, *GZ_RUN, "--trace", str(path)]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_trace_file_is_actually_gzip(self, gz_trace):
+        with open(gz_trace, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+
+    def test_check_reads_gz(self, gz_trace, capsys):
+        assert main(["trace", "check", gz_trace]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_export_and_query_read_gz(self, gz_trace, capsys):
+        assert main(["trace", "export", gz_trace]) == 0
+        assert json.loads(capsys.readouterr().out)["traceEvents"]
+        assert main(["trace", "query", gz_trace, "--latencies"]) == 0
+        capsys.readouterr()
+
+    def test_explain_reads_gz(self, gz_trace, capsys):
+        assert main(["explain", gz_trace, "s_buy"]) == 0
+        capsys.readouterr()
+
+
+class TestTruncatedTraces:
+    """A run cut down mid-write leaves a partial last line; ingestion
+    flags it instead of silently dropping the tail."""
+
+    def _truncated(self, travel_spec, tmp_path, capsys):
+        path = tmp_path / "cut.jsonl"
+        assert main(["run", travel_spec, *GZ_RUN, "--trace", str(path)]) == 0
+        capsys.readouterr()
+        text = path.read_text()
+        path.write_text(text[: len(text) - 25])  # cut into the last record
+        return str(path)
+
+    def test_check_reports_truncation(self, travel_spec, tmp_path, capsys):
+        path = self._truncated(travel_spec, tmp_path, capsys)
+        assert main(["trace", "check", path]) == 1
+        assert "truncated" in capsys.readouterr().err
+
+    def test_complete_records_still_checked(
+        self, travel_spec, tmp_path, capsys
+    ):
+        path = self._truncated(travel_spec, tmp_path, capsys)
+        main(["trace", "check", path])
+        err = capsys.readouterr().err
+        # only the truncation is reported -- the surviving prefix is
+        # a valid trace, not collateral damage
+        assert err.count("truncated") == 1
+
+
+class TestDiffCommand:
+    """repro diff: 0 identical, 1 divergent (localized), 2 unusable."""
+
+    def _trace(self, travel_spec, tmp_path, name, seed, capsys):
+        path = tmp_path / name
+        assert main([
+            "run", travel_spec, *GZ_RUN, "--seed", str(seed),
+            "--jitter", "0.5", "--trace", str(path),
+        ]) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_same_seed_is_identical(self, travel_spec, tmp_path, capsys):
+        a = self._trace(travel_spec, tmp_path, "a.jsonl.gz", 3, capsys)
+        b = self._trace(travel_spec, tmp_path, "b.jsonl.gz", 3, capsys)
+        assert main(["diff", a, b]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_different_seed_diverges_localized(
+        self, travel_spec, tmp_path, capsys
+    ):
+        a = self._trace(travel_spec, tmp_path, "a.jsonl.gz", 0, capsys)
+        b = self._trace(travel_spec, tmp_path, "b.jsonl.gz", 7, capsys)
+        assert main(["diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence:" in out
+        assert "site " in out and "[" in out  # site + classification
+        assert "root-cause chain" in out
+
+    def test_json_shape(self, travel_spec, tmp_path, capsys):
+        a = self._trace(travel_spec, tmp_path, "a.jsonl.gz", 0, capsys)
+        b = self._trace(travel_spec, tmp_path, "b.jsonl.gz", 7, capsys)
+        assert main(["diff", a, b, "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["identical"] is False
+        assert doc["first"]["site"]
+        assert doc["first"]["kind"]
+
+    def test_missing_file_exits_two(self, travel_spec, tmp_path, capsys):
+        a = self._trace(travel_spec, tmp_path, "a.jsonl.gz", 0, capsys)
+        assert main(["diff", a, str(tmp_path / "nope.jsonl")]) == 2
+        capsys.readouterr()
+
+    def test_empty_trace_exits_two(self, travel_spec, tmp_path, capsys):
+        a = self._trace(travel_spec, tmp_path, "a.jsonl.gz", 0, capsys)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["diff", a, str(empty)]) == 2
+        assert "empty trace" in capsys.readouterr().err
+
+
+class TestJitterFlag:
+    def test_negative_jitter_exits_two(self, travel_spec, capsys):
+        assert main(["run", travel_spec, "--jitter", "-1"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_jitter_with_shards_exits_two(self, travel_spec, capsys):
+        assert main([
+            "run", travel_spec, "--shards", "2", "--jitter", "0.5"
+        ]) == 2
+        assert "--jitter" in capsys.readouterr().err
+
+
+class TestFlightRecordFlag:
+    def test_window_trace_is_bounded_and_checkable(
+        self, travel_spec, tmp_path, capsys
+    ):
+        path = tmp_path / "window.jsonl.gz"
+        assert main([
+            "run", travel_spec, *GZ_RUN,
+            "--flight-record", "20", "--trace", str(path),
+        ]) == 0
+        capsys.readouterr()
+        from repro.obs.tracer import read_jsonl
+
+        records = read_jsonl(str(path))
+        assert len(records) == 21  # ring + window header
+        assert records[0]["cat"] == "recorder"
+        assert main(["trace", "check", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_dropped_counters_reach_prometheus(
+        self, travel_spec, tmp_path, capsys
+    ):
+        prom = tmp_path / "m.prom"
+        assert main([
+            "run", travel_spec, *GZ_RUN,
+            "--flight-record", "10", "--prom", str(prom),
+        ]) == 0
+        capsys.readouterr()
+        text = prom.read_text()
+        assert "repro_recorder_dropped_records_total" in text
+        assert "repro_recorder_ring 10" in text
+        assert main(["prom", "lint", str(prom)]) == 0
+        capsys.readouterr()
+
+    def test_unclean_run_dumps_the_window(self, tmp_path, capsys):
+        spec = tmp_path / "unsat.wf"
+        spec.write_text(UNSAT_SPEC)
+        dump = tmp_path / "dump.jsonl.gz"
+        code = main([
+            "run", str(spec), "--flight-record", "16",
+            "--flight-dump", str(dump),
+        ])
+        err = capsys.readouterr().err
+        assert code == 1                     # unsettled bases
+        assert dump.exists()
+        assert "flight recorder" in err
+        assert main(["trace", "check", str(dump)]) == 0
+        capsys.readouterr()
+
+    def test_clean_run_never_dumps(self, travel_spec, tmp_path, capsys):
+        dump = tmp_path / "dump.jsonl.gz"
+        assert main([
+            "run", travel_spec, *GZ_RUN,
+            "--flight-record", "16", "--flight-dump", str(dump),
+        ]) == 0
+        capsys.readouterr()
+        assert not dump.exists()
+
+    def test_flag_validations(self, travel_spec, capsys):
+        assert main(["run", travel_spec, "--flight-record", "0"]) == 2
+        assert main(["run", travel_spec, "--flight-dump", "x.jsonl"]) == 2
+        assert main([
+            "run", travel_spec, "--shards", "2",
+            "--flight-record", "8", "--flight-dump", "x.jsonl",
+        ]) == 2
+        capsys.readouterr()
+
+    def test_sharded_flight_record_window_merges(
+        self, travel_spec, tmp_path, capsys
+    ):
+        path = tmp_path / "sharded.jsonl.gz"
+        assert main([
+            "run", travel_spec, *GZ_RUN, "--shards", "2", "--workers", "1",
+            "--flight-record", "15", "--trace", str(path),
+        ]) == 0
+        capsys.readouterr()
+        from repro.obs.tracer import read_jsonl
+
+        records = read_jsonl(str(path))
+        headers = [r for r in records if r.get("cat") == "recorder"]
+        assert len(headers) == 2             # one window header per shard
+        assert main(["trace", "check", str(path)]) == 0
+        capsys.readouterr()
+
+
+class TestRunSloGate:
+    def _slo(self, tmp_path, doc):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_failing_slo_flips_exit_code(self, travel_spec, tmp_path, capsys):
+        slo = self._slo(tmp_path, {"slos": [
+            {"name": "impossible", "indicator": "makespan", "max": 0.001}
+        ]})
+        assert main(["run", travel_spec, *GZ_RUN, "--slo", slo]) == 1
+        assert "SLO FAIL" in capsys.readouterr().err
+
+    def test_passing_slo_keeps_zero(self, travel_spec, tmp_path, capsys):
+        slo = self._slo(tmp_path, {"slos": [
+            {"name": "sane", "indicator": "violations", "max": 0}
+        ]})
+        assert main(["run", travel_spec, *GZ_RUN, "--slo", slo]) == 0
+        capsys.readouterr()
+
+    def test_json_report_embeds_slo_results(
+        self, travel_spec, tmp_path, capsys
+    ):
+        slo = self._slo(tmp_path, {"slos": [
+            {"name": "sane", "indicator": "violations", "max": 0}
+        ]})
+        assert main([
+            "run", travel_spec, *GZ_RUN, "--slo", slo, "--json"
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["slo"]["ok"] is True
+        assert doc["slo"]["results"][0]["name"] == "sane"
+
+    def test_bad_slo_file_exits_two(self, travel_spec, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["run", travel_spec, "--slo", str(bad)]) == 2
+        capsys.readouterr()
+
+
+class TestRunsCommands:
+    """The cross-run regression registry CLI."""
+
+    def _record(self, travel_spec, runs_dir, seed, capsys, extra=()):
+        code = main([
+            "run", travel_spec, *GZ_RUN, "--seed", str(seed),
+            "--jitter", "0.4", "--record", "--runs-dir", runs_dir, *extra,
+        ])
+        err = capsys.readouterr().err
+        assert "recorded run" in err
+        return code, err.split("recorded run ")[1].split()[0]
+
+    def test_record_then_list_and_show(self, travel_spec, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        _, run_id = self._record(travel_spec, runs, 0, capsys)
+        assert main(["runs", "list", "--dir", runs]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert main(["runs", "show", "--dir", runs, run_id[:6]]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["id"] == run_id
+        assert "trace.jsonl.gz" in doc["files"]
+
+    def test_identical_runs_deduplicate(self, travel_spec, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        _, id_a = self._record(travel_spec, runs, 5, capsys)
+        _, id_b = self._record(travel_spec, runs, 5, capsys)
+        assert id_a == id_b
+        assert main(["runs", "list", "--dir", runs, "--json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+    def test_compare_stored_runs(self, travel_spec, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        _, id_a = self._record(travel_spec, runs, 0, capsys)
+        _, id_b = self._record(travel_spec, runs, 7, capsys)
+        assert main(["runs", "compare", "--dir", runs, id_a, id_b]) == 1
+        assert "first divergence" in capsys.readouterr().out
+        assert main(["runs", "compare", "--dir", runs, id_a, id_a]) == 0
+        capsys.readouterr()
+
+    def test_regress_exit_contract(self, travel_spec, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        self._record(travel_spec, runs, 0, capsys)
+        # one run is not a trend
+        assert main(["runs", "regress", "--dir", runs]) == 2
+        assert "at least 2" in capsys.readouterr().err
+        self._record(travel_spec, runs, 7, capsys)
+        code = main([
+            "runs", "regress", "--dir", runs, "--tolerance", "5.0"
+        ])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "PASS" in out
+
+    def test_regress_json_and_indicator_subset(
+        self, travel_spec, tmp_path, capsys
+    ):
+        runs = str(tmp_path / "runs")
+        self._record(travel_spec, runs, 0, capsys)
+        self._record(travel_spec, runs, 7, capsys)
+        code = main([
+            "runs", "regress", "--dir", runs, "--json",
+            "--indicator", "messages", "--tolerance", "5.0",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)
+        assert [r["indicator"] for r in doc["indicators"]] == ["messages"]
+
+    def test_gc_keeps_newest(self, travel_spec, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        for seed in (0, 1, 2):
+            self._record(travel_spec, runs, seed, capsys)
+        assert main(["runs", "gc", "--dir", runs, "--keep", "1"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_show_unknown_exits_one(self, tmp_path, capsys):
+        assert main([
+            "runs", "show", "--dir", str(tmp_path / "none"), "cafecafe"
+        ]) == 1
+        capsys.readouterr()
+
+    def test_sharded_record_carries_shard_rows(
+        self, travel_spec, tmp_path, capsys
+    ):
+        runs = str(tmp_path / "runs")
+        assert main([
+            "run", travel_spec, *GZ_RUN, "--shards", "2", "--workers", "1",
+            "--record", "--runs-dir", runs,
+        ]) in (0, 1)
+        err = capsys.readouterr().err
+        run_id = err.split("recorded run ")[1].split()[0]
+        assert main(["runs", "show", "--dir", runs, run_id]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["shards"]) == 2
+        assert {row["shard"] for row in doc["shards"]} == {0, 1}
