@@ -14,12 +14,14 @@ import random
 from repro.algebra.expressions import clear_intern_tables
 from repro.algebra.normal_form import to_normal_form
 from repro.algebra.residuation import residuate
+from repro.temporal.compiled import clear_compiled
 from repro.temporal.cubes import clear_simplify_cache
 from repro.temporal.guards import (
     clear_synthesis_caches,
     guard,
     guard_formula,
 )
+from repro.temporal.watch import clear_watch_stats
 
 
 def clear_symbolic_caches() -> None:
@@ -30,6 +32,8 @@ def clear_symbolic_caches() -> None:
     guard_formula.cache_clear()
     clear_synthesis_caches()
     clear_simplify_cache()
+    clear_watch_stats()
+    clear_compiled()
     clear_intern_tables()
 
 

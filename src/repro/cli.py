@@ -119,6 +119,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_analyze = sub.add_parser("analyze", help="compile-time analysis")
     p_analyze.add_argument("spec")
+    p_analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report (satisfiability, conflicts, "
+        "compiled guard-table stats) instead of text; the exit code "
+        "contract is unchanged: 0 analysis clean, 1 findings "
+        "(unsatisfiable, conflicting, or unsupported-mandatory "
+        "dependencies), 2 usage/parse errors",
+    )
 
     p_auto = sub.add_parser(
         "automaton", help="residuation automaton of a dependency, as DOT"
@@ -274,6 +283,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --shards: split independent shards into stealable "
         "dependency-closed chunks and rebalance them across workers "
         "by deterministic work stealing",
+    )
+    p_run.add_argument(
+        "--compiled-guards",
+        action="store_true",
+        help="evaluate guards on compiled interned decision diagrams "
+        "(O(1) per announcement) instead of re-simplifying the cube "
+        "DNF; byte-identical outcomes, reported under kernel.compiled "
+        "(distributed scheduler only)",
     )
     p_run.add_argument(
         "--profile",
@@ -527,7 +544,10 @@ def _cmd_compile(args) -> int:
 def _cmd_analyze(args) -> int:
     workflow = load(args.spec)
     report = analyze(workflow)
-    print(report.summary())
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
     return 0 if report.ok else 1
 
 
@@ -597,6 +617,12 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.compiled_guards and args.scheduler != "distributed":
+        print(
+            "--compiled-guards needs --scheduler distributed",
+            file=sys.stderr,
+        )
+        return 2
     if args.sample_every is not None and args.sample_every <= 0:
         print("--sample-every must be positive", file=sys.stderr)
         return 2
@@ -661,6 +687,8 @@ def _cmd_run(args) -> int:
         extra["profiler"] = Profiler()
     if args.sample_every is not None:
         extra["sample_every"] = args.sample_every
+    if args.compiled_guards:
+        extra["compiled_guards"] = True
     sched = scheduler_cls(
         workflow.dependencies,
         sites=workflow.sites,
@@ -942,6 +970,7 @@ def _cmd_run_sharded(args, workflow, attempts, slo_doc=None) -> int:
             latency=args.latency,
             profile=args.profile,
             sample_every=args.sample_every,
+            compiled_guards=args.compiled_guards,
             placement=args.placement.replace("-", "_"),
             cross_deps=args.cross_dep,
             flight_record=args.flight_record,

@@ -48,6 +48,7 @@ class DistributedParamRunner:
         metrics=None,
         provenance: bool | None = None,
         watch_mode: bool = True,
+        compiled_guards: bool = False,
     ):
         self.templates: list[Expr] = [
             parse(t) if isinstance(t, str) else t for t in templates
@@ -58,6 +59,7 @@ class DistributedParamRunner:
         self.sched = DistributedScheduler(
             [], attributes={}, tracer=tracer, metrics=metrics,
             provenance=provenance, watch_mode=watch_mode,
+            compiled_guards=compiled_guards,
         )
         # per-name attributes are resolved lazily per ground base
         self.sched.attributes = self._attributes_for  # type: ignore[assignment]

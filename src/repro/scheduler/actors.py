@@ -101,6 +101,12 @@ class EventActor:
         self.status = ActorStatus.IDLE
         self.attempted_at: float | None = None
         self.knowledge: dict[Event, int] = {}
+        #: compiled-guard cursor (one pointer into the scheduler's
+        #: interned automaton); ``None`` runs the cube engine.  The
+        #: ``getattr`` covers every construction site -- schedulers
+        #: without the feature simply have no ``compiled`` attribute.
+        engine = getattr(scheduler, "compiled", None)
+        self.cursor = engine.cursor(guard) if engine is not None else None
         # -- own not-yet round --
         self.round_active = False
         self.round_id = 0  # scheduler-issued; replies echo it
@@ -142,6 +148,8 @@ class EventActor:
         if updated != current:
             self.knowledge[base] = updated
             self._knowledge_dirty = True
+            if self.cursor is not None:
+                self.cursor.learn(base, updated)
             if self.sched.provenance.active:
                 self.sched.provenance.learned(self, base, mask, source, origin)
 
@@ -155,13 +163,23 @@ class EventActor:
         if profiler.active:
             profiler.push("cube_ops", site=self.site, event=self.event_label)
             try:
-                self.guard = self.guard.simplify_under(self.knowledge)
+                self._assimilate()
             finally:
                 profiler.pop()
         else:
-            self.guard = self.guard.simplify_under(self.knowledge)
+            self._assimilate()
         self.try_fire()
         self._process_pending_grants()
+
+    def _assimilate(self) -> None:
+        """Advance the residual past ``simplify_under``: a pointer hop
+        on the compiled automaton, a cube rewrite otherwise.  The
+        compiled residual equals the cube one value for value (the
+        node caches the very ``simplify_under`` result it replaces)."""
+        if self.cursor is not None:
+            self.guard = self.cursor.assimilate()
+        else:
+            self.guard = self.guard.simplify_under(self.knowledge)
 
     def note_occurrence(self, event: Event) -> None:
         """The watched-evaluation skip path: record the announced fact
@@ -224,7 +242,13 @@ class EventActor:
         cube structure changed.
         """
         self._durable_guard = self._durable_guard & extra
-        self.guard = (self.guard & extra).simplify_under(self.knowledge)
+        if self.cursor is not None:
+            # incremental recompile: re-enter the automaton at the
+            # strengthened guard, then assimilate as the cube engine does
+            self.cursor.reset(self.guard & extra, self.knowledge)
+            self.guard = self.cursor.assimilate()
+        else:
+            self.guard = (self.guard & extra).simplify_under(self.knowledge)
         self._escalated_cubes = set()
         self._knowledge_dirty = True
         self.try_fire()
@@ -238,7 +262,11 @@ class EventActor:
         already be in flight).
         """
         self._durable_guard = new_guard
-        self.guard = new_guard.simplify_under(self.knowledge)
+        if self.cursor is not None:
+            self.cursor.reset(new_guard, self.knowledge)
+            self.guard = self.cursor.assimilate()
+        else:
+            self.guard = new_guard.simplify_under(self.knowledge)
         self._escalated_cubes = set()
         self._knowledge_dirty = True
         self.try_fire()
@@ -293,6 +321,8 @@ class EventActor:
         timed = sched.tracer.active or sched.metrics.timed
         profiled = sched.profiler.active
         if not timed and not profiled:
+            if self.cursor is not None:
+                return self.cursor.verdict()
             if self.guard.region_subsumes(knowledge):
                 return "fire"
             if not self.guard.possible_under(knowledge):
@@ -304,7 +334,9 @@ class EventActor:
             )
         try:
             start = time.perf_counter()
-            if self.guard.region_subsumes(knowledge):
+            if self.cursor is not None:
+                verdict = self.cursor.verdict()
+            elif self.guard.region_subsumes(knowledge):
                 verdict = "fire"
             elif not self.guard.possible_under(knowledge):
                 verdict = "never"
@@ -731,7 +763,7 @@ class EventActor:
         if (
             self.status is ActorStatus.PENDING
             and not self.sched.is_frozen(self.event.base, exclude=self.event)
-            and self.guard.region_subsumes(transient)
+            and self._subsumed_under_transient(transient)
         ):
             if self.sched.tracer.active:
                 # the certificate-backed evaluation justifying this
@@ -750,6 +782,18 @@ class EventActor:
             return
         self._finish_round(fired=False)
         self.try_fire()
+
+    def _subsumed_under_transient(self, transient: dict[Event, int]) -> bool:
+        """Does the residual fire under knowledge plus this round's
+        certificate facts?  Compiled cursors descend along refinement
+        edges without moving -- the transient facts exist only for
+        this evaluation and are never committed."""
+        if self.cursor is not None:
+            return self.cursor.transient_verdict(
+                (base, NOT_YET_MASK)
+                for base in sorted(self.round_certified, key=Event.sort_key)
+            ) == "fire"
+        return self.guard.region_subsumes(transient)
 
     def _finish_round(self, fired: bool) -> None:
         if not self.round_active and not self.round_holds:
@@ -870,6 +914,11 @@ class EventActor:
         """
         self.guard = self._durable_guard
         self.knowledge = {}
+        if self.cursor is not None:
+            # resurrection re-enters the automaton at the durable
+            # guard's root -- the same interned node every fresh
+            # instance of this guard starts from
+            self.cursor.reset(self._durable_guard, self.knowledge)
         self.round_active = False
         self.round_id = 0
         self.round_awaiting = set()
@@ -911,7 +960,7 @@ class EventActor:
             if base == self.event.base:
                 continue
             self.sched.send_sync(self.event, base)
-        self.guard = self.guard.simplify_under(self.knowledge)
+        self._assimilate()
         self.try_fire()
 
     def on_sync_reply(self, reply: SyncReply) -> None:
@@ -922,7 +971,7 @@ class EventActor:
                 reply.base, C_OCC, source="sync",
                 origin=reply.base.complement,
             )
-        self.guard = self.guard.simplify_under(self.knowledge)
+        self._assimilate()
         self.try_fire()
         if self.status is ActorStatus.PENDING:
             self._solicit()

@@ -61,6 +61,7 @@ from repro.sim.clock import Simulator
 from repro.sim.faults import ChaosReport, FaultInjector, FaultPlan
 from repro.sim.network import BatchingChannel, LatencyModel, Network
 from repro.sim.reliable import ReliableNetwork
+from repro.temporal.compiled import CompiledGuardEngine
 from repro.temporal.cubes import GuardExpr
 from repro.temporal.guards import guard_and, guard_table, workflow_guards
 from repro.temporal.watch import ALL, WatchIndex, watch_bases
@@ -148,6 +149,7 @@ class DistributedScheduler:
         max_retries: int = 20,
         batch_announcements: bool = False,
         watch_mode: bool = True,
+        compiled_guards: bool | CompiledGuardEngine = False,
         tracer=None,
         metrics: MetricsRegistry | None = None,
         provenance: bool | None = None,
@@ -165,6 +167,16 @@ class DistributedScheduler:
         )
         self.gateway = gateway
         self.policy = policy or SchedulerPolicy()
+        #: compiled-guard automaton store; must exist before any actor
+        #: is constructed (``EventActor.__init__`` attaches a cursor
+        #: when the scheduler carries an engine).  ``compiled_guards``
+        #: may be a :class:`CompiledGuardEngine` to share interned
+        #: automata across schedulers (the template "compile once,
+        #: stamp instances" path), or ``True`` for a private engine.
+        if isinstance(compiled_guards, CompiledGuardEngine):
+            self.compiled = compiled_guards
+        else:
+            self.compiled = CompiledGuardEngine() if compiled_guards else None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: span profiler with hierarchical phase attribution; the inert
@@ -422,6 +434,11 @@ class DistributedScheduler:
             return
         if actor.pending_grant_reqs or actor.solicit_would_act():
             self.watch.register(actor.event, ALL)
+            return
+        if actor.cursor is not None:
+            # composed engines: the wake set is a cached slot on the
+            # actor's current automaton node, not a recomputation
+            self.watch.register(actor.event, actor.cursor.watches())
             return
         self.watch.register(
             actor.event, watch_bases(actor.guard, actor.knowledge)
@@ -1013,6 +1030,10 @@ class DistributedScheduler:
         report["kernel"]["watch"] = dict(
             report["kernel"]["watch"], **self.watch.counts()
         )
+        if self.compiled is not None:
+            report["kernel"]["compiled"] = dict(
+                report["kernel"]["compiled"], **self.compiled.counts()
+            )
         if self.timeseries is not None:
             report["timeseries"] = self.timeseries.as_dict()
         if self.faults is not None:

@@ -183,6 +183,7 @@ def kernel_stats() -> dict:
     ``DistributedScheduler.metrics_report()`` and ``repro run --json``.
     """
     from repro.algebra.expressions import intern_stats
+    from repro.temporal.compiled import compiled_stats
     from repro.temporal.cubes import simplify_cache_stats
     from repro.temporal.watch import watch_stats
 
@@ -195,6 +196,7 @@ def kernel_stats() -> dict:
         "synthesis": synthesis_stats(),
         "simplify": simplify_cache_stats(),
         "watch": watch_stats(),
+        "compiled": compiled_stats(),
         "memo": {
             "residuate": lru_counts(residuate),
             "to_normal_form": lru_counts(to_normal_form),

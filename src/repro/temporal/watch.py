@@ -52,6 +52,19 @@ from .cubes import FULL, GuardExpr, closure
 #: Sentinel wake-set: the actor must be woken by every announcement.
 ALL = None
 
+#: Memo tables keyed on interned identity (hash-consed guards and
+#: literal tuples) plus the knowledge masks *restricted to the bases
+#: the key mentions* -- the only knowledge either function reads, so
+#: the restriction is exact, and the key build is O(guard), not O(|K|).
+#: At high fan-in the same (guard, masks) pair recurs once per
+#: registration; these tables collapse that to one computation.
+_CUBE_WATCH_CACHE: dict = {}
+_WATCH_BASES_CACHE: dict = {}
+_WATCH_MEMO_LIMIT = 65536
+
+#: distinguishes "cached ALL" (None) from "not cached" in the memo.
+_UNSET = object()
+
 
 def cube_watches(
     cube: Iterable[tuple[Event, int]], knowledge: Mapping[Event, int]
@@ -64,8 +77,16 @@ def cube_watches(
     simplifies to 0); either way no future announcement on that base
     changes the cube, so it needs no watch.  An undecided literal can
     still flip, so its base is watched.  Mirrors ``simplify_under``'s
-    keep rule exactly.
+    keep rule exactly.  Memoized on the cube's interned identity and
+    the masks of its own bases (hit/miss in :func:`watch_stats`).
     """
+    cube = tuple(cube)
+    key = (cube, tuple(knowledge.get(base) for base, _ in cube))
+    cached = _CUBE_WATCH_CACHE.get(key)
+    if cached is not None:
+        _WatchStats.memo_hits += 1
+        return cached
+    _WatchStats.memo_misses += 1
     watches: set[Event] = set()
     for base, mask in cube:
         known = knowledge.get(base)
@@ -76,7 +97,11 @@ def cube_watches(
         hit = reach & mask
         if hit != 0 and hit != reach:
             watches.add(base)
-    return frozenset(watches)
+    result = frozenset(watches)
+    if len(_CUBE_WATCH_CACHE) >= _WATCH_MEMO_LIMIT:
+        _CUBE_WATCH_CACHE.clear()
+    _CUBE_WATCH_CACHE[key] = result
+    return result
 
 
 def is_reduced(guard: GuardExpr, knowledge: Mapping[Event, int]) -> bool:
@@ -115,9 +140,20 @@ def watch_bases(
     assimilation whatever the base, so skipping anything would let the
     residuals diverge.
     """
-    if not is_reduced(guard, knowledge):
-        return ALL
-    return guard.bases()
+    key = (
+        guard,
+        tuple(knowledge.get(base) for base in guard._sorted_bases()),
+    )
+    cached = _WATCH_BASES_CACHE.get(key, _UNSET)
+    if cached is not _UNSET:
+        _WatchStats.memo_hits += 1
+        return cached
+    _WatchStats.memo_misses += 1
+    result = ALL if not is_reduced(guard, knowledge) else guard.bases()
+    if len(_WATCH_BASES_CACHE) >= _WATCH_MEMO_LIMIT:
+        _WATCH_BASES_CACHE.clear()
+    _WATCH_BASES_CACHE[key] = result
+    return result
 
 
 class _WatchStats:
@@ -126,6 +162,8 @@ class _WatchStats:
     wakes = 0
     skips = 0
     rewatches = 0
+    memo_hits = 0
+    memo_misses = 0
 
 
 def watch_stats() -> dict:
@@ -135,6 +173,8 @@ def watch_stats() -> dict:
         "wakes": _WatchStats.wakes,
         "skips": _WatchStats.skips,
         "rewatches": _WatchStats.rewatches,
+        "memo_hits": _WatchStats.memo_hits,
+        "memo_misses": _WatchStats.memo_misses,
     }
 
 
@@ -142,6 +182,10 @@ def clear_watch_stats() -> None:
     _WatchStats.wakes = 0
     _WatchStats.skips = 0
     _WatchStats.rewatches = 0
+    _WatchStats.memo_hits = 0
+    _WatchStats.memo_misses = 0
+    _CUBE_WATCH_CACHE.clear()
+    _WATCH_BASES_CACHE.clear()
 
 
 class WatchIndex:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.algebra.expressions import Expr
 from repro.algebra.symbols import Event
 from repro.scheduler.residuation_scheduler import joint_completion_exists
+from repro.temporal.compiled import table_stats
 from repro.workflows.compiler import compile_workflow
 from repro.workflows.spec import Workflow
 
@@ -143,6 +144,11 @@ class AnalysisReport:
     conflicts: list[tuple[Expr, Expr]] = field(default_factory=list)
     promise_pairs: frozenset[frozenset[Event]] = frozenset()
     notyet_needs: dict[Event, frozenset[Event]] = field(default_factory=dict)
+    #: compiled guard-table statistics (:func:`repro.temporal.compiled.
+    #: table_stats`): node/sharing counts plus the constant guards --
+    #: an event in ``constant_false`` compiles to the constant-false
+    #: terminal and is dead at run time
+    compiled: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -152,6 +158,32 @@ class AnalysisReport:
             and not self.conflicts
             and not self.unsupported_mandatory
         )
+
+    def as_dict(self) -> dict:
+        """JSON-ready form of the report (``repro analyze --json``)."""
+        return {
+            "workflow": self.workflow_name,
+            "ok": self.ok,
+            "satisfiable": self.satisfiable,
+            "vacuous": self.vacuous,
+            "mandatory": sorted(repr(e) for e in self.mandatory),
+            "forbidden": sorted(repr(e) for e in self.forbidden),
+            "unsupported_mandatory": sorted(
+                repr(e) for e in self.unsupported_mandatory
+            ),
+            "redundant": sorted(repr(d) for d in self.redundant),
+            "conflicts": sorted(
+                [repr(a), repr(b)] for a, b in self.conflicts
+            ),
+            "promise_pairs": sorted(
+                sorted(repr(e) for e in pair) for pair in self.promise_pairs
+            ),
+            "notyet_needs": {
+                repr(event): sorted(repr(b) for b in bases)
+                for event, bases in self.notyet_needs.items()
+            },
+            "compiled": dict(self.compiled),
+        }
 
     def summary(self) -> str:
         lines = [f"analysis of workflow {self.workflow_name}:"]
@@ -181,6 +213,21 @@ class AnalysisReport:
         for event, bases in sorted(self.notyet_needs.items(), key=lambda kv: repr(kv[0])):
             names = ", ".join(repr(b) for b in sorted(bases))
             lines.append(f"  {event!r} needs not-yet agreement on: {names}")
+        if self.compiled:
+            lines.append(
+                "  compiled guard table: "
+                f"{self.compiled['guards']} guards -> "
+                f"{self.compiled['roots']} automata "
+                f"(sharing {self.compiled['sharing_ratio']:.0%}), "
+                f"{self.compiled['cubes']} cubes / "
+                f"{self.compiled['literals']} literals"
+            )
+            if self.compiled["constant_false"]:
+                names = ", ".join(self.compiled["constant_false"])
+                lines.append(
+                    "  WARNING constant-false guards (dead events, every "
+                    f"attempt rejects): {names}"
+                )
         return "\n".join(lines)
 
 
@@ -211,6 +258,7 @@ def analyze(workflow: Workflow) -> AnalysisReport:
         conflicts=dependency_conflicts(deps),
         promise_pairs=compiled.promise_pairs,
         notyet_needs=compiled.notyet_needs,
+        compiled=table_stats(compiled.guards),
     )
 
 

@@ -29,8 +29,13 @@ hypothesis_settings.register_profile(
 hypothesis_settings.load_profile("default")
 
 
-KERNEL_STATS_KEYS = {"interning", "synthesis", "simplify", "watch", "memo"}
+KERNEL_STATS_KEYS = {
+    "interning", "synthesis", "simplify", "watch", "compiled", "memo"
+}
 WATCH_STATS_KEYS = {"wakes", "skips", "rewatches"}
+COMPILED_STATS_KEYS = {
+    "nodes", "reused", "edges", "hops", "expansions", "cursors", "recompiles"
+}
 
 
 def assert_kernel_schema(stats):
@@ -47,6 +52,11 @@ def assert_kernel_schema(stats):
     assert WATCH_STATS_KEYS <= set(stats["watch"]), sorted(stats["watch"])
     for counter in WATCH_STATS_KEYS:
         assert isinstance(stats["watch"][counter], int)
+    assert COMPILED_STATS_KEYS <= set(stats["compiled"]), sorted(
+        stats["compiled"]
+    )
+    for counter in COMPILED_STATS_KEYS:
+        assert isinstance(stats["compiled"][counter], int)
     assert {"residuate", "to_normal_form"} <= set(stats["memo"])
 
 

@@ -42,6 +42,28 @@ class TestAnalyze:
         assert main(["analyze", str(path)]) == 1
         assert "CONFLICT" in capsys.readouterr().out
 
+    def test_reports_compiled_guard_table(self, spec_file, capsys):
+        assert main(["analyze", spec_file]) == 0
+        assert "compiled guard table:" in capsys.readouterr().out
+
+    def test_json_report(self, spec_file, capsys):
+        assert main(["analyze", spec_file, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["workflow"] == "demo"
+        assert report["compiled"]["guards"] > 0
+        assert report["compiled"]["constant_false"] == []
+
+    def test_json_report_keeps_exit_contract_on_findings(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "bad.wf"
+        path.write_text("dep e . f\ndep f . e\n")
+        assert main(["analyze", str(path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["conflicts"]
+
 
 class TestAutomatonAndGraph:
     def test_automaton_dot(self, capsys):
@@ -90,6 +112,31 @@ class TestRun:
         )
         assert code == 0
         assert "ok=True" in capsys.readouterr().out
+
+    def test_compiled_guards_run(self, spec_file, capsys):
+        code = main(
+            [
+                "run", spec_file,
+                "--attempt", "e=0",
+                "--scheduler", "distributed",
+                "--compiled-guards",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "ok=True" in out
+
+    def test_compiled_guards_needs_distributed(self, spec_file, capsys):
+        code = main(
+            [
+                "run", spec_file,
+                "--attempt", "e=0",
+                "--scheduler", "centralized",
+                "--compiled-guards",
+            ]
+        )
+        assert code == 2
+        assert "--scheduler distributed" in capsys.readouterr().err
 
     def test_bad_attempt_syntax(self, spec_file, capsys):
         assert main(["run", spec_file, "--attempt", "e"]) == 2
